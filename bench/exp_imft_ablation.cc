@@ -1,0 +1,108 @@
+// EXP-IMFT: ablation of the fault-tolerance extension ([Marzullo 83], the
+// algorithm NTP later adopted).
+//
+// Plain IM's round fails as soon as one confident liar makes the global
+// intersection empty; IMFT intersects the maximum-coverage quorum instead.
+// Sweep the number of confident liars in a 9-server service and report, for
+// IM and IMFT, how many rounds still produced resets and whether the honest
+// servers kept their errors small.  Expected shape: IM degrades at the
+// first liar; IMFT holds until the liars reach the quorum boundary.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/time_service.h"
+
+namespace {
+
+using namespace mtds;
+
+struct Outcome {
+  double reset_rate;       // healthy resets per healthy server-round
+  double mean_error;       // mean terminal error of healthy servers
+  bool healthy_correct;    // all honest servers end correct
+};
+
+Outcome run(core::SyncAlgorithm algo, int liars, std::uint64_t seed) {
+  constexpr int kServers = 9;
+  service::ServiceConfig cfg;
+  cfg.seed = seed;
+  cfg.delay_hi = 0.002;
+  cfg.sample_interval = 5.0;
+  for (int i = 0; i < kServers; ++i) {
+    cfg.servers.push_back(bench::basic_server(algo, 1e-5,
+                                              (i % 2 ? 1 : -1) * 6e-6, 0.02,
+                                              0.0, 5.0));
+  }
+  // Liars: confident intervals scattered a second or more off true time.
+  for (int k = 0; k < liars; ++k) {
+    auto& liar = cfg.servers[static_cast<std::size_t>(kServers - 1 - k)];
+    liar.algo = core::SyncAlgorithm::kNone;  // they do not even try to sync
+    liar.claimed_delta = 1e-6;
+    liar.initial_error = 0.001;
+    liar.initial_offset = 1.0 + 0.5 * k;
+  }
+
+  service::TimeService service(cfg);
+  service.run_until(400.0);
+
+  Outcome out{};
+  const int healthy = kServers - liars;
+  std::uint64_t resets = 0, rounds = 0;
+  double err = 0.0;
+  bool correct = true;
+  for (int i = 0; i < healthy; ++i) {
+    resets += service.server(static_cast<std::size_t>(i)).counters().resets;
+    rounds += service.server(static_cast<std::size_t>(i)).counters().rounds;
+    err += service.server(static_cast<std::size_t>(i))
+               .current_error(service.now());
+    correct = correct &&
+              service.server(static_cast<std::size_t>(i)).correct(service.now());
+  }
+  out.reset_rate = rounds ? static_cast<double>(resets) /
+                                static_cast<double>(rounds)
+                          : 0.0;
+  out.mean_error = err / healthy;
+  out.healthy_correct = correct;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("EXP-IMFT  fault-tolerant intersection ablation",
+                 "plain IM stalls at the first confident liar; IMFT keeps "
+                 "synchronizing until the liars reach the quorum boundary");
+
+  std::printf("%6s | %26s | %26s\n", "liars", "IM (resets/round, err, ok)",
+              "IMFT (resets/round, err, ok)");
+  bool im_degrades = false;
+  bool imft_holds = true;
+  for (int liars = 0; liars <= 4; ++liars) {
+    const auto im = run(core::SyncAlgorithm::kIM, liars, 64);
+    const auto imft = run(core::SyncAlgorithm::kIMFT, liars, 64);
+    std::printf("%6d | %10.2f %9.4f %4s | %10.2f %9.4f %4s\n", liars,
+                im.reset_rate, im.mean_error, im.healthy_correct ? "yes" : "NO",
+                imft.reset_rate, imft.mean_error,
+                imft.healthy_correct ? "yes" : "NO");
+    if (liars == 1 && im.reset_rate < 0.1) im_degrades = true;
+    // 9 participants per round (self + 8): majority quorum is 5, so up to 4
+    // liars are survivable.
+    if (liars <= 4 && (imft.reset_rate < 0.5 || !imft.healthy_correct)) {
+      imft_holds = false;
+    }
+  }
+  bench::check(im_degrades, "plain IM stops resetting at the first liar");
+  bench::check(imft_holds,
+               "IMFT keeps resetting and honest servers stay correct up to "
+               "4 liars of 9");
+
+  // Error comparison at zero liars: IMFT must not cost anything.
+  const auto im0 = run(core::SyncAlgorithm::kIM, 0, 7);
+  const auto imft0 = run(core::SyncAlgorithm::kIMFT, 0, 7);
+  std::printf("\nzero-liar overhead: IM err %.5f vs IMFT err %.5f\n",
+              im0.mean_error, imft0.mean_error);
+  bench::check(imft0.mean_error < im0.mean_error * 1.2,
+               "IMFT costs (at most marginally) nothing when all are honest");
+  return bench::finish();
+}

@@ -1,0 +1,103 @@
+// EXP-MM-BOUND: measured MM error and asynchronism versus the Theorem 2/3
+// bounds, swept over service size, drift bound, delay bound and poll period.
+//
+// Theorem 2:  E_i(t) < E_M(t) + xi + delta_i (tau + 2 xi)
+// Theorem 3:  |C_i - C_j| < 2 E_M + 2 xi + (d_i + d_j)(tau + 2 xi)
+//
+// The bench prints, for each configuration, the worst measured slack
+// (measured / bound); every row must stay below 1.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+#include "service/invariants.h"
+#include "service/time_service.h"
+
+namespace {
+
+using namespace mtds;
+
+struct Row {
+  std::size_t n;
+  double delta, xi, tau;
+  double err_ratio;    // worst E_i / bound(E_M)
+  double async_ratio;  // worst |C_i - C_j| / bound
+};
+
+Row run(std::size_t n, double delta, double delay_hi, double tau,
+        std::uint64_t seed) {
+  service::ServiceConfig cfg;
+  cfg.seed = seed;
+  cfg.delay_hi = delay_hi;
+  cfg.sample_interval = tau / 2.0;
+  sim::Rng rng(seed * 977 + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfg.servers.push_back(bench::basic_server(
+        core::SyncAlgorithm::kMM, delta, rng.uniform(-delta, delta) * 0.9,
+        0.01 * (1.0 + static_cast<double>(i)), rng.uniform(-0.01, 0.01), tau));
+  }
+  service::TimeService service(cfg);
+  service.run_until(100.0 * tau);
+
+  const double xi = service.xi();
+  const auto& trace = service.trace();
+  Row row{n, delta, xi, tau, 0.0, 0.0};
+  for (const double t : trace.sample_times()) {
+    if (t < 2.0 * tau) continue;  // warm-up: every server polled at least once
+    const auto at = trace.samples_at(t);
+    double e_min = at.front().error;
+    for (const auto& s : at) e_min = std::min(e_min, s.error);
+    const double e_bound = core::mm_error_bound(e_min, xi, delta, tau);
+    const double a_bound =
+        core::mm_asynchronism_bound(e_min, xi, delta, delta, tau);
+    for (std::size_t i = 0; i < at.size(); ++i) {
+      row.err_ratio = std::max(row.err_ratio, at[i].error / e_bound);
+      for (std::size_t j = i + 1; j < at.size(); ++j) {
+        row.async_ratio = std::max(
+            row.async_ratio, std::abs(at[i].clock - at[j].clock) / a_bound);
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("EXP-MM-BOUND  Theorem 2/3 bounds for algorithm MM",
+                 "measured error and asynchronism stay below the closed-form "
+                 "bounds for every configuration");
+
+  std::printf("%4s %10s %10s %8s | %18s %18s\n", "n", "delta", "xi", "tau",
+              "err/bound(worst)", "async/bound(worst)");
+  bool all_ok = true;
+  double global_worst_err = 0.0, global_worst_async = 0.0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    for (double delta : {1e-6, 1e-5, 1e-4}) {
+      for (double delay : {0.001, 0.01}) {
+        const double tau = 10.0;
+        const Row row = run(n, delta, delay, tau, 42 + n);
+        std::printf("%4zu %10.1e %10.3g %8.1f | %18.3f %18.3f\n", row.n,
+                    row.delta, row.xi, row.tau, row.err_ratio,
+                    row.async_ratio);
+        all_ok = all_ok && row.err_ratio < 1.0 && row.async_ratio < 1.0;
+        global_worst_err = std::max(global_worst_err, row.err_ratio);
+        global_worst_async = std::max(global_worst_async, row.async_ratio);
+      }
+    }
+  }
+  std::printf("\nworst ratios: error %.3f, asynchronism %.3f\n",
+              global_worst_err, global_worst_async);
+  bench::check(all_ok, "every measured value below its theorem bound");
+  // Sweep over tau as well to show the bound scales.
+  for (double tau : {2.0, 20.0, 60.0}) {
+    const Row row = run(8, 1e-5, 0.005, tau, 1234);
+    std::printf("tau=%5.1f: err/bound %.3f async/bound %.3f\n", tau,
+                row.err_ratio, row.async_ratio);
+    bench::check(row.err_ratio < 1.0 && row.async_ratio < 1.0,
+                 "bounds hold at tau=" + std::to_string(tau));
+  }
+  return bench::finish();
+}

@@ -1,0 +1,117 @@
+// MICRO: google-benchmark microbenchmarks of the core algorithms and the
+// simulation substrate - throughput numbers for the library's hot paths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/im_sync.h"
+#include "core/marzullo.h"
+#include "core/mm_sync.h"
+#include "service/time_service.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mtds;
+using core::TimeInterval;
+
+std::vector<TimeInterval> random_intervals(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<TimeInterval> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = rng.uniform(-1.0, 1.0);
+    out.push_back(TimeInterval::from_center_error(c, rng.uniform(0.1, 2.0)));
+  }
+  return out;
+}
+
+void BM_MarzulloBestIntersection(benchmark::State& state) {
+  const auto intervals = random_intervals(
+      static_cast<std::size_t>(state.range(0)), 99);
+  for (auto _ : state) {
+    auto best = core::best_intersection(intervals);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MarzulloBestIntersection)->Range(4, 4096);
+
+void BM_ConsistencyGroups(benchmark::State& state) {
+  const auto intervals = random_intervals(
+      static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto groups = core::consistency_groups(intervals);
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_ConsistencyGroups)->Range(4, 256);
+
+void BM_MMDecision(benchmark::State& state) {
+  core::MinMaxErrorSync mm;
+  core::LocalState local{100.0, 0.5, 1e-5};
+  core::TimeReading reading{1, 100.01, 0.1, 0.004, 100.0};
+  for (auto _ : state) {
+    auto out = mm.on_reply(local, reading);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MMDecision);
+
+void BM_IMRound(benchmark::State& state) {
+  core::IntersectionSync im;
+  core::LocalState local{100.0, 0.5, 1e-5};
+  sim::Rng rng(3);
+  std::vector<core::TimeReading> replies;
+  for (int i = 0; i < state.range(0); ++i) {
+    replies.push_back({static_cast<core::ServerId>(i),
+                       100.0 + rng.uniform(-0.1, 0.1),
+                       rng.uniform(0.05, 0.5), rng.uniform(0.0, 0.01),
+                       100.0});
+  }
+  for (auto _ : state) {
+    auto out = im.on_round(local, replies);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IMRound)->Range(2, 512);
+
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.at(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    q.run_all();
+    benchmark::DoNotOptimize(q.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+void BM_ServiceSimulation(benchmark::State& state) {
+  // End-to-end: how many simulated service-seconds per wall second.
+  for (auto _ : state) {
+    service::ServiceConfig cfg;
+    cfg.seed = 5;
+    cfg.delay_hi = 0.002;
+    cfg.sample_interval = 0.0;
+    for (int i = 0; i < state.range(0); ++i) {
+      service::ServerSpec s;
+      s.algo = core::SyncAlgorithm::kMM;
+      s.claimed_delta = 1e-5;
+      s.actual_drift = (i % 2 ? 1 : -1) * 5e-6;
+      s.initial_error = 0.01;
+      s.poll_period = 10.0;
+      cfg.servers.push_back(s);
+    }
+    service::TimeService service(cfg);
+    service.run_until(100.0);
+    benchmark::DoNotOptimize(service.now());
+  }
+}
+BENCHMARK(BM_ServiceSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Fault injection: the clock failure modes of Section 1.1 ("a clock may
+// fail in many ways, such as by stopping, racing ahead, or refusing to
+// change its value when reset") plus the invalid-drift-bound failure of
+// Section 3, run against both recovery policies.
+//
+//   $ ./fault_injection [--horizon=800]
+#include <cstdio>
+#include <string>
+
+#include "service/invariants.h"
+#include "service/time_service.h"
+#include "util/flags.h"
+
+using namespace mtds;
+
+namespace {
+
+struct ScenarioResult {
+  double healthy_worst_offset;  // worst |offset| among healthy servers
+  double faulty_offset;         // |offset| of the injected-fault server
+  std::size_t inconsistencies;
+  std::size_t recoveries;
+};
+
+ScenarioResult run(const std::string& name, core::ClockFault fault,
+                   double bad_actual_drift, service::RecoveryPolicy policy,
+                   double horizon) {
+  service::ServiceConfig cfg;
+  cfg.seed = 4242;
+  cfg.delay_hi = 0.005;
+  cfg.sample_interval = 5.0;
+  for (int i = 0; i < 5; ++i) {
+    service::ServerSpec s;
+    s.algo = core::SyncAlgorithm::kMM;
+    s.claimed_delta = 2e-5;
+    s.actual_drift = (i - 2) * 8e-6;
+    s.initial_error = 0.01;
+    s.poll_period = 10.0;
+    s.recovery = policy;
+    cfg.servers.push_back(s);
+  }
+  // Server 4 carries the fault.
+  cfg.servers[4].fault = fault;
+  cfg.servers[4].actual_drift = bad_actual_drift;
+
+  service::TimeService service(cfg);
+  service.run_until(horizon);
+
+  ScenarioResult r{};
+  const double now = service.now();
+  for (int i = 0; i < 4; ++i) {
+    r.healthy_worst_offset = std::max(
+        r.healthy_worst_offset, std::abs(service.server(i).true_offset(now)));
+  }
+  r.faulty_offset = std::abs(service.server(4).true_offset(now));
+  r.inconsistencies =
+      service.trace().count_events(sim::TraceEventKind::kInconsistent);
+  r.recoveries = service.trace().count_events(sim::TraceEventKind::kRecovery);
+
+  std::printf("%-28s healthy worst |offset| %10.4f  faulty |offset| %10.3f  "
+              "inconsistencies %4zu  recoveries %4zu\n",
+              name.c_str(), r.healthy_worst_offset, r.faulty_offset,
+              r.inconsistencies, r.recoveries);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.parse(argc, argv);
+  const double horizon = flags.get_double("horizon", 800.0);
+
+  std::printf("5-server MM service, one faulty server (S4), horizon %.0f s\n\n",
+              horizon);
+
+  bool ok = true;
+
+  std::printf("--- recovery policy: ignore inconsistent replies ---\n");
+  const auto stopped = run("stopped clock",
+                           {core::ClockFaultKind::kStopped, 100.0, 0.0}, 0.0,
+                           service::RecoveryPolicy::kIgnore, horizon);
+  const auto racing = run("racing clock (5x)",
+                          {core::ClockFaultKind::kRacing, 100.0, 5.0}, 0.0,
+                          service::RecoveryPolicy::kIgnore, horizon);
+  const auto sticky = run("sticky reset",
+                          {core::ClockFaultKind::kStickyReset, 100.0, 0.0},
+                          1e-4, service::RecoveryPolicy::kIgnore, horizon);
+  const auto liar = run("invalid drift bound (1000x)", {}, 2e-2,
+                        service::RecoveryPolicy::kIgnore, horizon);
+
+  // The healthy majority must stay close to true time in every scenario.
+  for (const auto& r : {stopped, racing, sticky, liar}) {
+    ok = ok && r.healthy_worst_offset < 0.5;
+  }
+  // Stopped/racing/liar clocks wander far off and get flagged.
+  ok = ok && stopped.faulty_offset > 100.0 && racing.faulty_offset > 100.0 &&
+       liar.faulty_offset > 1.0;
+  ok = ok && (stopped.inconsistencies > 0 && racing.inconsistencies > 0 &&
+              liar.inconsistencies > 0);
+
+  std::printf("\n--- recovery policy: third-server reset ---\n");
+  const auto liar_rec = run("invalid drift bound (1000x)", {}, 2e-2,
+                            service::RecoveryPolicy::kThirdServer, horizon);
+  ok = ok && liar_rec.recoveries > 0 &&
+       liar_rec.faulty_offset < liar.faulty_offset;
+  std::printf("\nwith recovery the liar's final offset shrinks from %.2f s "
+              "to %.2f s\n", liar.faulty_offset, liar_rec.faulty_offset);
+
+  std::printf("\n%s\n", ok ? "all expectations held" : "UNEXPECTED BEHAVIOUR");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// timequery: query UDP time servers like the paper's client.
+//
+//   $ ./timequery --ports=9001,9002,9003 [--strategy=intersect] [--timeout=0.5]
+//
+// Prints each server's reply interval and the combined estimate under the
+// chosen strategy (first | smallest | intersect).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/udp_client.h"
+#include "net/udp_server.h"
+#include "util/flags.h"
+
+using namespace mtds;
+
+namespace {
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) {
+      ports.push_back(static_cast<std::uint16_t>(std::stoul(item)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.parse(argc, argv);
+  const auto ports = parse_ports(flags.get("ports", ""));
+  if (ports.empty()) {
+    std::fprintf(stderr,
+                 "usage: timequery --ports=P1,P2,... "
+                 "[--strategy=first|smallest|intersect] [--timeout=0.5]\n");
+    return 2;
+  }
+  const std::string strat = flags.get("strategy", "intersect");
+  const service::ClientStrategy strategy =
+      strat == "first"      ? service::ClientStrategy::kFirstReply
+      : strat == "smallest" ? service::ClientStrategy::kSmallestError
+                            : service::ClientStrategy::kIntersect;
+  const double timeout = flags.get_double("timeout", 0.5);
+
+  net::UdpTimeClient client;
+  const auto readings = client.collect(ports, timeout);
+  std::printf("%zu of %zu servers replied:\n", readings.size(), ports.size());
+  for (const auto& r : readings) {
+    std::printf("  S%-4u C=%14.6f E=%10.6f rtt=%8.3f ms  -> true time in "
+                "[%.6f, %.6f]\n",
+                r.from, r.c, r.e, r.rtt_own * 1e3, r.c - r.e,
+                r.c + r.e + r.rtt_own);
+  }
+  if (readings.empty()) return 1;
+
+  const auto result = client.query(ports, strategy, timeout);
+  std::printf("\nstrategy %s: estimate %.6f +/- %.6f (%zu replies%s)\n",
+              strat.c_str(), result.estimate, result.error, result.replies,
+              result.consistent ? "" : ", INCONSISTENT replies");
+  std::printf("host clock now: %.6f (estimate - host = %+.3f ms)\n",
+              net::host_seconds(),
+              (result.estimate - net::host_seconds()) * 1e3);
+  return 0;
+}

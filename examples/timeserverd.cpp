@@ -1,0 +1,125 @@
+// timeserverd: a standalone UDP time server daemon.
+//
+// Serves rule MM-1 replies on a UDP port and optionally synchronizes to
+// peer servers with MM or IM - the shape of a real deployment of the
+// paper's service.  The local clock is virtualized over CLOCK_MONOTONIC so
+// drift and offset can be injected for experiments.
+//
+//   $ ./timeserverd --port=9001 --id=1 --delta=1e-4 --error=0.005
+//   $ ./timeserverd --port=9002 --id=2 --peers=9001 --algo=MM \
+//                   --poll=0.5 --offset=0.05 --seconds=10
+//
+// Runs for --seconds (0 = until SIGINT/SIGTERM), printing a status line per
+// --status-every seconds.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp_server.h"
+#include "util/flags.h"
+
+using namespace mtds;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) {
+      ports.push_back(static_cast<std::uint16_t>(std::stoul(item)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.parse(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "usage: timeserverd [options]\n"
+        "  --port=N          UDP port (default: ephemeral)\n"
+        "  --id=N            server id reported in replies (default 0)\n"
+        "  --delta=X         claimed drift bound (default 1e-4)\n"
+        "  --error=X         initial maximum error, seconds (default 1e-3)\n"
+        "  --offset=X        injected initial clock offset (default 0)\n"
+        "  --drift=X         injected clock drift (default 0)\n"
+        "  --peers=P1,P2     peer ports to synchronize against\n"
+        "  --recovery=P1,P2  third-server recovery ports (Section 3)\n"
+        "  --algo=MM|IM|IMFT sync algorithm (default MM)\n"
+        "  --poll=X          sync period, seconds (default 0.5)\n"
+        "  --seconds=X       run time; 0 = until signal (default 0)\n"
+        "  --status-every=X  status print period (default 1)\n");
+    return 0;
+  }
+
+  net::UdpServerConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  cfg.id = static_cast<std::uint32_t>(flags.get_int("id", 0));
+  cfg.claimed_delta = flags.get_double("delta", 1e-4);
+  cfg.initial_error = flags.get_double("error", 1e-3);
+  cfg.initial_offset = flags.get_double("offset", 0.0);
+  cfg.simulated_drift = flags.get_double("drift", 0.0);
+  cfg.poll_period = flags.get_double("poll", 0.5);
+  cfg.reply_timeout = std::min(0.2, cfg.poll_period / 2);
+  const std::string algo = flags.get("algo", "MM");
+  cfg.algo = algo == "IM"     ? core::SyncAlgorithm::kIM
+             : algo == "IMFT" ? core::SyncAlgorithm::kIMFT
+             : algo == "NONE" ? core::SyncAlgorithm::kNone
+                              : core::SyncAlgorithm::kMM;
+  const auto peers = parse_ports(flags.get("peers", ""));
+  cfg.recovery_ports = parse_ports(flags.get("recovery", ""));
+  if (peers.empty()) cfg.poll_period = 0;  // respond-only
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    net::UdpTimeServer server(cfg);
+    server.set_peers(peers);
+    server.start();
+    std::printf("timeserverd: id=%u port=%u algo=%s peers=%zu\n", cfg.id,
+                server.port(), algo.c_str(), peers.size());
+
+    const double run_seconds = flags.get_double("seconds", 0.0);
+    const double status_every = flags.get_double("status-every", 1.0);
+    const double t_start = net::host_seconds();
+    double next_status = t_start + status_every;
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const double now = net::host_seconds();
+      if (run_seconds > 0 && now - t_start >= run_seconds) break;
+      if (now >= next_status) {
+        next_status += status_every;
+        std::printf("  t=%6.1f C=%12.6f E=%9.6f offset=%+9.6f served=%llu "
+                    "resets=%llu\n",
+                    now - t_start, server.read_clock(),
+                    server.current_error(), server.true_offset(),
+                    static_cast<unsigned long long>(server.requests_served()),
+                    static_cast<unsigned long long>(server.resets()));
+      }
+    }
+    server.stop();
+    std::printf("timeserverd: stopped (served %llu requests, %llu resets)\n",
+                static_cast<unsigned long long>(server.requests_served()),
+                static_cast<unsigned long long>(server.resets()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "timeserverd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+// Real-network demo: a loopback UDP time service.
+//
+// Spawns several UDP time servers (threads on 127.0.0.1), one of them
+// started 80 ms off with a large error, lets algorithm MM pull it in over
+// real wall-clock time, then queries the service as a client with all three
+// strategies.
+//
+//   $ ./udp_loopback [--servers=4] [--seconds=2]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/udp_client.h"
+#include "net/udp_server.h"
+#include "util/flags.h"
+
+using namespace mtds;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("servers", 4));
+  const double seconds = flags.get_double("seconds", 2.0);
+
+  std::vector<std::unique_ptr<net::UdpTimeServer>> servers;
+  std::vector<std::uint16_t> ports;
+
+  // n-1 reference servers with small errors and offsets.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net::UdpServerConfig cfg;
+    cfg.id = static_cast<std::uint32_t>(i);
+    cfg.claimed_delta = 1e-5;
+    cfg.initial_error = 0.002;
+    cfg.initial_offset = (static_cast<double>(i) - 1.0) * 0.001;
+    cfg.algo = core::SyncAlgorithm::kNone;  // stable references
+    servers.push_back(std::make_unique<net::UdpTimeServer>(cfg));
+    servers.back()->start();
+    ports.push_back(servers.back()->port());
+  }
+
+  // The straggler: 80 ms off, error half a second, synchronizing with MM.
+  net::UdpServerConfig straggler;
+  straggler.id = static_cast<std::uint32_t>(n - 1);
+  straggler.claimed_delta = 1e-4;
+  straggler.initial_error = 0.5;
+  straggler.initial_offset = 0.08;
+  straggler.algo = core::SyncAlgorithm::kMM;
+  straggler.poll_period = 0.05;
+  straggler.reply_timeout = 0.02;
+  servers.push_back(std::make_unique<net::UdpTimeServer>(straggler));
+  servers.back()->set_peers(ports);
+  servers.back()->start();
+  ports.push_back(servers.back()->port());
+
+  std::printf("%zu UDP servers on 127.0.0.1 ports:", n);
+  for (auto p : ports) std::printf(" %u", p);
+  std::printf("\nstraggler S%zu starts %.0f ms off with E = %.0f ms\n\n",
+              n - 1, straggler.initial_offset * 1e3,
+              straggler.initial_error * 1e3);
+
+  auto& learner = *servers.back();
+  const auto t_end = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < t_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    std::printf("  straggler: offset %+8.3f ms, E %8.3f ms, resets %llu\n",
+                learner.true_offset() * 1e3, learner.current_error() * 1e3,
+                static_cast<unsigned long long>(learner.resets()));
+  }
+
+  // Query the whole service as a client.
+  net::UdpTimeClient client;
+  std::printf("\nclient queries (against host clock):\n");
+  const auto first =
+      client.query(ports, service::ClientStrategy::kFirstReply, 0.2);
+  std::printf("  first-reply   : estimate-host %+.4f ms, E %.3f ms (S%u)\n",
+              (first.estimate - net::host_seconds()) * 1e3, first.error * 1e3,
+              first.source);
+  const auto smallest =
+      client.query(ports, service::ClientStrategy::kSmallestError, 0.2);
+  std::printf("  smallest-error: estimate-host %+.4f ms, E %.3f ms (S%u)\n",
+              (smallest.estimate - net::host_seconds()) * 1e3,
+              smallest.error * 1e3, smallest.source);
+  const auto inter =
+      client.query(ports, service::ClientStrategy::kIntersect, 0.2);
+  std::printf("  intersect     : estimate-host %+.4f ms, E %.3f ms, "
+              "consistent=%s\n",
+              (inter.estimate - net::host_seconds()) * 1e3, inter.error * 1e3,
+              inter.consistent ? "yes" : "no");
+
+  const bool pulled_in = std::abs(learner.true_offset()) < 0.02;
+  std::printf("\nstraggler pulled within 20 ms of host time: %s\n",
+              pulled_in ? "yes" : "NO");
+  for (auto& s : servers) s->stop();
+  return pulled_in ? 0 : 1;
+}

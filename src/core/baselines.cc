@@ -1,0 +1,95 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mtds::core {
+namespace {
+
+// Midpoint estimate of reply j's clock as of its receipt: the reply was
+// generated somewhere in the round trip, so credit half of it.
+double adjusted_clock(const TimeReading& r) { return r.c + 0.5 * r.rtt_own; }
+
+// Offset of reply j relative to the local clock at its receipt, aged to the
+// local clock "now" (offsets are stable under local drift to first order,
+// so aging is a no-op here; kept for clarity).
+double offset_of(const TimeReading& r) {
+  return adjusted_clock(r) - r.local_receive;
+}
+
+Duration inherited_error(const LocalState& local, const TimeReading& r) {
+  return r.e + (1.0 + local.delta) * r.rtt_own;
+}
+
+}  // namespace
+
+SyncOutcome MaxSync::on_round(const LocalState& local,
+                              std::span<const TimeReading> replies) const {
+  SyncOutcome out;
+  const TimeReading* best = nullptr;
+  double best_clock = local.clock;  // never step backward
+  for (const TimeReading& r : replies) {
+    const double candidate = local.clock + offset_of(r);
+    if (candidate > best_clock) {
+      best_clock = candidate;
+      best = &r;
+    }
+  }
+  if (best == nullptr) return out;
+  ClockReset reset;
+  reset.clock = best_clock;
+  reset.error = inherited_error(local, *best);
+  reset.sources.push_back(best->from);
+  out.reset = reset;
+  return out;
+}
+
+SyncOutcome MedianSync::on_round(const LocalState& local,
+                                 std::span<const TimeReading> replies) const {
+  SyncOutcome out;
+  if (replies.empty()) return out;
+  std::vector<double> offsets;
+  offsets.reserve(replies.size() + 1);
+  offsets.push_back(0.0);  // own clock participates
+  Duration worst_error = local.error;
+  for (const TimeReading& r : replies) {
+    offsets.push_back(offset_of(r));
+    worst_error = std::max(worst_error, inherited_error(local, r));
+  }
+  const auto mid = offsets.begin() + static_cast<std::ptrdiff_t>(offsets.size() / 2);
+  std::nth_element(offsets.begin(), mid, offsets.end());
+  double median = *mid;
+  if (offsets.size() % 2 == 0) {
+    // Even count: average the two middle elements.
+    const double upper = *mid;
+    const double lower = *std::max_element(offsets.begin(), mid);
+    median = 0.5 * (lower + upper);
+  }
+  ClockReset reset;
+  reset.clock = local.clock + median;
+  reset.error = worst_error;
+  for (const TimeReading& r : replies) reset.sources.push_back(r.from);
+  out.reset = reset;
+  return out;
+}
+
+SyncOutcome MeanSync::on_round(const LocalState& local,
+                               std::span<const TimeReading> replies) const {
+  SyncOutcome out;
+  if (replies.empty()) return out;
+  double sum = 0.0;
+  Duration worst_error = local.error;
+  for (const TimeReading& r : replies) {
+    sum += offset_of(r);
+    worst_error = std::max(worst_error, inherited_error(local, r));
+  }
+  const double mean = sum / static_cast<double>(replies.size() + 1);
+  ClockReset reset;
+  reset.clock = local.clock + mean;
+  reset.error = worst_error;
+  for (const TimeReading& r : replies) reset.sources.push_back(r.from);
+  out.reset = reset;
+  return out;
+}
+
+}  // namespace mtds::core

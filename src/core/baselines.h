@@ -1,0 +1,53 @@
+// Baseline synchronization functions surveyed in Section 1.2.
+//
+// The paper positions MM and IM against three functions from prior work:
+//
+//   max    - Lamport 78: a clock never runs behind the fastest clock it
+//            hears from; preserves monotonicity but tracks the *worst*
+//            (fastest) clock.
+//   median - Lamport/Melliar-Smith 82 style fault-tolerant midpoint of the
+//            reply offsets.
+//   mean   - average of the reply offsets.
+//
+// These functions assume accurate clocks and keep no principled error bound.
+// To let them run inside the same service harness (which requires an error
+// to report per rule MM-1), each baseline re-inherits a *nominal* error from
+// the replies it used: the error of the source reply plus the round-trip
+// cost for max, and the maximum such value over the replies used for
+// median/mean.  The EXP-BASELINE bench shows precisely that this bookkeeping
+// does not make them correct the way MM/IM provably are.
+#pragma once
+
+#include "core/sync_function.h"
+
+namespace mtds::core {
+
+// Lamport 78 maximum: adopt the largest clock value heard (adjusted for the
+// round trip) if it is ahead of the local clock; never step backward.
+class MaxSync final : public SyncFunction {
+ public:
+  SyncMode mode() const noexcept override { return SyncMode::kPerRound; }
+  std::string_view name() const noexcept override { return "MAX"; }
+  SyncOutcome on_round(const LocalState& local,
+                       std::span<const TimeReading> replies) const override;
+};
+
+// Median of the observed offsets (own offset 0 participates).
+class MedianSync final : public SyncFunction {
+ public:
+  SyncMode mode() const noexcept override { return SyncMode::kPerRound; }
+  std::string_view name() const noexcept override { return "MEDIAN"; }
+  SyncOutcome on_round(const LocalState& local,
+                       std::span<const TimeReading> replies) const override;
+};
+
+// Mean of the observed offsets (own offset 0 participates).
+class MeanSync final : public SyncFunction {
+ public:
+  SyncMode mode() const noexcept override { return SyncMode::kPerRound; }
+  std::string_view name() const noexcept override { return "MEAN"; }
+  SyncOutcome on_round(const LocalState& local,
+                       std::span<const TimeReading> replies) const override;
+};
+
+}  // namespace mtds::core

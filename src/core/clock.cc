@@ -1,0 +1,121 @@
+#include "core/clock.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mtds::core {
+
+DriftingClock::DriftingClock(double drift, ClockTime initial, RealTime start)
+    : base_real_(start), base_clock_(initial), drift_(drift) {
+  if (drift <= -1.0) {
+    throw std::invalid_argument("DriftingClock: drift must be > -1 (clock must move forward)");
+  }
+}
+
+ClockTime DriftingClock::read(RealTime t) {
+  return base_clock_ + (t - base_real_) * (1.0 + drift_);
+}
+
+void DriftingClock::set(RealTime t, ClockTime value) {
+  base_real_ = t;
+  base_clock_ = value;
+}
+
+void DriftingClock::set_drift(RealTime t, double drift) {
+  if (drift <= -1.0) {
+    throw std::invalid_argument("DriftingClock: drift must be > -1");
+  }
+  // Rebase so the clock value is continuous across the rate change.
+  base_clock_ = read(t);
+  base_real_ = t;
+  drift_ = drift;
+}
+
+PiecewiseDriftClock::PiecewiseDriftClock(double initial_drift,
+                                         std::vector<RateChange> changes,
+                                         ClockTime initial, RealTime start)
+    : inner_(initial_drift, initial, start), changes_(std::move(changes)) {
+  for (std::size_t i = 1; i < changes_.size(); ++i) {
+    if (changes_[i].at < changes_[i - 1].at) {
+      throw std::invalid_argument("PiecewiseDriftClock: changes must be sorted");
+    }
+  }
+}
+
+void PiecewiseDriftClock::advance_to(RealTime t) {
+  while (next_change_ < changes_.size() && changes_[next_change_].at <= t) {
+    inner_.set_drift(changes_[next_change_].at, changes_[next_change_].drift);
+    ++next_change_;
+  }
+}
+
+ClockTime PiecewiseDriftClock::read(RealTime t) {
+  advance_to(t);
+  return inner_.read(t);
+}
+
+void PiecewiseDriftClock::set(RealTime t, ClockTime value) {
+  advance_to(t);
+  inner_.set(t, value);
+}
+
+double PiecewiseDriftClock::rate(RealTime t) {
+  advance_to(t);
+  return inner_.rate(t);
+}
+
+FaultyClock::FaultyClock(std::unique_ptr<Clock> inner, ClockFault fault)
+    : inner_(std::move(inner)), fault_(fault) {
+  assert(inner_ != nullptr);
+}
+
+ClockTime FaultyClock::read(RealTime t) {
+  switch (fault_.kind) {
+    case ClockFaultKind::kStopped:
+      if (t >= fault_.start) {
+        if (!frozen_) {
+          frozen_value_ = inner_->read(fault_.start);
+          frozen_ = true;
+        }
+        return frozen_value_;
+      }
+      return inner_->read(t);
+    case ClockFaultKind::kRacing:
+      if (t >= fault_.start && !applied_) {
+        // Install the racing rate exactly at fault start so the value stays
+        // continuous.  Only DriftingClock-backed inners support rate change;
+        // fall back to scaling reads otherwise.
+        if (auto* d = dynamic_cast<DriftingClock*>(inner_.get())) {
+          d->set_drift(fault_.start, (1.0 + d->drift()) * fault_.param - 1.0);
+          applied_ = true;
+        } else {
+          applied_ = true;  // treat as already racing from construction
+        }
+      }
+      return inner_->read(t);
+    case ClockFaultKind::kStickyReset:
+    case ClockFaultKind::kNone:
+      return inner_->read(t);
+  }
+  return inner_->read(t);
+}
+
+void FaultyClock::set(RealTime t, ClockTime value) {
+  if (fault_.kind == ClockFaultKind::kStickyReset && t >= fault_.start) {
+    return;  // "refusing to change its value when reset"
+  }
+  if (fault_.kind == ClockFaultKind::kStopped && t >= fault_.start) {
+    frozen_ = true;
+    frozen_value_ = value;  // accepts the set, then freezes again
+    return;
+  }
+  inner_->set(t, value);
+}
+
+double FaultyClock::rate(RealTime t) {
+  if (fault_.kind == ClockFaultKind::kStopped && t >= fault_.start) return 0.0;
+  return inner_->rate(t);
+}
+
+}  // namespace mtds::core

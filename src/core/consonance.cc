@@ -1,0 +1,92 @@
+#include "core/consonance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtds::core {
+
+RateEstimator::RateEstimator(std::size_t window)
+    : window_(std::max<std::size_t>(window, 2)) {}
+
+void RateEstimator::add(const RateObservation& obs) {
+  observations_.push_back(obs);
+  if (observations_.size() > window_) {
+    observations_.erase(observations_.begin());
+  }
+}
+
+std::optional<double> RateEstimator::relative_rate() const {
+  if (observations_.size() < 2) return std::nullopt;
+  // Least-squares slope of (remote - local) against local.
+  const std::size_t n = observations_.size();
+  double mx = 0.0, my = 0.0;
+  for (const auto& o : observations_) {
+    mx += o.local;
+    my += o.remote - o.local;
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (const auto& o : observations_) {
+    const double dx = o.local - mx;
+    const double dy = (o.remote - o.local) - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0) return std::nullopt;
+  return sxy / sxx;
+}
+
+std::optional<TimeInterval> RateEstimator::rate_interval() const {
+  auto rate = relative_rate();
+  if (!rate) return std::nullopt;
+  const auto& first = observations_.front();
+  const auto& last = observations_.back();
+  const double span = last.local - first.local;
+  if (span <= 0.0) return std::nullopt;
+  // Each endpoint's offset is known only to within its round trip, so the
+  // two-point slope - and hence the LS slope, which the endpoints dominate -
+  // is uncertain by at most (rtt_first + rtt_last) / span.
+  const double uncertainty = (first.rtt_own + last.rtt_own) / span;
+  return TimeInterval::from_center_error(*rate, uncertainty);
+}
+
+bool consonant(double separation_rate, double delta_i, double delta_j) noexcept {
+  return std::abs(separation_rate) <= delta_i + delta_j;
+}
+
+std::vector<std::size_t> dissonant_servers(
+    std::span<const TimeInterval> rate_intervals,
+    std::span<const double> claimed_deltas, double reference_delta) {
+  std::vector<std::size_t> out;
+  const std::size_t n = std::min(rate_intervals.size(), claimed_deltas.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bound = claimed_deltas[i] + reference_delta;
+    const auto claimed = TimeInterval::from_center_error(0.0, bound);
+    if (!rate_intervals[i].intersects(claimed)) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<TimeInterval> consonant_rate_intersection(
+    std::span<const TimeInterval> rate_intervals,
+    std::span<const double> claimed_deltas, double reference_delta) {
+  std::optional<TimeInterval> acc;
+  const std::size_t n = std::min(rate_intervals.size(), claimed_deltas.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bound = claimed_deltas[i] + reference_delta;
+    const auto claimed = TimeInterval::from_center_error(0.0, bound);
+    auto usable = rate_intervals[i].intersect(claimed);
+    if (!usable) continue;  // dissonant: excluded, as MM excludes inconsistent
+    if (!acc) {
+      acc = usable;
+    } else {
+      auto next = acc->intersect(*usable);
+      if (!next) return std::nullopt;  // consonant set itself disagrees
+      acc = next;
+    }
+  }
+  return acc;
+}
+
+}  // namespace mtds::core

@@ -1,0 +1,59 @@
+#include "core/im_sync.h"
+
+#include <algorithm>
+
+namespace mtds::core {
+
+SyncOutcome IntersectionSync::on_round(const LocalState& local,
+                                       std::span<const TimeReading> replies) const {
+  SyncOutcome out;
+  if (replies.empty()) return out;
+
+  // Self-reply: the local interval [-E_i, +E_i] in offset space.
+  double a = -local.error;
+  double b = local.error;
+  // Track, for diagnosis, who defined the surviving edges.
+  ServerId lo_owner = kInvalidServer;  // kInvalid = self
+  ServerId hi_owner = kInvalidServer;
+
+  for (const TimeReading& r : replies) {
+    // Age the reply from its receipt to now: the offset interval widens by
+    // delta_i per local second on each side.
+    const Duration age = std::max(0.0, local.clock - r.local_receive);
+    const Duration pad = local.delta * age;
+    const double t_j = (r.c - r.e - r.local_receive) - pad;
+    const double l_j = (r.c + r.e + (1.0 + local.delta) * r.rtt_own -
+                        r.local_receive) + pad;
+    if (t_j > a) {
+      a = t_j;
+      lo_owner = r.from;
+    }
+    if (l_j < b) {
+      b = l_j;
+      hi_owner = r.from;
+    }
+  }
+
+  if (b <= a) {
+    // Empty intersection: the service (as seen from here) is inconsistent.
+    // Report the edge owners - at least one of them must be wrong.
+    out.round_inconsistent = true;
+    if (lo_owner != kInvalidServer) out.inconsistent_with.push_back(lo_owner);
+    if (hi_owner != kInvalidServer && hi_owner != lo_owner) {
+      out.inconsistent_with.push_back(hi_owner);
+    }
+    return out;
+  }
+
+  ClockReset reset;
+  reset.clock = local.clock + 0.5 * (a + b);
+  reset.error = 0.5 * (b - a);
+  if (lo_owner != kInvalidServer) reset.sources.push_back(lo_owner);
+  if (hi_owner != kInvalidServer && hi_owner != lo_owner) {
+    reset.sources.push_back(hi_owner);
+  }
+  out.reset = reset;
+  return out;
+}
+
+}  // namespace mtds::core

@@ -1,0 +1,36 @@
+// Algorithm IM: intersection of maximum-error intervals (Section 4).
+//
+// Rule IM-2: each reply <C_j, E_j> received with own-clock round-trip
+// xi^i_j is transformed into an *offset* interval relative to the local
+// clock:
+//
+//     T_j = C_j - E_j - C_i                       (trailing edge)
+//     L_j = C_j + E_j + (1 + delta_i) xi^i_j - C_i (leading edge)
+//
+// The reply was generated somewhere inside the round trip, so only the
+// leading edge absorbs the delay term - the transformed interval is
+// asymmetric.  The round intersection [a..b] with a = max T_j, b = min L_j
+// (the local interval [-E_i, +E_i] participates as a zero-delay self-reply)
+// is the set of possible true-time offsets.  If b > a the server resets to
+// the midpoint:  C_i += (a+b)/2,  epsilon_i <- (b-a)/2.  If b <= a the
+// round is inconsistent and no reset happens.
+//
+// Replies arrive at different local times; before combining, each buffered
+// interval is aged by widening both edges by delta_i * (C_now - C_recv),
+// since the true-time offset can wander by at most delta_i per local second.
+#pragma once
+
+#include "core/sync_function.h"
+
+namespace mtds::core {
+
+class IntersectionSync final : public SyncFunction {
+ public:
+  SyncMode mode() const noexcept override { return SyncMode::kPerRound; }
+  std::string_view name() const noexcept override { return "IM"; }
+
+  SyncOutcome on_round(const LocalState& local,
+                       std::span<const TimeReading> replies) const override;
+};
+
+}  // namespace mtds::core

@@ -1,0 +1,66 @@
+#include "core/imft_sync.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/marzullo.h"
+
+namespace mtds::core {
+
+SyncOutcome FaultTolerantIntersectionSync::on_round(
+    const LocalState& local, std::span<const TimeReading> replies) const {
+  SyncOutcome out;
+  if (replies.empty()) return out;
+
+  // IM-2's transform into offset intervals relative to the local clock,
+  // aged to now; the local interval participates as entry 0.
+  std::vector<TimeInterval> intervals;
+  std::vector<ServerId> owners;
+  intervals.reserve(replies.size() + 1);
+  owners.reserve(replies.size() + 1);
+  intervals.push_back(TimeInterval::from_center_error(0.0, local.error));
+  owners.push_back(kInvalidServer);  // self
+  for (const TimeReading& r : replies) {
+    const Duration age = std::max(0.0, local.clock - r.local_receive);
+    const Duration pad = local.delta * age;
+    const double t_j = (r.c - r.e - r.local_receive) - pad;
+    const double l_j = (r.c + r.e + (1.0 + local.delta) * r.rtt_own -
+                        r.local_receive) + pad;
+    intervals.push_back(TimeInterval::from_edges(t_j, l_j));
+    owners.push_back(r.from);
+  }
+
+  const auto best = best_intersection(intervals);
+  const std::size_t n = intervals.size();
+  const std::size_t quorum =
+      max_faulty_ == kMajority ? n / 2 + 1
+                               : (n > max_faulty_ ? n - max_faulty_ : 1);
+
+  if (!best || best->coverage < quorum) {
+    // Not enough agreement to trust any region.
+    out.round_inconsistent = true;
+    for (std::size_t i = 1; i < n; ++i) out.inconsistent_with.push_back(owners[i]);
+    return out;
+  }
+
+  // Excluded servers (their interval does not contain the chosen region)
+  // are reported for recovery/diagnosis even though the round succeeds.
+  std::vector<bool> member(n, false);
+  for (std::size_t idx : best->members) member[idx] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!member[i] && owners[i] != kInvalidServer) {
+      out.inconsistent_with.push_back(owners[i]);
+    }
+  }
+
+  ClockReset reset;
+  reset.clock = local.clock + best->interval.midpoint();
+  reset.error = best->interval.radius();
+  for (std::size_t idx : best->members) {
+    if (owners[idx] != kInvalidServer) reset.sources.push_back(owners[idx]);
+  }
+  out.reset = reset;
+  return out;
+}
+
+}  // namespace mtds::core

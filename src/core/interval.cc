@@ -1,0 +1,64 @@
+#include "core/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mtds::core {
+
+TimeInterval TimeInterval::from_edges(double lo, double hi) {
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("TimeInterval: lo must be <= hi");
+  }
+  return TimeInterval(lo, hi);
+}
+
+TimeInterval TimeInterval::from_center_error(ClockTime c, Duration e) {
+  if (!(e >= 0)) {
+    throw std::invalid_argument("TimeInterval: error must be >= 0");
+  }
+  return TimeInterval(c - e, c + e);
+}
+
+TimeInterval TimeInterval::from_center_errors(ClockTime c, Duration e_lo,
+                                              Duration e_hi) {
+  if (!(e_lo >= 0) || !(e_hi >= 0)) {
+    throw std::invalid_argument("TimeInterval: errors must be >= 0");
+  }
+  return TimeInterval(c - e_lo, c + e_hi);
+}
+
+std::optional<TimeInterval> TimeInterval::intersect(
+    const TimeInterval& other) const noexcept {
+  const double lo = std::max(lo_, other.lo_);
+  const double hi = std::min(hi_, other.hi_);
+  if (lo > hi) return std::nullopt;
+  return TimeInterval(lo, hi);
+}
+
+TimeInterval TimeInterval::hull(const TimeInterval& other) const noexcept {
+  return TimeInterval(std::min(lo_, other.lo_), std::max(hi_, other.hi_));
+}
+
+TimeInterval TimeInterval::shifted(double d) const noexcept {
+  return TimeInterval(lo_ + d, hi_ + d);
+}
+
+TimeInterval TimeInterval::inflated(Duration pad) const noexcept {
+  const double p = std::max(pad, 0.0);
+  return TimeInterval(lo_ - p, hi_ + p);
+}
+
+std::string TimeInterval::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.9g, %.9g] (c=%.9g, e=%.9g)", lo_, hi_,
+                midpoint(), radius());
+  return buf;
+}
+
+bool consistent(ClockTime ci, Duration ei, ClockTime cj, Duration ej) noexcept {
+  return std::abs(ci - cj) <= ei + ej;
+}
+
+}  // namespace mtds::core

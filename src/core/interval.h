@@ -1,0 +1,76 @@
+// TimeInterval: the paper's central abstraction.
+//
+// A time server does not really export a point in time; it exports an
+// interval [C - E, C + E] that is guaranteed - if the server's drift bound
+// is valid - to contain true time (Section 2.2).  Consistency of two servers
+// (Section 2.3) is non-empty intersection:  |C_i - C_j| <= E_i + E_j.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/time_types.h"
+
+namespace mtds::core {
+
+class TimeInterval {
+ public:
+  // Default: the degenerate empty-ish interval at 0 with zero error.
+  constexpr TimeInterval() = default;
+
+  // From edges.  Requires lo <= hi (checked, throws std::invalid_argument).
+  static TimeInterval from_edges(double lo, double hi);
+
+  // From a clock reading C and maximum error E >= 0 (rule MM-1's reply
+  // format <C_i(t), E_i(t)>).
+  static TimeInterval from_center_error(ClockTime c, Duration e);
+
+  // Asymmetric interval [c - e_lo, c + e_hi]; IM-2's transformed replies are
+  // asymmetric because only the leading edge absorbs the round-trip delay.
+  static TimeInterval from_center_errors(ClockTime c, Duration e_lo, Duration e_hi);
+
+  double lo() const noexcept { return lo_; }          // trailing edge C - E
+  double hi() const noexcept { return hi_; }          // leading edge  C + E
+  double midpoint() const noexcept { return 0.5 * (lo_ + hi_); }
+  Duration length() const noexcept { return hi_ - lo_; }
+  Duration radius() const noexcept { return 0.5 * (hi_ - lo_); }  // the "error"
+
+  bool contains(double t) const noexcept { return lo_ <= t && t <= hi_; }
+  bool contains(const TimeInterval& other) const noexcept {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  // Non-empty overlap, i.e. the two servers are *consistent* (Section 2.3).
+  // Touching at a point counts as consistent: |C_i - C_j| = E_i + E_j still
+  // admits a common true time.
+  bool intersects(const TimeInterval& other) const noexcept {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  // Intersection per equation 12; nullopt when disjoint.
+  std::optional<TimeInterval> intersect(const TimeInterval& other) const noexcept;
+
+  // Smallest interval containing both (used by consistency-group reporting).
+  TimeInterval hull(const TimeInterval& other) const noexcept;
+
+  // Both edges shifted by d (a clock being read later / offset conversion).
+  TimeInterval shifted(double d) const noexcept;
+
+  // Both edges pushed outward by pad >= 0 (drift aging an interval).
+  TimeInterval inflated(Duration pad) const noexcept;
+
+  bool operator==(const TimeInterval& other) const noexcept = default;
+
+  std::string str() const;  // "[lo, hi] (c=.., e=..)"
+
+ private:
+  constexpr TimeInterval(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+// Consistency predicate straight from Section 2.3:
+//   |C_i - C_j| <= E_i + E_j
+bool consistent(ClockTime ci, Duration ei, ClockTime cj, Duration ej) noexcept;
+
+}  // namespace mtds::core

@@ -1,0 +1,160 @@
+#include "core/marzullo.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mtds::core {
+namespace {
+
+struct Edge {
+  double value;
+  int delta;  // +1 interval starts, -1 interval ends
+};
+
+// Starts sort before ends at equal values so intervals touching at a point
+// count as overlapping there (consistency admits |C_i - C_j| = E_i + E_j).
+std::vector<Edge> sorted_edges(std::span<const TimeInterval> intervals) {
+  std::vector<Edge> edges;
+  edges.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    edges.push_back({iv.lo(), +1});
+    edges.push_back({iv.hi(), -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.delta > b.delta;
+  });
+  return edges;
+}
+
+std::vector<std::size_t> members_containing(
+    std::span<const TimeInterval> intervals, const TimeInterval& region) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].lo() <= region.lo() && region.hi() <= intervals[i].hi()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<BestIntersection> best_intersection(
+    std::span<const TimeInterval> intervals) {
+  if (intervals.empty()) return std::nullopt;
+  const auto edges = sorted_edges(intervals);
+
+  std::size_t best = 0;
+  double best_lo = 0.0, best_hi = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].delta > 0) {
+      ++count;
+      if (count > best) {
+        best = count;
+        best_lo = edges[i].value;
+        // The region of this coverage extends to the next edge value.
+        best_hi = (i + 1 < edges.size()) ? edges[i + 1].value : edges[i].value;
+      }
+    } else {
+      --count;
+    }
+  }
+
+  BestIntersection result;
+  result.interval = TimeInterval::from_edges(best_lo, best_hi);
+  result.coverage = best;
+  result.members = members_containing(intervals, result.interval);
+  return result;
+}
+
+std::optional<TimeInterval> intersect_all(std::span<const TimeInterval> intervals) {
+  if (intervals.empty()) return std::nullopt;
+  TimeInterval acc = intervals.front();
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    auto next = acc.intersect(intervals[i]);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+std::optional<BestIntersection> intersect_tolerating(
+    std::span<const TimeInterval> intervals, std::size_t max_faulty) {
+  auto best = best_intersection(intervals);
+  if (!best) return std::nullopt;
+  const std::size_t required =
+      intervals.size() > max_faulty ? intervals.size() - max_faulty : 1;
+  if (best->coverage < required) return std::nullopt;
+  return best;
+}
+
+std::optional<BestIntersection> intersect_adaptive(
+    std::span<const TimeInterval> intervals) {
+  // best_intersection already yields the maximum achievable coverage, so the
+  // smallest tolerable f is n - coverage.
+  return best_intersection(intervals);
+}
+
+std::vector<ConsistencyGroup> consistency_groups(
+    std::span<const TimeInterval> intervals) {
+  std::vector<ConsistencyGroup> groups;
+  if (intervals.empty()) return groups;
+
+  // Candidate regions: every point at an edge value and every open region
+  // between consecutive edge values.  For each, the active member set is a
+  // candidate group; maximal distinct sets survive.
+  std::vector<double> values;
+  values.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    values.push_back(iv.lo());
+    values.push_back(iv.hi());
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<ConsistencyGroup> candidates;
+  auto consider = [&](double point) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      if (intervals[i].contains(point)) members.push_back(i);
+    }
+    if (members.empty() || !seen.insert(members).second) return;
+    // Common region of the member set.
+    TimeInterval common = intervals[members.front()];
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      common = *common.intersect(intervals[members[k]]);
+    }
+    candidates.push_back({std::move(members), common});
+  };
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    consider(values[i]);
+    if (i + 1 < values.size()) consider(0.5 * (values[i] + values[i + 1]));
+  }
+
+  // Drop member sets that are subsets of another candidate's member set.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool maximal = true;
+    for (std::size_t j = 0; j < candidates.size() && maximal; ++j) {
+      if (i == j) continue;
+      const auto& a = candidates[i].members;
+      const auto& b = candidates[j].members;
+      if (a.size() < b.size() &&
+          std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        maximal = false;
+      }
+    }
+    if (maximal) groups.push_back(candidates[i]);
+  }
+
+  std::sort(groups.begin(), groups.end(),
+            [](const ConsistencyGroup& a, const ConsistencyGroup& b) {
+              return a.intersection.lo() < b.intersection.lo();
+            });
+  return groups;
+}
+
+}  // namespace mtds::core

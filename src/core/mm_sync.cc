@@ -1,0 +1,29 @@
+#include "core/mm_sync.h"
+
+#include "core/interval.h"
+
+namespace mtds::core {
+
+SyncOutcome MinMaxErrorSync::on_reply(const LocalState& local,
+                                      const TimeReading& reply) const {
+  SyncOutcome out;
+
+  // "Any reply that is inconsistent with S_i is ignored."  The reply's
+  // interval and the local interval must admit a common true time.
+  if (!consistent(local.clock, local.error, reply.c, reply.e)) {
+    out.inconsistent_with.push_back(reply.from);
+    return out;
+  }
+
+  const Duration candidate = reply.e + (1.0 + local.delta) * reply.rtt_own;
+  if (candidate <= local.error) {
+    ClockReset reset;
+    reset.clock = reply.c;
+    reset.error = candidate;
+    reset.sources.push_back(reply.from);
+    out.reset = reset;
+  }
+  return out;
+}
+
+}  // namespace mtds::core

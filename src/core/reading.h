@@ -1,0 +1,26 @@
+// A reply to a time request, as seen by the requesting server.
+#pragma once
+
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace mtds::core {
+
+// Everything S_i knows about a reply from S_j:
+//   c, e           - the pair <C_j, E_j> from rule MM-1 / IM-1.
+//   rtt_own        - xi^i_j: time between sending the request and receiving
+//                    the reply, measured on S_i's own clock.
+//   local_receive  - C_i at the moment the reply arrived (used to age
+//                    buffered replies to the end of an IM round).
+struct TimeReading {
+  ServerId from = kInvalidServer;
+  ClockTime c = 0.0;
+  Duration e = 0.0;
+  Duration rtt_own = 0.0;
+  ClockTime local_receive = 0.0;
+};
+
+using Readings = std::vector<TimeReading>;
+
+}  // namespace mtds::core

@@ -1,0 +1,49 @@
+#include "core/sync_function.h"
+
+#include <stdexcept>
+
+#include "core/baselines.h"
+#include "core/im_sync.h"
+#include "core/imft_sync.h"
+#include "core/mm_sync.h"
+
+namespace mtds::core {
+
+SyncOutcome SyncFunction::on_reply(const LocalState&, const TimeReading&) const {
+  return {};
+}
+
+SyncOutcome SyncFunction::on_round(const LocalState&,
+                                   std::span<const TimeReading>) const {
+  return {};
+}
+
+std::string_view to_string(SyncAlgorithm algo) noexcept {
+  switch (algo) {
+    case SyncAlgorithm::kNone: return "NONE";
+    case SyncAlgorithm::kMM: return "MM";
+    case SyncAlgorithm::kIM: return "IM";
+    case SyncAlgorithm::kIMFT: return "IMFT";
+    case SyncAlgorithm::kMax: return "MAX";
+    case SyncAlgorithm::kMedian: return "MEDIAN";
+    case SyncAlgorithm::kMean: return "MEAN";
+  }
+  return "?";
+}
+
+std::unique_ptr<SyncFunction> make_sync_function(SyncAlgorithm algo) {
+  switch (algo) {
+    case SyncAlgorithm::kMM: return std::make_unique<MinMaxErrorSync>();
+    case SyncAlgorithm::kIM: return std::make_unique<IntersectionSync>();
+    case SyncAlgorithm::kIMFT:
+      return std::make_unique<FaultTolerantIntersectionSync>();
+    case SyncAlgorithm::kMax: return std::make_unique<MaxSync>();
+    case SyncAlgorithm::kMedian: return std::make_unique<MedianSync>();
+    case SyncAlgorithm::kMean: return std::make_unique<MeanSync>();
+    case SyncAlgorithm::kNone:
+      throw std::invalid_argument("kNone has no synchronization function");
+  }
+  throw std::invalid_argument("unknown SyncAlgorithm");
+}
+
+}  // namespace mtds::core

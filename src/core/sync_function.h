@@ -1,0 +1,91 @@
+// Synchronization functions (Section 1.2).
+//
+// The paper frames clock synchronization as each server periodically
+// computing  C_i <- F(C_i1, ..., C_ik)  over collected replies; the choice
+// of F is the algorithm.  Two modes exist:
+//
+//   kPerReply - the function is evaluated against each reply as it arrives
+//               and may reset the clock immediately (algorithm MM processes
+//               replies in arrival order; Theorem 2's proof depends on it).
+//   kPerRound - replies are buffered and the function is evaluated once per
+//               poll round over the whole set (algorithm IM and the
+//               baselines combine all replies).
+//
+// A SyncFunction is a stateless policy object; the server owns all mutable
+// state and passes a snapshot of it in Local.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/reading.h"
+#include "core/time_types.h"
+
+namespace mtds::core {
+
+enum class SyncMode { kPerReply, kPerRound };
+
+// The deciding server's state at evaluation time.
+struct LocalState {
+  ClockTime clock = 0.0;   // C_i now
+  Duration error = 0.0;    // E_i now
+  double delta = 0.0;      // claimed drift bound delta_i
+};
+
+// A decision to reset the local clock.
+struct ClockReset {
+  ClockTime clock = 0.0;            // new C_i
+  Duration error = 0.0;             // new inherited error epsilon_i
+  std::vector<ServerId> sources;    // replies that drove the decision
+};
+
+// Result of evaluating a sync function.
+struct SyncOutcome {
+  std::optional<ClockReset> reset;
+  // Servers whose replies were inconsistent with the local interval (MM) or
+  // whose participation made the round intersection empty (IM).  The caller's
+  // recovery policy decides what to do about them.
+  std::vector<ServerId> inconsistent_with;
+  bool round_inconsistent = false;  // IM: the whole intersection was empty
+};
+
+class SyncFunction {
+ public:
+  virtual ~SyncFunction() = default;
+
+  virtual SyncMode mode() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+
+  // kPerReply functions implement this; called at reply receipt with the
+  // server's live state.  Default: no action.
+  virtual SyncOutcome on_reply(const LocalState& local,
+                               const TimeReading& reply) const;
+
+  // kPerRound functions implement this; called at round end.  Replies carry
+  // local_receive so implementations can age them to `local.clock`.
+  // Default: no action.
+  virtual SyncOutcome on_round(const LocalState& local,
+                               std::span<const TimeReading> replies) const;
+};
+
+// Named algorithm selector used by service configs and benches.
+enum class SyncAlgorithm {
+  kNone,    // free-running clock (control)
+  kMM,      // minimization of maximum error (Section 3)
+  kIM,      // intersection (Section 4)
+  kIMFT,    // fault-tolerant intersection (Marzullo's algorithm, [Marzullo 83])
+  kMax,     // Lamport 78 maximum-value baseline
+  kMedian,  // Lamport 82 median baseline
+  kMean     // mean-of-clocks baseline
+};
+
+std::string_view to_string(SyncAlgorithm algo) noexcept;
+
+// Factory.  Throws std::invalid_argument for kNone (a free-running server
+// simply has no sync function).
+std::unique_ptr<SyncFunction> make_sync_function(SyncAlgorithm algo);
+
+}  // namespace mtds::core

@@ -1,0 +1,31 @@
+// Time vocabulary used across the library.
+//
+// The paper works in continuous real-valued time, so we follow it: all times
+// and durations are double seconds.  Three aliases keep signatures honest
+// about which timeline a value lives on:
+//
+//   RealTime  - "perfect clock" time t (the simulator's ground truth; a real
+//               deployment never observes it directly).
+//   ClockTime - the value C_i(t) of some server's clock.
+//   Duration  - a length of time on either axis (errors E, delays xi, drift
+//               accumulations, poll periods tau).
+//
+// Nothing in the core depends on an epoch; 0.0 is just "when the scenario
+// started".
+#pragma once
+
+#include <cstdint>
+
+namespace mtds::core {
+
+using RealTime = double;
+using ClockTime = double;
+using Duration = double;
+
+// Identifies a time server within a service.  Dense small integers so that
+// vectors can be indexed directly.
+using ServerId = std::uint32_t;
+
+inline constexpr ServerId kInvalidServer = ~ServerId{0};
+
+}  // namespace mtds::core

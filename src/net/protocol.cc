@@ -1,0 +1,124 @@
+#include "net/protocol.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mtds::net {
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::uint8_t* p, std::int64_t v) {
+  put_u64(p, static_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (std::uint64_t{get_u32(p)} << 32) | get_u32(p + 4);
+}
+
+std::int64_t get_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+// Header layout shared by both packet types.
+void put_header(std::uint8_t* p, PacketType type, std::uint64_t tag,
+                std::int64_t client_send_ns) {
+  put_u32(p, kMagic);
+  p[4] = kVersion;
+  p[5] = static_cast<std::uint8_t>(type);
+  put_u16(p + 6, 0);  // reserved
+  put_u64(p + 8, tag);
+  put_i64(p + 16, client_send_ns);
+}
+
+bool check_header(const std::uint8_t* p, std::size_t size,
+                  std::size_t expected_size, PacketType expected_type) {
+  if (size != expected_size) return false;
+  if (get_u32(p) != kMagic) return false;
+  if (p[4] != kVersion) return false;
+  if (p[5] != static_cast<std::uint8_t>(expected_type)) return false;
+  return true;
+}
+
+}  // namespace
+
+RequestBuffer encode(const TimeRequestPacket& packet) {
+  RequestBuffer buf{};
+  put_header(buf.data(), PacketType::kRequest, packet.tag,
+             packet.client_send_ns);
+  return buf;
+}
+
+ResponseBuffer encode(const TimeResponsePacket& packet) {
+  ResponseBuffer buf{};
+  put_header(buf.data(), PacketType::kResponse, packet.tag,
+             packet.client_send_ns);
+  put_u32(buf.data() + 24, packet.server_id);
+  put_u32(buf.data() + 28, 0);  // reserved
+  put_i64(buf.data() + 32, packet.clock_ns);
+  put_i64(buf.data() + 40, packet.error_ns);
+  return buf;
+}
+
+std::optional<TimeRequestPacket> decode_request(const std::uint8_t* data,
+                                                std::size_t size) {
+  if (!check_header(data, size, kRequestSize, PacketType::kRequest)) {
+    return std::nullopt;
+  }
+  TimeRequestPacket packet;
+  packet.tag = get_u64(data + 8);
+  packet.client_send_ns = get_i64(data + 16);
+  return packet;
+}
+
+std::optional<TimeResponsePacket> decode_response(const std::uint8_t* data,
+                                                  std::size_t size) {
+  if (!check_header(data, size, kResponseSize, PacketType::kResponse)) {
+    return std::nullopt;
+  }
+  TimeResponsePacket packet;
+  packet.tag = get_u64(data + 8);
+  packet.client_send_ns = get_i64(data + 16);
+  packet.server_id = get_u32(data + 24);
+  packet.clock_ns = get_i64(data + 32);
+  packet.error_ns = get_i64(data + 40);
+  return packet;
+}
+
+std::int64_t seconds_to_ns(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  if (ns >= static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (ns <= static_cast<double>(std::numeric_limits<std::int64_t>::min())) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(std::llround(ns));
+}
+
+double ns_to_seconds(std::int64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace mtds::net

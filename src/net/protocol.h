@@ -1,0 +1,51 @@
+// Wire protocol for the UDP time service.
+//
+// Fixed-size packets, network byte order, explicit versioning.  Times are
+// int64 nanoseconds so the wire format is exact; the in-memory model stays
+// in double seconds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace mtds::net {
+
+inline constexpr std::uint32_t kMagic = 0x4D544453;  // "MTDS"
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class PacketType : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+struct TimeRequestPacket {
+  std::uint64_t tag = 0;            // echoed by the server
+  std::int64_t client_send_ns = 0;  // opaque to the server, echoed back
+};
+
+struct TimeResponsePacket {
+  std::uint64_t tag = 0;
+  std::int64_t client_send_ns = 0;
+  std::uint32_t server_id = 0;
+  std::int64_t clock_ns = 0;  // C_j at response time
+  std::int64_t error_ns = 0;  // E_j at response time
+};
+
+inline constexpr std::size_t kRequestSize = 4 + 1 + 1 + 2 + 8 + 8;       // 24
+inline constexpr std::size_t kResponseSize = kRequestSize + 4 + 8 + 8 + 4; // 48
+
+using RequestBuffer = std::array<std::uint8_t, kRequestSize>;
+using ResponseBuffer = std::array<std::uint8_t, kResponseSize>;
+
+RequestBuffer encode(const TimeRequestPacket& packet);
+ResponseBuffer encode(const TimeResponsePacket& packet);
+
+// Decoding validates magic, version, type and size; nullopt on any mismatch.
+std::optional<TimeRequestPacket> decode_request(const std::uint8_t* data,
+                                                std::size_t size);
+std::optional<TimeResponsePacket> decode_response(const std::uint8_t* data,
+                                                  std::size_t size);
+
+// Seconds <-> nanoseconds helpers (saturating on overflow).
+std::int64_t seconds_to_ns(double seconds) noexcept;
+double ns_to_seconds(std::int64_t ns) noexcept;
+
+}  // namespace mtds::net

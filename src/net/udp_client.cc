@@ -1,0 +1,69 @@
+#include "net/udp_client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/protocol.h"
+#include "net/udp_server.h"
+
+namespace mtds::net {
+
+UdpTimeClient::UdpTimeClient() : socket_(0) {}
+
+core::Readings UdpTimeClient::collect(const std::vector<std::uint16_t>& ports,
+                                      double timeout_seconds,
+                                      std::size_t max_replies) {
+  std::map<std::uint64_t, double> sent_at;
+  for (std::uint16_t port : ports) {
+    TimeRequestPacket req;
+    req.tag = next_tag_++;
+    req.client_send_ns = seconds_to_ns(host_seconds());
+    sent_at[req.tag] = host_seconds();
+    const auto buf = encode(req);
+    socket_.send_to(port, buf);
+  }
+
+  core::Readings readings;
+  std::size_t expected = sent_at.size();
+  if (max_replies > 0) expected = std::min(expected, max_replies);
+  const double deadline = host_seconds() + timeout_seconds;
+  while (host_seconds() < deadline && readings.size() < expected) {
+    const double remain = deadline - host_seconds();
+    auto dgram = socket_.receive(std::max(1, static_cast<int>(remain * 1e3)));
+    if (!dgram) continue;
+    const auto resp =
+        decode_response(dgram->payload.data(), dgram->payload.size());
+    if (!resp) continue;
+    const auto it = sent_at.find(resp->tag);
+    if (it == sent_at.end()) continue;
+
+    core::TimeReading reading;
+    reading.from = resp->server_id;
+    reading.c = ns_to_seconds(resp->clock_ns);
+    reading.e = ns_to_seconds(resp->error_ns);
+    reading.local_receive = host_seconds();
+    reading.rtt_own = std::max(0.0, reading.local_receive - it->second);
+    sent_at.erase(it);
+    readings.push_back(reading);
+  }
+  return readings;
+}
+
+service::ClientResult UdpTimeClient::query(
+    const std::vector<std::uint16_t>& ports, service::ClientStrategy strategy,
+    double timeout_seconds) {
+  // The paper's default client "uses the first reply"; other strategies
+  // wait for everyone.
+  const std::size_t cap =
+      strategy == service::ClientStrategy::kFirstReply ? 1 : 0;
+  core::Readings readings = collect(ports, timeout_seconds, cap);
+  // Age replies to a common instant, exactly as the simulated client does.
+  const double now = host_seconds();
+  for (auto& r : readings) {
+    r.c += now - r.local_receive;
+    r.local_receive = now;
+  }
+  return service::combine_replies(readings, strategy);
+}
+
+}  // namespace mtds::net

@@ -1,0 +1,38 @@
+// UDP time-service client.
+//
+// Queries a set of loopback servers and combines replies with the same
+// strategies as the simulated client (first reply / smallest error /
+// intersection).  The client's own timeline is host_seconds().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reading.h"
+#include "net/udp_socket.h"
+#include "service/client.h"
+
+namespace mtds::net {
+
+class UdpTimeClient {
+ public:
+  UdpTimeClient();
+
+  // Sends one request to every port and collects replies until timeout,
+  // all have answered, or `max_replies` arrived (0 = no cap).  Readings are
+  // expressed on the client's timeline.
+  core::Readings collect(const std::vector<std::uint16_t>& ports,
+                         double timeout_seconds, std::size_t max_replies = 0);
+
+  // collect() + the shared combination logic.  The estimate approximates
+  // *host* time because the client's request/receive times are host time.
+  service::ClientResult query(const std::vector<std::uint16_t>& ports,
+                              service::ClientStrategy strategy,
+                              double timeout_seconds);
+
+ private:
+  UdpSocket socket_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace mtds::net

@@ -1,0 +1,92 @@
+// A real time server over UDP loopback.
+//
+// Runs the same MM-1 responder and MM-2/IM-2 synchronization loop as the
+// simulated TimeServer, but over real sockets and real elapsed time.  The
+// local clock is *virtualized*: a core::DriftingClock layered over
+// CLOCK_MONOTONIC, so drift and offset can be injected for demonstrations
+// while the host's monotonic clock serves as the experiment's ground truth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/error_tracker.h"
+#include "core/sync_function.h"
+#include "net/udp_socket.h"
+
+namespace mtds::net {
+
+// Monotonic host time in seconds since process-local epoch.
+double host_seconds() noexcept;
+
+struct UdpServerConfig {
+  std::uint32_t id = 0;
+  double claimed_delta = 1e-4;   // delta_i the server reports with
+  double simulated_drift = 0.0;  // injected actual drift of the virtual clock
+  double initial_error = 1e-3;   // epsilon at start (seconds)
+  double initial_offset = 0.0;   // virtual clock offset at start (seconds)
+
+  core::SyncAlgorithm algo = core::SyncAlgorithm::kMM;
+  double poll_period = 0.05;     // seconds between sync rounds; 0 = respond only
+  double reply_timeout = 0.02;   // seconds to wait for replies in a round
+  std::uint16_t port = 0;        // 0 = ephemeral
+
+  // Third-server recovery (Section 3): ports of servers on "another
+  // network" to reset from unconditionally when the sync round finds this
+  // server inconsistent with its peers.  Empty = ignore inconsistency.
+  std::vector<std::uint16_t> recovery_ports;
+};
+
+class UdpTimeServer {
+ public:
+  explicit UdpTimeServer(UdpServerConfig config);
+  ~UdpTimeServer();
+
+  UdpTimeServer(const UdpTimeServer&) = delete;
+  UdpTimeServer& operator=(const UdpTimeServer&) = delete;
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+  std::uint32_t id() const noexcept { return config_.id; }
+
+  // Peers (by loopback port) polled by the sync loop.  Set before start().
+  void set_peers(std::vector<std::uint16_t> peers);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  // Introspection (thread-safe).
+  double read_clock() const;      // C_i now (virtual seconds)
+  double current_error() const;   // E_i now
+  double true_offset() const;     // C_i - host time (ground truth)
+  std::uint64_t resets() const noexcept { return resets_.load(); }
+  std::uint64_t recoveries() const noexcept { return recoveries_.load(); }
+  std::uint64_t requests_served() const noexcept { return served_.load(); }
+
+ private:
+  void responder_loop();
+  void sync_loop();
+  void run_recovery(UdpSocket& sock, std::uint64_t tag);
+
+  UdpServerConfig config_;
+  UdpSocket socket_;       // responder socket (the server's public address)
+  mutable std::mutex mutex_;  // guards clock_ + tracker_
+  core::DriftingClock clock_;
+  core::ErrorTracker tracker_;
+  std::unique_ptr<core::SyncFunction> sync_;
+  std::vector<std::uint16_t> peers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<bool> recovery_tick_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread responder_;
+  std::thread syncer_;
+};
+
+}  // namespace mtds::net

@@ -1,0 +1,100 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mtds::net {
+
+sockaddr_in UdpSocket::loopback(std::uint16_t port) noexcept {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("bind: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("getsockname: ") + std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void UdpSocket::close() noexcept {
+  if (fd_ >= 0) {
+    // shutdown() wakes threads blocked in poll/recv on some kernels; the
+    // receive loop also uses bounded poll timeouts as a fallback.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpSocket::send_to(std::uint16_t port, std::span<const std::uint8_t> data) {
+  return send_to(loopback(port), data);
+}
+
+bool UdpSocket::send_to(const sockaddr_in& addr,
+                        std::span<const std::uint8_t> data) {
+  if (fd_ < 0) return false;
+  const ssize_t n =
+      ::sendto(fd_, data.data(), data.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  return n == static_cast<ssize_t>(data.size());
+}
+
+std::optional<Datagram> UdpSocket::receive(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
+
+  Datagram dgram;
+  dgram.payload.resize(2048);
+  socklen_t len = sizeof(dgram.from);
+  const ssize_t n =
+      ::recvfrom(fd_, dgram.payload.data(), dgram.payload.size(), 0,
+                 reinterpret_cast<sockaddr*>(&dgram.from), &len);
+  if (n < 0) return std::nullopt;
+  dgram.payload.resize(static_cast<std::size_t>(n));
+  return dgram;
+}
+
+}  // namespace mtds::net

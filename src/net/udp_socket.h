@@ -1,0 +1,52 @@
+// RAII UDP socket bound to the loopback interface.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mtds::net {
+
+struct Datagram {
+  std::vector<std::uint8_t> payload;
+  sockaddr_in from{};
+};
+
+class UdpSocket {
+ public:
+  // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.  Throws
+  // std::runtime_error on failure.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_; }
+
+  // Sends to 127.0.0.1:port.  Returns false on send failure.
+  bool send_to(std::uint16_t port, std::span<const std::uint8_t> data);
+  bool send_to(const sockaddr_in& addr, std::span<const std::uint8_t> data);
+
+  // Blocks up to timeout_ms (0 = poll without blocking, negative = block
+  // indefinitely); nullopt on timeout.
+  std::optional<Datagram> receive(int timeout_ms);
+
+  // Unblocks pending receive() calls from another thread.
+  void close() noexcept;
+  bool closed() const noexcept { return fd_ < 0; }
+
+  static sockaddr_in loopback(std::uint16_t port) noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mtds::net

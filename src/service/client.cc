@@ -1,0 +1,150 @@
+#include "service/client.h"
+
+#include <algorithm>
+
+#include "core/marzullo.h"
+
+namespace mtds::service {
+
+using core::Readings;
+using core::TimeInterval;
+using core::TimeReading;
+
+TimeClient::TimeClient(core::ServerId id, sim::EventQueue& queue,
+                       sim::Network<ServiceMessage>& network)
+    : id_(id), queue_(&queue), network_(&network) {
+  network_->register_node(id_, [this](core::RealTime t, const ServiceMessage& m) {
+    handle(t, m);
+  });
+}
+
+TimeClient::~TimeClient() { network_->unregister_node(id_); }
+
+void TimeClient::query(const std::vector<core::ServerId>& servers,
+                       ClientStrategy strategy, core::Duration wait,
+                       Callback cb) {
+  callback_ = std::move(cb);
+  strategy_ = strategy;
+  pending_.clear();
+  replies_.clear();
+
+  for (core::ServerId s : servers) {
+    ServiceMessage req;
+    req.type = ServiceMessage::Type::kTimeRequest;
+    req.from = id_;
+    req.to = s;
+    req.tag = next_tag_++;
+    pending_[req.tag] = queue_->now();
+    network_->send(id_, s, req);
+  }
+  deadline_event_ = queue_->after(wait, [this] { finish(); });
+}
+
+ClientResult TimeClient::query_blocking(
+    const std::vector<core::ServerId>& servers, ClientStrategy strategy,
+    core::Duration wait) {
+  ClientResult result;
+  bool done = false;
+  query(servers, strategy, wait, [&](const ClientResult& r) {
+    result = r;
+    done = true;
+  });
+  while (!done && queue_->step()) {
+  }
+  return result;
+}
+
+void TimeClient::handle(core::RealTime t, const ServiceMessage& msg) {
+  if (!callback_ || msg.type != ServiceMessage::Type::kTimeResponse) return;
+  const auto it = pending_.find(msg.tag);
+  if (it == pending_.end()) return;
+
+  TimeReading reading;
+  reading.from = msg.from;
+  reading.c = msg.c;
+  reading.e = msg.e;
+  reading.rtt_own = t - it->second;  // the client clock is real time here
+  reading.local_receive = t;
+  pending_.erase(it);
+  replies_.push_back(reading);
+
+  if (strategy_ == ClientStrategy::kFirstReply) {
+    queue_->cancel(deadline_event_);
+    finish();
+  }
+}
+
+void TimeClient::finish() {
+  if (!callback_) return;
+  // Age every reply to "now": a reply received d seconds ago tells us the
+  // current time is its value plus d.
+  const core::RealTime now = queue_->now();
+  for (auto& r : replies_) {
+    r.c += now - r.local_receive;
+    r.local_receive = now;
+  }
+  const ClientResult result = combine_replies(replies_, strategy_);
+  auto cb = std::move(callback_);
+  callback_ = nullptr;
+  cb(result);
+}
+
+ClientResult combine_replies(const Readings& replies, ClientStrategy strategy) {
+  ClientResult result;
+  result.replies = replies.size();
+  if (replies.empty()) {
+    result.consistent = false;
+    return result;
+  }
+
+  // The true time at reply generation lay in [c - e, c + e]; the reply was
+  // generated within the round trip, so as of receipt the true time lies in
+  // [c - e, c + e + rtt].
+  auto to_interval = [](const TimeReading& r) {
+    return TimeInterval::from_edges(r.c - r.e, r.c + r.e + r.rtt_own);
+  };
+  auto fill_from = [&](const TimeReading& r) {
+    const auto iv = to_interval(r);
+    result.estimate = iv.midpoint();
+    result.error = iv.radius();
+    result.source = r.from;
+  };
+
+  switch (strategy) {
+    case ClientStrategy::kFirstReply:
+      fill_from(replies.front());
+      return result;
+
+    case ClientStrategy::kSmallestError: {
+      const auto best = std::min_element(
+          replies.begin(), replies.end(),
+          [&](const TimeReading& a, const TimeReading& b) {
+            return to_interval(a).radius() < to_interval(b).radius();
+          });
+      fill_from(*best);
+      return result;
+    }
+
+    case ClientStrategy::kIntersect: {
+      std::vector<TimeInterval> intervals;
+      intervals.reserve(replies.size());
+      for (const auto& r : replies) intervals.push_back(to_interval(r));
+      if (const auto common = core::intersect_all(intervals)) {
+        result.estimate = common->midpoint();
+        result.error = common->radius();
+        return result;
+      }
+      // Inconsistent replies: fall back to the largest mutually consistent
+      // subset (Marzullo's algorithm), flagging the inconsistency.
+      result.consistent = false;
+      const auto best = core::best_intersection(intervals);
+      result.estimate = best->interval.midpoint();
+      result.error = best->interval.radius();
+      result.replies = best->coverage;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mtds::service

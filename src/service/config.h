@@ -1,0 +1,105 @@
+// Configuration vocabulary for simulated time services.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/sync_function.h"
+#include "core/time_types.h"
+
+namespace mtds::service {
+
+using core::ClockFault;
+using core::Duration;
+using core::RealTime;
+using core::ServerId;
+using core::SyncAlgorithm;
+
+// What a server does when it detects inconsistency (Section 3).
+enum class RecoveryPolicy : std::uint8_t {
+  kIgnore,       // MM's default: drop the reply, keep going
+  kThirdServer,  // reset unconditionally to the value of any third server
+};
+
+// Per-server scenario parameters.
+struct ServerSpec {
+  SyncAlgorithm algo = SyncAlgorithm::kMM;
+
+  // Claimed bound delta_i the server *believes* (drives its error report).
+  double claimed_delta = 1e-5;
+
+  // Actual constant drift of the hardware clock; exceeds claimed_delta in
+  // invalid-bound experiments.
+  double actual_drift = 0.0;
+
+  // Piecewise rate changes; when non-empty the clock starts at actual_drift
+  // and follows these (sorted) change points.
+  std::vector<core::PiecewiseDriftClock::RateChange> drift_changes;
+
+  Duration initial_error = 0.01;   // epsilon at t = 0
+  double initial_offset = 0.0;     // C(0) - 0
+
+  Duration poll_period = 10.0;     // tau, measured on the server's own clock
+
+  // Adaptive polling (extension): instead of a fixed tau, the server halves
+  // its period while its error exceeds `error_target` and doubles it while
+  // the error sits below half the target - trading messages for error only
+  // when needed.  poll_period is the starting period.
+  struct AdaptivePoll {
+    bool enabled = false;
+    Duration min_period = 1.0;
+    Duration max_period = 120.0;
+    Duration error_target = 0.05;
+  };
+  AdaptivePoll adaptive;
+  ClockFault fault{};              // optional injected failure
+  RecoveryPolicy recovery = RecoveryPolicy::kIgnore;
+
+  // Section 5: maintain per-neighbour rate estimators (consonance).  The
+  // monitor is passive - it diagnoses invalid drift bounds; it does not
+  // change synchronization decisions.
+  bool monitor_rates = false;
+
+  // ntpd-style clock filter: serve each synchronization round the
+  // minimum-round-trip sample per neighbour from a sliding window instead
+  // of the latest reply (see service/sample_filter.h).
+  bool use_sample_filter = false;
+
+  // Collect via directed broadcast ([Boggs 82], the paper's suggested
+  // method): one request tag fanned out to all neighbours per round,
+  // instead of per-neighbour request/tag pairs.
+  bool use_broadcast = false;
+
+  // Servers this one may consult for third-server recovery but does not
+  // poll routinely ("a server on some other network").
+  std::vector<ServerId> recovery_pool;
+};
+
+enum class Topology : std::uint8_t { kFull, kRing, kStar, kLine, kCustom };
+
+struct ServiceConfig {
+  std::vector<ServerSpec> servers;
+
+  Topology topology = Topology::kFull;
+  // Used when topology == kCustom; undirected edges.
+  std::vector<std::pair<ServerId, ServerId>> custom_edges;
+
+  // Default one-way delay: uniform in [delay_lo, delay_hi].
+  Duration delay_lo = 0.0;
+  Duration delay_hi = 0.01;
+  double loss_probability = 0.0;
+
+  std::uint64_t seed = 42;
+
+  // Trace sampling period in real time; <= 0 disables sampling.
+  Duration sample_interval = 1.0;
+};
+
+// Expands a topology into per-server neighbour lists.
+std::vector<std::vector<ServerId>> build_adjacency(
+    std::size_t n, Topology topology,
+    const std::vector<std::pair<ServerId, ServerId>>& custom_edges);
+
+}  // namespace mtds::service

@@ -1,0 +1,119 @@
+#include "service/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/interval.h"
+
+namespace mtds::service {
+namespace {
+
+// Groups samples by time (the scenario samples all servers at the same
+// instants, so exact grouping on t is safe).
+std::map<RealTime, std::vector<sim::Sample>> by_time(const sim::Trace& trace) {
+  std::map<RealTime, std::vector<sim::Sample>> groups;
+  for (const auto& s : trace.samples()) groups[s.t].push_back(s);
+  return groups;
+}
+
+std::string fmt(const char* f, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), f, a, b);
+  return buf;
+}
+
+}  // namespace
+
+CorrectnessReport check_correctness(const sim::Trace& trace, double tol) {
+  CorrectnessReport report;
+  for (const auto& s : trace.samples()) {
+    ++report.samples_checked;
+    const double offset = std::abs(s.clock - s.t);
+    if (s.error > 0) {
+      report.worst_ratio = std::max(report.worst_ratio, offset / s.error);
+    }
+    if (offset > s.error + tol) {
+      report.violations.push_back(
+          {s.t, s.server, core::kInvalidServer, offset - s.error,
+           fmt("|C - t| = %.6g > E = %.6g", offset, s.error)});
+    }
+  }
+  return report;
+}
+
+ConsistencyReport check_pairwise_consistency(const sim::Trace& trace,
+                                             double tol) {
+  ConsistencyReport report;
+  for (const auto& [t, samples] : by_time(trace)) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = i + 1; j < samples.size(); ++j) {
+        ++report.pairs_checked;
+        const double sep = std::abs(samples[i].clock - samples[j].clock);
+        const double budget = samples[i].error + samples[j].error;
+        if (sep > budget + tol) {
+          report.violations.push_back(
+              {t, samples[i].server, samples[j].server, sep - budget,
+               fmt("|C_i - C_j| = %.6g > E_i + E_j = %.6g", sep, budget)});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+AsynchronismReport measure_asynchronism(const sim::Trace& trace) {
+  AsynchronismReport report;
+  for (const auto& [t, samples] : by_time(trace)) {
+    if (samples.size() < 2) continue;
+    double spread = 0.0;
+    ServerId wi = core::kInvalidServer, wj = core::kInvalidServer;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = i + 1; j < samples.size(); ++j) {
+        const double d = std::abs(samples[i].clock - samples[j].clock);
+        if (d > spread) {
+          spread = d;
+          wi = samples[i].server;
+          wj = samples[j].server;
+        }
+      }
+    }
+    report.times.push_back(t);
+    report.spread.push_back(spread);
+    if (spread > report.max_observed) {
+      report.max_observed = spread;
+      report.worst_time = t;
+      report.worst_i = wi;
+      report.worst_j = wj;
+    }
+  }
+  return report;
+}
+
+ErrorGrowthReport measure_error_growth(const sim::Trace& trace) {
+  ErrorGrowthReport report;
+  for (const auto& [t, samples] : by_time(trace)) {
+    if (samples.empty()) continue;
+    double lo = samples.front().error, hi = samples.front().error;
+    for (const auto& s : samples) {
+      lo = std::min(lo, s.error);
+      hi = std::max(hi, s.error);
+    }
+    report.times.push_back(t);
+    report.min_error.push_back(lo);
+    report.max_error.push_back(hi);
+  }
+  report.min_fit = util::fit_line(report.times, report.min_error);
+  report.max_fit = util::fit_line(report.times, report.max_error);
+  for (std::size_t i = 1; i < report.min_error.size(); ++i) {
+    // Allow a hair of float noise; Lemma 3 is about real decreases.
+    if (report.min_error[i] < report.min_error[i - 1] - 1e-9) {
+      report.min_monotonic = false;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace mtds::service

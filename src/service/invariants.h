@@ -1,0 +1,77 @@
+// Service-wide invariant checkers.
+//
+// The theorems make claims about every instant of a run; these helpers sweep
+// a recorded Trace and verify them: correctness (Theorems 1/5), pairwise
+// consistency (Section 2.3), asynchronism bounds (Theorems 3/7), minimum
+// error monotonicity (Lemma 3) and long-term error growth (Theorem 4's
+// corollary).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/time_types.h"
+#include "sim/trace.h"
+#include "util/stats.h"
+
+namespace mtds::service {
+
+using core::Duration;
+using core::RealTime;
+using core::ServerId;
+
+struct Violation {
+  RealTime t;
+  ServerId server;        // second party in pairwise checks: `peer`
+  ServerId peer;
+  double magnitude;       // how badly the invariant failed
+  std::string what;
+};
+
+struct CorrectnessReport {
+  std::size_t samples_checked = 0;
+  std::vector<Violation> violations;
+  double worst_ratio = 0.0;  // max |offset| / E over all samples
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+// |C_i(t) - t| <= E_i(t) at every sample.
+CorrectnessReport check_correctness(const sim::Trace& trace, double tol = 1e-9);
+
+struct ConsistencyReport {
+  std::size_t pairs_checked = 0;
+  std::vector<Violation> violations;
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+// |C_i - C_j| <= E_i + E_j for every co-sampled pair.
+ConsistencyReport check_pairwise_consistency(const sim::Trace& trace,
+                                             double tol = 1e-9);
+
+struct AsynchronismReport {
+  double max_observed = 0.0;
+  RealTime worst_time = 0.0;
+  ServerId worst_i = core::kInvalidServer;
+  ServerId worst_j = core::kInvalidServer;
+  // Per-sample-time maximum spread, for plotting.
+  std::vector<RealTime> times;
+  std::vector<double> spread;
+};
+
+// max over sample times of max_ij |C_i - C_j|.
+AsynchronismReport measure_asynchronism(const sim::Trace& trace);
+
+struct ErrorGrowthReport {
+  // Smallest / largest error across servers at each sample time.
+  std::vector<RealTime> times;
+  std::vector<Duration> min_error;
+  std::vector<Duration> max_error;
+  util::LinearFit min_fit;   // slope = long-term error growth rate
+  util::LinearFit max_fit;
+  bool min_monotonic = true; // Lemma 3: E_M never decreases
+};
+
+ErrorGrowthReport measure_error_growth(const sim::Trace& trace);
+
+}  // namespace mtds::service

@@ -1,0 +1,31 @@
+// Wire messages exchanged by simulated time servers and clients.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_types.h"
+
+namespace mtds::service {
+
+using core::ClockTime;
+using core::Duration;
+using core::ServerId;
+
+struct ServiceMessage {
+  enum class Type : std::uint8_t { kTimeRequest, kTimeResponse };
+
+  Type type = Type::kTimeRequest;
+  ServerId from = core::kInvalidServer;
+  ServerId to = core::kInvalidServer;
+
+  // Pairing tag chosen by the requester and echoed by the responder; lets
+  // the requester measure its own-clock round trip xi^i_j and discard
+  // replies from stale rounds.
+  std::uint64_t tag = 0;
+
+  // Response payload: the pair <C_j, E_j> of rule MM-1.
+  ClockTime c = 0.0;
+  Duration e = 0.0;
+};
+
+}  // namespace mtds::service

@@ -1,0 +1,46 @@
+#include "service/monotonic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mtds::service {
+
+MonotonicAdapter::MonotonicAdapter(double slew_rate) : slew_rate_(slew_rate) {
+  if (slew_rate < 0.0 || slew_rate >= 1.0) {
+    throw std::invalid_argument("MonotonicAdapter: slew_rate must be in [0, 1)");
+  }
+}
+
+core::ClockTime MonotonicAdapter::read(core::ClockTime raw) {
+  if (!initialized_) {
+    initialized_ = true;
+    out_ = raw;
+    last_raw_ = raw;
+    ahead_ = false;
+    return out_;
+  }
+
+  // Raw forward progress since the last reading; a backward set contributes
+  // zero progress (time did not actually pass backwards).
+  const double progress = std::max(0.0, raw - last_raw_);
+  last_raw_ = raw;
+
+  if (out_ > raw) {
+    // Output is ahead of the raw clock (it was set backward): slew.
+    out_ += progress * slew_rate_;
+    // Slewing must never let raw overtake discontinuously; if raw caught up
+    // within this step, snap to it.
+    if (raw >= out_) {
+      out_ = raw;
+      ahead_ = false;
+    } else {
+      ahead_ = true;
+    }
+  } else {
+    out_ = raw;  // normal tracking (includes forward jumps)
+    ahead_ = false;
+  }
+  return out_;
+}
+
+}  // namespace mtds::service

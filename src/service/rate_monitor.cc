@@ -1,0 +1,79 @@
+#include "service/rate_monitor.h"
+
+namespace mtds::service {
+
+RateMonitor::RateMonitor(double own_delta, std::size_t window)
+    : own_delta_(own_delta), window_(window) {}
+
+void RateMonitor::observe(const core::TimeReading& reading) {
+  auto [it, inserted] =
+      estimators_.try_emplace(reading.from, core::RateEstimator(window_));
+  core::RateObservation obs;
+  obs.local = reading.local_receive;
+  // The reply was generated somewhere in the round trip; credit half of it.
+  obs.remote = reading.c + 0.5 * reading.rtt_own;
+  obs.rtt_own = reading.rtt_own;
+  it->second.add(obs);
+}
+
+void RateMonitor::on_local_reset() {
+  for (auto& [id, est] : estimators_) est.clear();
+}
+
+void RateMonitor::set_claimed_delta(core::ServerId id, double delta) {
+  claimed_[id] = delta;
+}
+
+std::optional<core::TimeInterval> RateMonitor::rate_interval(
+    core::ServerId id) const {
+  const auto it = estimators_.find(id);
+  if (it == estimators_.end()) return std::nullopt;
+  return it->second.rate_interval();
+}
+
+std::vector<core::ServerId> RateMonitor::dissonant() const {
+  std::vector<core::ServerId> out;
+  for (const auto& [id, est] : estimators_) {
+    const auto interval = est.rate_interval();
+    if (!interval) continue;
+    const auto claim_it = claimed_.find(id);
+    if (claim_it == claimed_.end()) continue;
+    const double bound = claim_it->second + own_delta_;
+    if (!interval->intersects(core::TimeInterval::from_center_error(0.0, bound))) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::optional<core::TimeInterval> RateMonitor::refined_own_rate() const {
+  // Neighbour j's measured relative rate r_j ~ (own_rate_error applied in
+  // reverse): if j's clock is accurate to delta_j, our own rate error lies
+  // in [-(r_j) - delta_j, -(r_j) + delta_j] ... expressed as intervals:
+  // own_rate in -rate_interval(j) inflated by delta_j.
+  std::optional<core::TimeInterval> acc;
+  for (const auto& [id, est] : estimators_) {
+    const auto interval = est.rate_interval();
+    if (!interval) continue;
+    const auto claim_it = claimed_.find(id);
+    if (claim_it == claimed_.end()) continue;
+    const double bound = claim_it->second + own_delta_;
+    // Skip dissonant neighbours, as MM skips inconsistent replies.
+    if (!interval->intersects(core::TimeInterval::from_center_error(0.0, bound))) {
+      continue;
+    }
+    const auto own = core::TimeInterval::from_edges(-interval->hi(),
+                                                    -interval->lo())
+                         .inflated(claim_it->second);
+    if (!acc) {
+      acc = own;
+    } else {
+      const auto next = acc->intersect(own);
+      if (!next) return std::nullopt;  // consonant set disagrees
+      acc = next;
+    }
+  }
+  return acc;
+}
+
+}  // namespace mtds::service

@@ -1,0 +1,69 @@
+// RateMonitor: Section 5's consonance machinery wired into a server.
+//
+// "There is not enough information in the static arrangement of the time
+// server intervals to determine why the system is inconsistent.  Instead,
+// the rates of the servers must be examined."  The monitor ingests the same
+// replies the synchronization loop sees, maintains a RateEstimator per
+// neighbour, and answers two questions:
+//
+//   * which neighbours' measured relative-rate intervals are dissonant with
+//     their claimed drift bounds (provable bound violators - detectable
+//     even while their time intervals are still pairwise consistent); and
+//   * what refined bound on this server's own rate the consonant
+//     neighbours jointly imply (applying the IM idea to rates).
+//
+// Observations made across a local clock reset would corrupt the slope, so
+// the server notifies the monitor of resets and the estimators restart.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/consonance.h"
+#include "core/interval.h"
+#include "core/reading.h"
+#include "core/time_types.h"
+
+namespace mtds::service {
+
+class RateMonitor {
+ public:
+  // own_delta: this server's claimed bound (the reference rate in all
+  // consonance checks).  window: observations per neighbour estimator.
+  explicit RateMonitor(double own_delta, std::size_t window = 8);
+
+  // Feeds one reply; the neighbour's clock is midpoint-adjusted by half the
+  // round trip before the offset is recorded.
+  void observe(const core::TimeReading& reading);
+
+  // Local clock reset: all windows restart (offsets jumped discontinuously).
+  void on_local_reset();
+
+  // Remembers a neighbour's claimed bound (from configuration or a
+  // directory); consonance checks need it.
+  void set_claimed_delta(core::ServerId id, double delta);
+
+  std::size_t neighbours() const noexcept { return estimators_.size(); }
+
+  // Measured relative-rate interval for one neighbour; nullopt until the
+  // window spans enough local time.
+  std::optional<core::TimeInterval> rate_interval(core::ServerId id) const;
+
+  // Neighbours whose measured rate interval is provably outside the
+  // consonance bound |rate| <= delta_j + delta_own.
+  std::vector<core::ServerId> dissonant() const;
+
+  // Intersection of the consonant neighbours' implied own-rate intervals:
+  // a refined bound on this server's own drift.  nullopt when no neighbour
+  // has produced an estimate, or the consonant set itself disagrees.
+  std::optional<core::TimeInterval> refined_own_rate() const;
+
+ private:
+  double own_delta_;
+  std::size_t window_;
+  std::map<core::ServerId, core::RateEstimator> estimators_;
+  std::map<core::ServerId, double> claimed_;
+};
+
+}  // namespace mtds::service

@@ -1,0 +1,57 @@
+// ServiceReport: one-call health and behaviour summary of a (simulated)
+// time service - the experimenter's dashboard over a finished run.
+//
+// Aggregates per-server state and counters, network statistics, the
+// invariant checks (correctness, pairwise consistency), asynchronism, and
+// error growth into a single struct with a human-readable rendering used by
+// the examples and the scenario runner CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/invariants.h"
+#include "service/time_service.h"
+
+namespace mtds::service {
+
+struct ServerReport {
+  core::ServerId id = 0;
+  std::string algo;
+  bool running = false;
+  double claimed_delta = 0.0;
+  double offset = 0.0;        // C - t at report time (ground truth)
+  core::Duration error = 0.0; // E at report time
+  bool correct = false;
+  ServerCounters counters;
+  std::vector<core::ServerId> dissonant;  // from the rate monitor, if any
+};
+
+struct ServiceReport {
+  core::RealTime at = 0.0;
+  std::vector<ServerReport> servers;
+  sim::NetworkStats network;
+
+  std::size_t resets = 0;
+  std::size_t inconsistencies = 0;
+  std::size_t recoveries = 0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+
+  CorrectnessReport correctness;
+  ConsistencyReport consistency;
+  AsynchronismReport asynchronism;
+  ErrorGrowthReport growth;
+
+  bool healthy() const noexcept {
+    return correctness.ok() && consistency.ok();
+  }
+};
+
+// Collects everything; the service is only read, not advanced.
+ServiceReport build_report(TimeService& service);
+
+// Multi-line fixed-width rendering.
+std::string format_report(const ServiceReport& report);
+
+}  // namespace mtds::service

@@ -1,0 +1,67 @@
+#include "service/sample_filter.h"
+
+#include <algorithm>
+
+namespace mtds::service {
+
+SampleFilter::SampleFilter(std::size_t window, core::Duration max_age)
+    : window_(std::max<std::size_t>(window, 1)), max_age_(max_age) {}
+
+void SampleFilter::add(const core::TimeReading& reading) {
+  auto& q = samples_[reading.from];
+  q.push_back(reading);
+  if (q.size() > window_) q.pop_front();
+}
+
+std::optional<core::TimeReading> SampleFilter::best(core::ServerId from,
+                                                    core::ClockTime local_now,
+                                                    double delta) const {
+  const auto it = samples_.find(from);
+  if (it == samples_.end()) return std::nullopt;
+
+  std::optional<core::TimeReading> best_reading;
+  double best_width = 0.0;
+  for (const auto& r : it->second) {
+    const core::Duration age = local_now - r.local_receive;
+    if (age < 0 || age > max_age_) continue;
+    // Effective half-width of the aged interval this reading defines.
+    const double width =
+        r.e + 0.5 * (1.0 + delta) * r.rtt_own + delta * age;
+    if (!best_reading || width < best_width) {
+      // Age the reading: same offset relative to the local clock, error
+      // grown by the local drift budget over the elapsed local time.
+      core::TimeReading aged = r;
+      aged.c = r.c + age;  // the neighbour's clock also advanced ~age
+      aged.e = r.e + 2.0 * delta * age;  // both clocks wander: be safe
+      aged.local_receive = local_now;
+      best_reading = aged;
+      best_width = width;
+    }
+  }
+  return best_reading;
+}
+
+core::Readings SampleFilter::best_all(core::ClockTime local_now,
+                                      double delta) const {
+  core::Readings out;
+  for (const auto& [from, q] : samples_) {
+    if (auto r = best(from, local_now, delta)) out.push_back(*r);
+  }
+  return out;
+}
+
+void SampleFilter::on_local_reset(double jump) {
+  // A recorded sample's local_receive is on the old timescale; shifting it
+  // by the jump keeps (c - local_receive) - the offset the algorithms
+  // consume - meaningful on the new one.
+  for (auto& [from, q] : samples_) {
+    for (auto& r : q) r.local_receive += jump;
+  }
+}
+
+std::size_t SampleFilter::size(core::ServerId from) const {
+  const auto it = samples_.find(from);
+  return it == samples_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mtds::service

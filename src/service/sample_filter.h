@@ -1,0 +1,63 @@
+// SampleFilter: minimum-round-trip reply selection.
+//
+// Both algorithms charge a reply's full round trip against its inherited
+// error (rule MM-2's (1+delta)*xi term; IM-2's leading edge).  Network
+// delay is noisy, so the *best* reply from a neighbour over a short window
+// is the one observed through the fastest round trip - the insight behind
+// ntpd's clock filter, which this library's lineage eventually grew into.
+//
+// The filter keeps the last `window` readings per neighbour and serves the
+// one with the smallest effective interval width e + (1+delta)*rtt/2, aged
+// to the current local clock.  Using it in front of MM/IM is a pure
+// improvement: a served reading's interval is every bit as valid as when it
+// arrived (it ages by delta like any interval), just less delay-inflated
+// than the latest sample.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/reading.h"
+#include "core/time_types.h"
+
+namespace mtds::service {
+
+class SampleFilter {
+ public:
+  // window: samples kept per neighbour (ntpd uses 8).
+  // max_age: samples older than this (in local clock time) are evicted;
+  //          stale offsets are only as good as their drift aging.
+  explicit SampleFilter(std::size_t window = 8,
+                        core::Duration max_age = 120.0);
+
+  // Records a reply.
+  void add(const core::TimeReading& reading);
+
+  // The best available reading from `from`, aged to local clock time
+  // `local_now` for a server with drift bound `delta`: its offset is
+  // preserved, its error inflated by delta * (local_now - receipt).
+  // nullopt when no usable sample exists.
+  std::optional<core::TimeReading> best(core::ServerId from,
+                                        core::ClockTime local_now,
+                                        double delta) const;
+
+  // Best readings from every neighbour with at least one usable sample.
+  core::Readings best_all(core::ClockTime local_now, double delta) const;
+
+  // Local clock was reset: recorded offsets are in the old timescale.
+  // `jump` = new_clock - old_clock; samples are rebased rather than
+  // discarded (offsets relative to the local clock shift by -jump).
+  void on_local_reset(double jump);
+
+  void clear() noexcept { samples_.clear(); }
+  std::size_t size(core::ServerId from) const;
+
+ private:
+  std::size_t window_;
+  core::Duration max_age_;
+  std::map<core::ServerId, std::deque<core::TimeReading>> samples_;
+};
+
+}  // namespace mtds::service

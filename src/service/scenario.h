@@ -1,0 +1,72 @@
+// Scenario DSL: text descriptions of time-service experiments.
+//
+// Benches and tests build ServiceConfigs in C++; downstream users exploring
+// the algorithms want to describe a service, its faults and a timeline of
+// events without recompiling.  The format is line-based:
+//
+//   # a service of three servers, one of which lies about its bound
+//   seed 42
+//   delay 0 0.005            # one-way delay range [lo, hi] seconds
+//   loss 0.05                # message loss probability
+//   sample 1.0               # trace sampling period
+//   topology full            # full | ring | star | line
+//   server algo=MM delta=1e-5 drift=2e-6 error=0.02 offset=0 tau=10
+//   server algo=MM delta=1e-5 drift=-3e-6 error=0.03 tau=10 recovery=third pool=2
+//   server algo=NONE delta=1.2e-5 drift=0.04 error=0.01 tau=10
+//   fault 2 stopped 100      # server 2's clock stops at t=100
+//   at 150 partition 0 1     # timeline events applied while running
+//   at 250 heal 0 1
+//   at 300 join algo=IM delta=1e-4 error=1.0 tau=10
+//   at 400 leave 1
+//   run 600                  # horizon
+//
+// parse_scenario() validates aggressively and reports the offending line;
+// ScenarioRunner executes the timeline against a TimeService.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/time_service.h"
+
+namespace mtds::service {
+
+struct ScenarioAction {
+  enum class Kind { kPartition, kHeal, kJoin, kLeave };
+  core::RealTime at = 0.0;
+  Kind kind = Kind::kPartition;
+  core::ServerId a = 0, b = 0;  // partition/heal endpoints; `a` for leave
+  ServerSpec spec;              // join payload
+};
+
+struct Scenario {
+  ServiceConfig config;
+  std::vector<ScenarioAction> actions;  // sorted by `at`
+  core::RealTime horizon = 0.0;         // from `run`; 0 = not specified
+};
+
+// Parses the DSL; throws std::invalid_argument with "line N: ..." on any
+// syntax or semantic error.
+Scenario parse_scenario(const std::string& text);
+
+// Builds the service and replays the timeline.  The returned service has
+// been run to the scenario's horizon (or `override_horizon` if > 0).
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario);
+
+  // Runs to the horizon, applying timeline actions at their times.
+  // Returns the (still inspectable) service.
+  TimeService& run(core::RealTime override_horizon = 0.0);
+
+  TimeService& service() { return *service_; }
+  const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<TimeService> service_;
+  std::size_t next_action_ = 0;
+};
+
+}  // namespace mtds::service

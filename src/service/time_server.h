@@ -1,0 +1,139 @@
+// A time server: rule MM-1/IM-1 responder plus the periodic synchronization
+// loop of rule MM-2/IM-2, with pluggable synchronization function and
+// inconsistency recovery policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/error_tracker.h"
+#include "core/reading.h"
+#include "core/sync_function.h"
+#include "service/config.h"
+#include "service/rate_monitor.h"
+#include "service/sample_filter.h"
+#include "service/message.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace mtds::service {
+
+using ServiceNetwork = sim::Network<ServiceMessage>;
+
+struct ServerCounters {
+  std::uint64_t rounds = 0;          // poll rounds started
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t resets = 0;          // clock resets applied
+  std::uint64_t inconsistencies = 0; // inconsistent replies / empty rounds
+  std::uint64_t recoveries = 0;      // third-server recoveries performed
+};
+
+class TimeServer {
+ public:
+  // The server owns its clock; queue/network/trace are borrowed from the
+  // enclosing service and must outlive it.  `trace` may be null.
+  TimeServer(ServerId id, std::unique_ptr<core::Clock> clock,
+             const ServerSpec& spec, sim::EventQueue& queue,
+             ServiceNetwork& network, sim::Trace* trace, sim::Rng rng);
+  ~TimeServer();
+
+  TimeServer(const TimeServer&) = delete;
+  TimeServer& operator=(const TimeServer&) = delete;
+
+  // Registers with the network and schedules the first poll round.  The
+  // first poll is jittered uniformly within one poll period so that a
+  // service's rounds don't run in lockstep.
+  void start(const std::vector<ServerId>& neighbors);
+
+  // Leaves the service: unregisters from the network and stops polling.
+  void stop();
+
+  // Membership update: future rounds will also poll `peer`.
+  void add_neighbor(ServerId peer);
+  // Stops polling `peer` (outstanding requests to it simply expire).
+  void remove_neighbor(ServerId peer);
+  bool running() const noexcept { return running_; }
+
+  ServerId id() const noexcept { return id_; }
+  const ServerSpec& spec() const noexcept { return spec_; }
+  const ServerCounters& counters() const noexcept { return counters_; }
+  const std::vector<ServerId>& neighbors() const noexcept { return neighbors_; }
+
+  // The poll period currently in effect (== spec().poll_period unless
+  // adaptive polling has moved it).
+  Duration current_poll_period() const noexcept { return current_period_; }
+
+  // Current clock reading / reported maximum error (rule MM-1).
+  core::ClockTime read_clock(RealTime t);
+  core::Duration current_error(RealTime t);
+
+  // Offset from true time; positive means the clock is fast.  (Simulator
+  // ground truth - a real server cannot compute this.)
+  double true_offset(RealTime t);
+
+  // Whether the interval currently contains true time.
+  bool correct(RealTime t);
+
+  // Message entry point (installed as the network handler by start()).
+  void handle(RealTime t, const ServiceMessage& msg);
+
+  // Section 5 rate monitor; non-null only when spec.monitor_rates is set.
+  RateMonitor* rate_monitor() noexcept { return rate_monitor_.get(); }
+  const RateMonitor* rate_monitor() const noexcept { return rate_monitor_.get(); }
+
+ private:
+  void schedule_next_poll(Duration own_clock_delay);
+  void begin_round();
+  void end_round();
+  void process_reading(const core::TimeReading& reading);
+  void apply_reset(const core::ClockReset& reset, bool is_recovery);
+  void note_inconsistency(const std::vector<ServerId>& peers);
+  void request_recovery(ServerId exclude);
+  core::LocalState local_state(RealTime t);
+
+  ServerId id_;
+  std::unique_ptr<core::Clock> clock_;
+  core::ErrorTracker tracker_;
+  ServerSpec spec_;
+  std::unique_ptr<core::SyncFunction> sync_;  // null for kNone
+  std::unique_ptr<RateMonitor> rate_monitor_;  // null unless monitor_rates
+  std::unique_ptr<SampleFilter> filter_;       // null unless use_sample_filter
+  sim::EventQueue* queue_;
+  ServiceNetwork* network_;
+  sim::Trace* trace_;
+  sim::Rng rng_;
+
+  std::vector<ServerId> neighbors_;
+  bool running_ = false;
+  Duration current_period_ = 0.0;  // adaptive tau; starts at spec.poll_period
+
+  // Outstanding requests: tag -> own-clock send time.
+  struct Pending {
+    core::ClockTime sent_local;
+    bool recovery;  // reply triggers an unconditional recovery reset
+  };
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_tag_;
+
+  // Broadcast-mode round state: one shared tag, one send timestamp, and the
+  // set of neighbours whose reply is still awaited.
+  std::uint64_t broadcast_tag_ = 0;
+  core::ClockTime broadcast_sent_local_ = 0.0;
+  std::set<ServerId> broadcast_awaiting_;
+
+  // Current round state (per-round sync functions buffer replies here).
+  core::Readings round_replies_;
+  bool round_open_ = false;
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+  std::uint64_t round_end_event_ = kNoEvent;
+
+  ServerCounters counters_;
+};
+
+}  // namespace mtds::service

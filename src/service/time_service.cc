@@ -1,0 +1,198 @@
+#include "service/time_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mtds::service {
+
+std::vector<std::vector<ServerId>> build_adjacency(
+    std::size_t n, Topology topology,
+    const std::vector<std::pair<ServerId, ServerId>>& custom_edges) {
+  std::vector<std::vector<ServerId>> adj(n);
+  auto add_edge = [&](ServerId a, ServerId b) {
+    if (a == b || a >= n || b >= n) {
+      throw std::invalid_argument("build_adjacency: invalid edge");
+    }
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  switch (topology) {
+    case Topology::kFull:
+      for (ServerId i = 0; i < n; ++i) {
+        for (ServerId j = i + 1; j < n; ++j) add_edge(i, j);
+      }
+      break;
+    case Topology::kRing:
+      if (n >= 2) {
+        for (ServerId i = 0; i + 1 < n; ++i) add_edge(i, i + 1);
+        if (n > 2) add_edge(static_cast<ServerId>(n - 1), 0);
+      }
+      break;
+    case Topology::kStar:
+      for (ServerId i = 1; i < n; ++i) add_edge(0, i);
+      break;
+    case Topology::kLine:
+      for (ServerId i = 0; i + 1 < n; ++i) add_edge(i, i + 1);
+      break;
+    case Topology::kCustom:
+      for (const auto& [a, b] : custom_edges) add_edge(a, b);
+      break;
+  }
+  // Deduplicate in case custom edges repeat.
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+TimeService::TimeService(ServiceConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.servers.empty()) {
+    throw std::invalid_argument("TimeService: no servers configured");
+  }
+  delay_model_ =
+      sim::make_uniform_delay(config_.delay_lo, config_.delay_hi);
+  network_ = std::make_unique<ServiceNetwork>(queue_, *delay_model_, rng_);
+  network_->set_loss_probability(config_.loss_probability);
+  build();
+}
+
+std::unique_ptr<core::Clock> TimeService::make_clock(const ServerSpec& spec) {
+  std::unique_ptr<core::Clock> clock;
+  if (!spec.drift_changes.empty()) {
+    clock = std::make_unique<core::PiecewiseDriftClock>(
+        spec.actual_drift, spec.drift_changes, spec.initial_offset,
+        queue_.now());
+  } else {
+    clock = std::make_unique<core::DriftingClock>(
+        spec.actual_drift, queue_.now() + spec.initial_offset, queue_.now());
+  }
+  if (spec.fault.kind != core::ClockFaultKind::kNone) {
+    clock = std::make_unique<core::FaultyClock>(std::move(clock), spec.fault);
+  }
+  return clock;
+}
+
+void TimeService::build() {
+  const std::size_t n = config_.servers.size();
+  adjacency_ = build_adjacency(n, config_.topology, config_.custom_edges);
+  servers_.reserve(n);
+  for (ServerId i = 0; i < n; ++i) {
+    const ServerSpec& spec = config_.servers[i];
+    servers_.push_back(std::make_unique<TimeServer>(
+        i, make_clock(spec), spec, queue_, *network_, &trace_, rng_.fork()));
+  }
+  for (ServerId i = 0; i < n; ++i) {
+    servers_[i]->start(adjacency_[i]);
+    // A server's rate monitor needs its neighbours' claimed bounds (a real
+    // deployment would learn them from the service directory).
+    if (auto* monitor = servers_[i]->rate_monitor()) {
+      for (ServerId j : adjacency_[i]) {
+        monitor->set_claimed_delta(j, config_.servers[j].claimed_delta);
+      }
+    }
+  }
+  if (config_.sample_interval > 0) {
+    queue_.after(0.0, [this] { sample(); });
+  }
+}
+
+void TimeService::sample() {
+  const RealTime now = queue_.now();
+  for (const auto& server : servers_) {
+    if (!server->running()) continue;
+    trace_.record({now, server->id(), server->read_clock(now),
+                   server->current_error(now)});
+  }
+  queue_.after(config_.sample_interval, [this] { sample(); });
+}
+
+void TimeService::run_until(RealTime t) { queue_.run_until(t); }
+
+ServerId TimeService::add_server(const ServerSpec& spec, bool announce) {
+  const auto id = static_cast<ServerId>(servers_.size());
+  config_.servers.push_back(spec);
+  servers_.push_back(std::make_unique<TimeServer>(
+      id, make_clock(spec), spec, queue_, *network_, &trace_, rng_.fork()));
+  std::vector<ServerId> neighbors;
+  for (const auto& existing : servers_) {
+    if (existing->id() != id && existing->running()) {
+      neighbors.push_back(existing->id());
+    }
+  }
+  adjacency_.push_back(neighbors);
+  servers_.back()->start(neighbors);
+  if (announce) {
+    // Existing servers learn of the newcomer: this models the directory
+    // update a real service would propagate.
+    for (ServerId peer : neighbors) {
+      adjacency_[peer].push_back(id);
+      servers_[peer]->add_neighbor(id);
+    }
+  }
+  return id;
+}
+
+void TimeService::remove_server(ServerId id) {
+  if (id < servers_.size() && servers_[id]->running()) {
+    servers_[id]->stop();
+  }
+}
+
+std::vector<double> TimeService::offsets() {
+  const RealTime now = queue_.now();
+  std::vector<double> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    if (s->running()) out.push_back(s->true_offset(now));
+  }
+  return out;
+}
+
+std::vector<Duration> TimeService::errors() {
+  const RealTime now = queue_.now();
+  std::vector<Duration> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    if (s->running()) out.push_back(s->current_error(now));
+  }
+  return out;
+}
+
+Duration TimeService::min_error() {
+  const auto e = errors();
+  return e.empty() ? 0.0 : *std::min_element(e.begin(), e.end());
+}
+
+Duration TimeService::max_error() {
+  const auto e = errors();
+  return e.empty() ? 0.0 : *std::max_element(e.begin(), e.end());
+}
+
+double TimeService::max_asynchronism() {
+  const RealTime now = queue_.now();
+  std::vector<double> clocks;
+  for (const auto& s : servers_) {
+    if (s->running()) clocks.push_back(s->read_clock(now));
+  }
+  if (clocks.size() < 2) return 0.0;
+  const auto [lo, hi] = std::minmax_element(clocks.begin(), clocks.end());
+  return *hi - *lo;
+}
+
+bool TimeService::all_correct() {
+  const RealTime now = queue_.now();
+  return std::all_of(servers_.begin(), servers_.end(), [&](const auto& s) {
+    return !s->running() || s->correct(now);
+  });
+}
+
+std::size_t TimeService::running_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(servers_.begin(), servers_.end(),
+                    [](const auto& s) { return s->running(); }));
+}
+
+}  // namespace mtds::service

@@ -1,0 +1,75 @@
+// TimeService: builds and runs a whole simulated service from a config.
+//
+// Owns the event queue, RNG, delay model, network, trace and every server;
+// provides service-wide observations (offsets, errors, asynchronism) used by
+// the invariant checkers and the benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "service/config.h"
+#include "service/time_server.h"
+#include "sim/delay_model.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+
+namespace mtds::service {
+
+class TimeService {
+ public:
+  explicit TimeService(ServiceConfig config);
+
+  // Advances the simulation to absolute real time t (monotone).
+  void run_until(RealTime t);
+
+  std::size_t size() const noexcept { return servers_.size(); }
+  TimeServer& server(std::size_t i) { return *servers_.at(i); }
+  const TimeServer& server(std::size_t i) const { return *servers_.at(i); }
+
+  RealTime now() const noexcept { return queue_.now(); }
+  sim::EventQueue& queue() noexcept { return queue_; }
+  ServiceNetwork& network() noexcept { return *network_; }
+  sim::Trace& trace() noexcept { return trace_; }
+  const sim::Trace& trace() const noexcept { return trace_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+  sim::Rng& rng() noexcept { return rng_; }
+
+  // The round-trip delay bound xi implied by the configured delay model.
+  Duration xi() const noexcept { return 2.0 * network_->max_one_way_delay(); }
+
+  // Dynamic membership ("time servers can frequently join or leave").
+  // Returns the new server's id.  The new server polls every existing
+  // running server; existing full-topology services will not learn about it
+  // automatically unless `announce` is set, which appends it to every
+  // running server's neighbour list.
+  ServerId add_server(const ServerSpec& spec, bool announce = true);
+  void remove_server(ServerId id);
+
+  // Service-wide instantaneous observations at now().
+  std::vector<double> offsets();       // C_i - t per running server
+  std::vector<Duration> errors();      // E_i per running server
+  Duration min_error();
+  Duration max_error();
+  double max_asynchronism();           // max |C_i - C_j| over running pairs
+  bool all_correct();                  // every running interval contains t
+  std::size_t running_count() const;
+
+ private:
+  void build();
+  void sample();
+  std::unique_ptr<core::Clock> make_clock(const ServerSpec& spec);
+
+  ServiceConfig config_;
+  sim::EventQueue queue_;
+  sim::Rng rng_;
+  std::unique_ptr<sim::DelayModel> delay_model_;
+  std::unique_ptr<ServiceNetwork> network_;
+  sim::Trace trace_;
+  std::vector<std::unique_ptr<TimeServer>> servers_;
+  std::vector<std::vector<ServerId>> adjacency_;
+};
+
+}  // namespace mtds::service

@@ -1,0 +1,70 @@
+#include "sim/drift.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mtds::sim {
+namespace {
+
+// Reflects x into [-clamp, +clamp].
+double reflect(double x, double clamp) {
+  if (clamp <= 0) return 0.0;
+  while (x > clamp || x < -clamp) {
+    if (x > clamp) x = 2 * clamp - x;
+    if (x < -clamp) x = -2 * clamp - x;
+  }
+  return x;
+}
+
+void validate(core::Duration horizon, core::Duration step, double clamp) {
+  if (horizon <= 0 || step <= 0) {
+    throw std::invalid_argument("drift schedule: need horizon, step > 0");
+  }
+  if (clamp < 0) {
+    throw std::invalid_argument("drift schedule: clamp must be >= 0");
+  }
+}
+
+}  // namespace
+
+std::vector<core::PiecewiseDriftClock::RateChange> random_walk_schedule(
+    Rng& rng, core::Duration horizon, const RandomWalkParams& params) {
+  validate(horizon, params.step, params.clamp);
+  std::vector<core::PiecewiseDriftClock::RateChange> schedule;
+  double drift = reflect(params.initial_drift, params.clamp);
+  for (core::RealTime t = params.step; t <= horizon; t += params.step) {
+    drift = reflect(drift + rng.normal(0.0, params.sigma_step), params.clamp);
+    schedule.push_back({t, drift});
+  }
+  return schedule;
+}
+
+std::vector<core::PiecewiseDriftClock::RateChange> ornstein_uhlenbeck_schedule(
+    Rng& rng, core::Duration horizon, const OrnsteinUhlenbeckParams& params) {
+  validate(horizon, params.step, params.clamp);
+  if (params.reversion < 0 || params.reversion > 1) {
+    throw std::invalid_argument("drift schedule: reversion must be in [0, 1]");
+  }
+  std::vector<core::PiecewiseDriftClock::RateChange> schedule;
+  double drift = reflect(params.initial_drift, params.clamp);
+  for (core::RealTime t = params.step; t <= horizon; t += params.step) {
+    drift += params.reversion * (params.bias - drift) +
+             rng.normal(0.0, params.sigma_step);
+    drift = reflect(drift, params.clamp);
+    schedule.push_back({t, drift});
+  }
+  return schedule;
+}
+
+bool schedule_within_bound(
+    const std::vector<core::PiecewiseDriftClock::RateChange>& schedule,
+    double bound) noexcept {
+  for (const auto& change : schedule) {
+    if (std::abs(change.drift) > bound) return false;
+  }
+  return true;
+}
+
+}  // namespace mtds::sim

@@ -1,0 +1,53 @@
+// Drift-wander models.
+//
+// Section 1.1: "clocks may have varying accuracies, but are usually
+// stable."  A real oscillator's rate is not a constant: temperature and
+// aging walk it around inside (or, for a bad bound, outside) its claimed
+// envelope.  These generators produce rate-change schedules consumable by
+// PiecewiseDriftClock, so scenarios can model wandering oscillators while
+// staying deterministic.
+//
+// Two models:
+//   * bounded random walk - each step adds N(0, sigma_step); reflected at
+//     +/- clamp so a *valid* claimed bound can be honoured by construction;
+//   * Ornstein-Uhlenbeck - mean-reverting wander toward a bias rate, the
+//     standard oscillator noise model; clamped the same way.
+#pragma once
+
+#include <vector>
+
+#include "core/clock.h"
+#include "sim/rng.h"
+#include "core/time_types.h"
+
+namespace mtds::sim {
+
+struct RandomWalkParams {
+  double initial_drift = 0.0;
+  double sigma_step = 1e-7;   // stddev of each step's drift change
+  core::Duration step = 60.0;       // real time between rate changes
+  double clamp = 1e-5;        // |drift| never exceeds this (reflected)
+};
+
+// Schedule of rate changes covering [0, horizon].
+std::vector<core::PiecewiseDriftClock::RateChange> random_walk_schedule(
+    Rng& rng, core::Duration horizon, const RandomWalkParams& params);
+
+struct OrnsteinUhlenbeckParams {
+  double initial_drift = 0.0;
+  double bias = 0.0;          // long-run mean drift (an aging oscillator)
+  double reversion = 0.01;    // pull strength toward bias per step
+  double sigma_step = 1e-7;
+  core::Duration step = 60.0;
+  double clamp = 1e-5;
+};
+
+std::vector<core::PiecewiseDriftClock::RateChange> ornstein_uhlenbeck_schedule(
+    Rng& rng, core::Duration horizon, const OrnsteinUhlenbeckParams& params);
+
+// True iff every drift value in the schedule honours |drift| <= bound.
+bool schedule_within_bound(
+    const std::vector<core::PiecewiseDriftClock::RateChange>& schedule,
+    double bound) noexcept;
+
+}  // namespace mtds::sim

@@ -1,0 +1,75 @@
+// Discrete-event simulation core.
+//
+// A single-threaded priority queue of timestamped callbacks.  Ties are
+// broken by insertion order (FIFO), which together with the seeded RNG makes
+// whole runs deterministic.  Events may schedule further events, including
+// at the current time (but never in the past).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace mtds::sim {
+
+using core::Duration;
+using core::RealTime;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute time t (>= now, checked).  Returns the event
+  // id, usable with cancel().
+  std::uint64_t at(RealTime t, Callback cb);
+
+  // Schedules `cb` after `d` (>= 0) from now.
+  std::uint64_t after(Duration d, Callback cb);
+
+  // Cancels a pending event; returns false if it already ran or was
+  // cancelled.  Cancellation is lazy (the entry is skipped when it
+  // surfaces).
+  bool cancel(std::uint64_t id);
+
+  // Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  // Runs every event with time <= t_end, then advances now to t_end.
+  // Returns the number of events executed.
+  std::size_t run_until(RealTime t_end);
+
+  // Drains the queue completely.  Returns events executed.  `max_events`
+  // guards against runaway self-scheduling loops.
+  std::size_t run_all(std::size_t max_events = 100'000'000);
+
+  RealTime now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Event {
+    RealTime time;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_one();  // runs the top event (skipping cancelled); false if empty
+  void purge_cancelled_top();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet run
+  std::unordered_set<std::uint64_t> cancelled_;  // awaiting lazy removal
+  RealTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;  // live (non-cancelled) events
+};
+
+}  // namespace mtds::sim

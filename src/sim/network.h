@@ -1,0 +1,145 @@
+// Simulated message network.
+//
+// Delivers typed messages between nodes through the event queue with delays
+// drawn from a DelayModel.  Supports per-link delay overrides, message loss,
+// and partitions - enough to model "communication failures" (Section 1) and
+// the multi-network recovery experiment of Section 3.
+//
+// Messages to unregistered nodes are counted and dropped (a server that left
+// the service simply stops answering).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+#include <utility>
+
+#include "core/time_types.h"
+#include "sim/delay_model.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "util/log.h"
+
+namespace mtds::sim {
+
+using core::ServerId;
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;       // random loss
+  std::uint64_t dropped_partition = 0;  // blocked link
+  std::uint64_t dropped_no_handler = 0; // receiver not registered
+};
+
+template <typename Msg>
+class Network {
+ public:
+  using Handler = std::function<void(RealTime, const Msg&)>;
+
+  // The network borrows the queue, delay model and RNG; the scenario owns
+  // them and must outlive the network.
+  Network(EventQueue& queue, const DelayModel& delays, Rng& rng)
+      : queue_(&queue), delays_(&delays), rng_(&rng) {}
+
+  void register_node(ServerId id, Handler handler) {
+    handlers_[id] = std::move(handler);
+  }
+
+  void unregister_node(ServerId id) { handlers_.erase(id); }
+  bool is_registered(ServerId id) const { return handlers_.count(id) > 0; }
+
+  // Loses each message independently with probability p.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  // Blocks / unblocks both directions between a and b.
+  void set_partitioned(ServerId a, ServerId b, bool blocked) {
+    const auto key = link_key(a, b);
+    if (blocked) {
+      partitions_.insert(key);
+    } else {
+      partitions_.erase(key);
+    }
+  }
+
+  bool is_partitioned(ServerId a, ServerId b) const {
+    return partitions_.count(link_key(a, b)) > 0;
+  }
+
+  // Overrides the delay model for one directed link.
+  void set_link_delay(ServerId from, ServerId to, const DelayModel* model) {
+    if (model == nullptr) {
+      link_delays_.erase({from, to});
+    } else {
+      link_delays_[{from, to}] = model;
+    }
+  }
+
+  // Sends msg from -> to.  Returns the sampled delay, or nullopt when the
+  // message was dropped (loss, partition, or missing receiver at send time).
+  std::optional<Duration> send(ServerId from, ServerId to, Msg msg) {
+    ++stats_.sent;
+    if (is_partitioned(from, to)) {
+      ++stats_.dropped_partition;
+      return std::nullopt;
+    }
+    if (loss_probability_ > 0 && rng_->bernoulli(loss_probability_)) {
+      ++stats_.dropped_loss;
+      return std::nullopt;
+    }
+    const DelayModel* model = delays_;
+    if (const auto it = link_delays_.find({from, to}); it != link_delays_.end()) {
+      model = it->second;
+    }
+    const Duration delay = model->sample(*rng_);
+    queue_->after(delay, [this, to, m = std::move(msg)]() {
+      const auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        ++stats_.dropped_no_handler;
+        return;
+      }
+      ++stats_.delivered;
+      it->second(queue_->now(), m);
+    });
+    return delay;
+  }
+
+  // Directed broadcast ([Boggs 82], the paper's suggested collection
+  // method): one logical send fanned out to every target, each copy subject
+  // to its own delay/loss/partition decision.  Returns the number of copies
+  // actually dispatched.
+  std::size_t broadcast(ServerId from, const std::vector<ServerId>& targets,
+                        const Msg& msg) {
+    std::size_t dispatched = 0;
+    for (ServerId to : targets) {
+      if (to == from) continue;
+      if (send(from, to, msg)) ++dispatched;
+    }
+    return dispatched;
+  }
+
+  // Largest one-way delay the default model can produce; services use
+  // 2 * max_one_way_delay() as their round-trip bound xi.
+  Duration max_one_way_delay() const noexcept { return delays_->max_delay(); }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+ private:
+  static std::pair<ServerId, ServerId> link_key(ServerId a, ServerId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  EventQueue* queue_;
+  const DelayModel* delays_;
+  Rng* rng_;
+  std::map<ServerId, Handler> handlers_;
+  std::map<std::pair<ServerId, ServerId>, const DelayModel*> link_delays_;
+  std::set<std::pair<ServerId, ServerId>> partitions_;
+  double loss_probability_ = 0.0;
+  NetworkStats stats_;
+};
+
+}  // namespace mtds::sim

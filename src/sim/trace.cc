@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mtds::sim {
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kReset: return "reset";
+    case TraceEventKind::kInconsistent: return "inconsistent";
+    case TraceEventKind::kRecovery: return "recovery";
+    case TraceEventKind::kJoin: return "join";
+    case TraceEventKind::kLeave: return "leave";
+  }
+  return "?";
+}
+
+std::vector<Sample> Trace::samples_for(ServerId id) const {
+  std::vector<Sample> out;
+  for (const auto& s : samples_) {
+    if (s.server == id) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::events_for(ServerId id) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.server == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Trace::count_events(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::size_t Trace::count_events(ServerId id, TraceEventKind kind) const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(), [id, kind](const TraceEvent& e) {
+        return e.server == id && e.kind == kind;
+      }));
+}
+
+std::vector<RealTime> Trace::sample_times() const {
+  std::vector<RealTime> times;
+  times.reserve(samples_.size());
+  for (const auto& s : samples_) times.push_back(s.t);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+std::vector<Sample> Trace::samples_at(RealTime t, double tol) const {
+  std::vector<Sample> out;
+  for (const auto& s : samples_) {
+    if (std::abs(s.t - t) <= tol) out.push_back(s);
+  }
+  return out;
+}
+
+void Trace::clear() {
+  samples_.clear();
+  events_.clear();
+}
+
+std::string Trace::samples_csv() const {
+  std::string out = "t,server,clock,error,offset\n";
+  char buf[160];
+  for (const auto& s : samples_) {
+    std::snprintf(buf, sizeof(buf), "%.9g,%u,%.9g,%.9g,%.9g\n", s.t, s.server,
+                  s.clock, s.error, s.clock - s.t);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mtds::sim

@@ -1,0 +1,76 @@
+// Trace recording for simulated services.
+//
+// The benches and invariant checkers consume the same trace: periodic
+// samples of every server's (C_i, E_i) against true time, plus discrete
+// events (resets, inconsistencies, recoveries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace mtds::sim {
+
+using core::ClockTime;
+using core::Duration;
+using core::RealTime;
+using core::ServerId;
+
+struct Sample {
+  RealTime t;        // true time of the sample
+  ServerId server;
+  ClockTime clock;   // C_i(t)
+  Duration error;    // E_i(t)
+};
+
+enum class TraceEventKind : std::uint8_t {
+  kReset,          // server reset its clock (detail = new error)
+  kInconsistent,   // server saw an inconsistent reply / empty intersection
+  kRecovery,       // recovery policy fired (third-server reset)
+  kJoin,           // server joined the service
+  kLeave           // server left the service
+};
+
+struct TraceEvent {
+  RealTime t;
+  ServerId server;
+  TraceEventKind kind;
+  ServerId peer;   // counterparty (source of reset / inconsistent neighbour)
+  double detail;   // kind-specific payload
+};
+
+const char* to_string(TraceEventKind kind) noexcept;
+
+class Trace {
+ public:
+  void record(const Sample& s) { samples_.push_back(s); }
+  void record(const TraceEvent& e) { events_.push_back(e); }
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  std::vector<Sample> samples_for(ServerId id) const;
+  std::vector<TraceEvent> events_for(ServerId id) const;
+  std::size_t count_events(TraceEventKind kind) const;
+  std::size_t count_events(ServerId id, TraceEventKind kind) const;
+
+  // Distinct sample times, sorted (the scenario samples all servers at the
+  // same instants, so this recovers the sampling grid).
+  std::vector<RealTime> sample_times() const;
+
+  // All samples taken at time t (within tolerance).
+  std::vector<Sample> samples_at(RealTime t, double tol = 1e-9) const;
+
+  void clear();
+
+  // CSV dump: "t,server,clock,error,offset".
+  std::string samples_csv() const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mtds::sim

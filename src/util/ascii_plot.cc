@@ -1,0 +1,145 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mtds::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '@', '%', '&', '$'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+}  // namespace
+
+std::string plot(const std::vector<Series>& series, const PlotOptions& opts) {
+  Range xr, yr;
+  for (const auto& s : series) {
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  if (!xr.valid() || !yr.valid()) return "(empty plot)\n";
+
+  const std::size_t w = std::max<std::size_t>(opts.width, 8);
+  const std::size_t h = std::max<std::size_t>(opts.height, 4);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      auto cx = static_cast<std::size_t>(
+          std::llround((s.x[i] - xr.lo) / xr.span() * static_cast<double>(w - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::llround((s.y[i] - yr.lo) / yr.span() * static_cast<double>(h - 1)));
+      canvas[h - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  char buf[64];
+  for (std::size_t r = 0; r < h; ++r) {
+    const double yv = yr.hi - yr.span() * static_cast<double>(r) /
+                                static_cast<double>(h - 1);
+    std::snprintf(buf, sizeof(buf), "%11.4g |", yv);
+    out += buf;
+    out += canvas[r];
+    out += '\n';
+  }
+  out += std::string(12, ' ') + '+' + std::string(w, '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%12s%-.4g", " ", xr.lo);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", xr.hi);
+  const std::string right = buf;
+  const std::size_t pad_target = 12 + w;
+  if (out.size() > 0) {
+    const std::size_t line_start = out.rfind('\n', out.size() - 1);
+    const std::size_t line_len = out.size() - (line_start + 1);
+    if (pad_target > line_len + right.size()) {
+      out += std::string(pad_target - line_len - right.size(), ' ');
+    }
+  }
+  out += right;
+  out += '\n';
+  if (!opts.x_label.empty()) out += "x: " + opts.x_label + "\n";
+  if (!opts.y_label.empty()) out += "y: " + opts.y_label + "\n";
+  std::string legend;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (series[si].name.empty()) continue;
+    legend += "  ";
+    legend += kGlyphs[si % sizeof(kGlyphs)];
+    legend += " = " + series[si].name;
+  }
+  if (!legend.empty()) out += "legend:" + legend + "\n";
+  return out;
+}
+
+std::string plot_intervals(const std::vector<IntervalRow>& rows, double marker,
+                           std::size_t width) {
+  Range r;
+  for (const auto& row : rows) {
+    r.include(row.lo);
+    r.include(row.hi);
+  }
+  r.include(marker);
+  if (!r.valid()) return "(no intervals)\n";
+  // Pad so edges are visible.
+  const double pad = r.span() * 0.05;
+  r.lo -= pad;
+  r.hi += pad;
+
+  const std::size_t w = std::max<std::size_t>(width, 16);
+  auto col = [&](double v) {
+    const double t = (v - r.lo) / r.span();
+    return static_cast<std::size_t>(
+        std::llround(t * static_cast<double>(w - 1)));
+  };
+
+  std::string out;
+  char buf[64];
+  const std::size_t mcol = std::isfinite(marker) ? col(marker) : w + 1;
+  for (const auto& row : rows) {
+    std::string line(w, ' ');
+    const std::size_t a = std::min(col(row.lo), w - 1);
+    const std::size_t b = std::min(col(row.hi), w - 1);
+    for (std::size_t i = a; i <= b; ++i) line[i] = '=';
+    line[a] = '|';
+    line[b] = '|';
+    if (mcol < w && line[mcol] == ' ') line[mcol] = ':';
+    std::snprintf(buf, sizeof(buf), "%-14s ", row.label.c_str());
+    out += buf;
+    out += line;
+    std::snprintf(buf, sizeof(buf), "  [%.6g, %.6g]", row.lo, row.hi);
+    out += buf;
+    out += '\n';
+  }
+  if (std::isfinite(marker)) {
+    std::string line(w, ' ');
+    if (mcol < w) line[mcol] = ':';
+    std::snprintf(buf, sizeof(buf), "%-14s ", "true time");
+    out += buf;
+    out += line;
+    std::snprintf(buf, sizeof(buf), "  (t = %.6g)", marker);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mtds::util

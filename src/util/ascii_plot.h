@@ -1,0 +1,45 @@
+// Terminal line plots for bench output.
+//
+// The paper's figures are interval diagrams and time-series sketches; the
+// bench binaries reproduce their *shape* as ASCII so the comparison can be
+// eyeballed straight from the harness output without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtds::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   // plot area columns
+  std::size_t height = 20;  // plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+// Renders one or more series on a shared canvas.  Each series is drawn with
+// its own glyph ('*', '+', 'o', ...); a legend line maps glyphs to names.
+std::string plot(const std::vector<Series>& series, const PlotOptions& opts = {});
+
+// Renders a horizontal interval diagram like the paper's Figures 1, 2 and 4:
+// each row is one labelled interval [lo, hi] drawn as  |=====|  on a shared
+// axis.  `marker`, if finite, draws a vertical reference line (the paper's
+// dashed "correct time").
+struct IntervalRow {
+  std::string label;
+  double lo;
+  double hi;
+};
+
+std::string plot_intervals(const std::vector<IntervalRow>& rows,
+                           double marker,
+                           std::size_t width = 72);
+
+}  // namespace mtds::util

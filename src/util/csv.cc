@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace mtds::util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void CsvWriter::header(std::initializer_list<std::string> cols) {
+  std::string line;
+  for (const auto& c : cols) {
+    if (!line.empty()) line += ',';
+    line += escape(c);
+  }
+  emit(line);
+}
+
+void CsvWriter::row(std::initializer_list<double> vals) {
+  std::string line;
+  for (double v : vals) {
+    if (!line.empty()) line += ',';
+    line += format(v);
+  }
+  emit(line);
+}
+
+void CsvWriter::raw_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (const auto& c : cells) {
+    if (!line.empty()) line += ',';
+    line += escape(c);
+  }
+  emit(line);
+}
+
+void CsvWriter::emit(const std::string& line) {
+  lines_.push_back(line);
+  if (file_.is_open()) file_ << line << '\n';
+}
+
+}  // namespace mtds::util

@@ -1,0 +1,38 @@
+// Minimal CSV writer for bench/experiment output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mtds::util {
+
+// Writes rows to a file (or keeps them in memory when constructed without a
+// path, for tests).  Values are formatted with %.9g; strings are quoted only
+// when they contain a comma or quote.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  explicit CsvWriter(const std::string& path);
+
+  bool is_open() const { return file_.is_open(); }
+
+  void header(std::initializer_list<std::string> cols);
+  void row(std::initializer_list<double> vals);
+
+  // Mixed row: already-formatted cells.
+  void raw_row(const std::vector<std::string>& cells);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  static std::string escape(const std::string& cell);
+  static std::string format(double v);
+
+ private:
+  void emit(const std::string& line);
+  std::ofstream file_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace mtds::util

@@ -1,0 +1,66 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Header-only; binaries define flags locally and query after parse().
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mtds::util {
+
+class Flags {
+ public:
+  // Parses argv; unknown positional arguments are collected in positional().
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  double get_double(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  long get_int(const std::string& name, long def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  bool get_bool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mtds::util

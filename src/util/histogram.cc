@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mtds::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (!(hi > lo) || buckets == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+    ++counts_[idx];
+  }
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  underflow_ = overflow_ = total_ = 0;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (seen + c >= target && c > 0) {
+      const double frac = (target - seen) / c;
+      return bucket_lo(i) + frac * width_;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  std::size_t peak = std::max<std::size_t>(
+      {underflow_, overflow_,
+       counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end())});
+  if (peak == 0) peak = 1;
+  char line[256];
+  auto row = [&](const char* label, std::size_t count) {
+    const auto bars =
+        static_cast<std::size_t>(std::llround(static_cast<double>(count) *
+                                              static_cast<double>(width) /
+                                              static_cast<double>(peak)));
+    std::snprintf(line, sizeof(line), "%-24s %8zu %s\n", label, count,
+                  std::string(bars, '#').c_str());
+    out += line;
+  };
+  if (underflow_ > 0) row("< lo", underflow_);
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(label, sizeof(label), "[%.4g, %.4g)", bucket_lo(i),
+                  bucket_hi(i));
+    row(label, counts_[i]);
+  }
+  if (overflow_ > 0) row(">= hi", overflow_);
+  return out;
+}
+
+}  // namespace mtds::util

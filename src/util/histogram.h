@@ -1,0 +1,40 @@
+// Fixed-bucket and log-bucket histograms for latency / error distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtds::util {
+
+// Linear histogram over [lo, hi) with `buckets` equal-width buckets plus
+// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  // Approximate quantile using bucket interpolation (includes under/overflow
+  // mass at the extremes).
+  double quantile(double q) const noexcept;
+
+  // Multi-line ASCII rendering, one row per non-empty bucket.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace mtds::util

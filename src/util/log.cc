@@ -1,0 +1,86 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mtds::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+std::string* g_capture = nullptr;
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, double sim_time, const char* fmt, std::va_list ap) {
+  if (level < g_level.load()) return;
+  char msg[1024];
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  char line[1200];
+  if (sim_time >= 0) {
+    std::snprintf(line, sizeof(line), "[%s t=%.6f] %s\n", level_name(level),
+                  sim_time, msg);
+  } else {
+    std::snprintf(line, sizeof(line), "[%s] %s\n", level_name(level), msg);
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_capture != nullptr) {
+    *g_capture += line;
+  } else {
+    std::fputs(line, stderr);
+  }
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load()) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(level, -1.0, fmt, ap);
+  va_end(ap);
+}
+
+void logt(LogLevel level, double sim_time, const char* fmt, ...) {
+  if (level < g_level.load()) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(level, sim_time, fmt, ap);
+  va_end(ap);
+}
+
+namespace {
+std::string g_capture_storage;
+}
+
+LogCapture::LogCapture() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture_storage.clear();
+  g_capture = &g_capture_storage;
+}
+
+LogCapture::~LogCapture() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture = nullptr;
+}
+
+const std::string& LogCapture::text() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_capture_storage;
+}
+
+}  // namespace mtds::util

@@ -1,0 +1,44 @@
+// Leveled logging with printf-style formatting.
+//
+// Logging in the simulator is on hot paths (every message delivery can log),
+// so the level check happens before any formatting work.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mtds::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Global threshold; messages below it are dropped.  Defaults to kWarn so
+// tests and benches stay quiet unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+const char* level_name(LogLevel level) noexcept;
+
+// Low-level sink.  `sim_time` < 0 means "no simulation timestamp".
+void vlog(LogLevel level, double sim_time, const char* fmt, std::va_list ap);
+
+#if defined(__GNUC__)
+#define MTDS_PRINTF_ATTR(a, b) __attribute__((format(printf, a, b)))
+#else
+#define MTDS_PRINTF_ATTR(a, b)
+#endif
+
+void log(LogLevel level, const char* fmt, ...) MTDS_PRINTF_ATTR(2, 3);
+void logt(LogLevel level, double sim_time, const char* fmt, ...) MTDS_PRINTF_ATTR(3, 4);
+
+// Captures log lines for assertions in tests.  Installing a capture is not
+// thread-safe with concurrent logging; use from single-threaded tests only.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+  const std::string& text() const;
+};
+
+}  // namespace mtds::util

@@ -1,0 +1,160 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sync_function.h"
+
+namespace mtds::core {
+namespace {
+
+LocalState local(ClockTime c, Duration e, double delta = 1e-4) {
+  return LocalState{c, e, delta};
+}
+
+TimeReading reading(ServerId from, ClockTime c, Duration e, Duration rtt,
+                    ClockTime local_receive) {
+  return TimeReading{from, c, e, rtt, local_receive};
+}
+
+TEST(MaxSync, AdoptsFastestClock) {
+  MaxSync sync;
+  std::vector<TimeReading> replies = {
+      reading(1, 105.0, 0.1, 0.0, 100.0),
+      reading(2, 102.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->clock, 105.0, 1e-12);
+  EXPECT_EQ(out.reset->sources, (std::vector<ServerId>{1}));
+}
+
+TEST(MaxSync, NeverStepsBackward) {
+  // Lamport 78 preserves monotonicity: all replies behind the local clock
+  // are ignored.
+  MaxSync sync;
+  std::vector<TimeReading> replies = {
+      reading(1, 95.0, 0.1, 0.0, 100.0),
+      reading(2, 99.0, 0.01, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  EXPECT_FALSE(out.reset.has_value());
+}
+
+TEST(MaxSync, CreditsHalfRoundTrip) {
+  MaxSync sync;
+  std::vector<TimeReading> replies = {reading(1, 100.0, 0.1, 0.4, 100.0)};
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->clock, 100.2, 1e-12);
+}
+
+TEST(MaxSync, EmptyRoundNoReset) {
+  MaxSync sync;
+  EXPECT_FALSE(sync.on_round(local(100.0, 0.5), {}).reset.has_value());
+}
+
+TEST(MedianSync, PicksMiddleOffset) {
+  MedianSync sync;
+  // Own offset 0 plus replies at +1, +2, +3: sorted {0,1,2,3}; even count
+  // averages the middle pair -> +1.5.
+  std::vector<TimeReading> replies = {
+      reading(1, 101.0, 0.1, 0.0, 100.0),
+      reading(2, 102.0, 0.1, 0.0, 100.0),
+      reading(3, 103.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->clock, 101.5, 1e-12);
+}
+
+TEST(MedianSync, OddTotalUsesExactMiddle) {
+  MedianSync sync;
+  // Own 0 plus two replies {-4, +2}: sorted {-4, 0, 2} -> median 0.
+  std::vector<TimeReading> replies = {
+      reading(1, 96.0, 0.1, 0.0, 100.0),
+      reading(2, 102.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+}
+
+TEST(MedianSync, OutlierRobustness) {
+  MedianSync sync;
+  // One wildly wrong clock cannot move the median far.
+  std::vector<TimeReading> replies = {
+      reading(1, 100.1, 0.1, 0.0, 100.0),
+      reading(2, 99.9, 0.1, 0.0, 100.0),
+      reading(3, 100.05, 0.1, 0.0, 100.0),
+      reading(4, 5000.0, 0.1, 0.0, 100.0),  // insane outlier
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  // Offsets {0, +0.1, -0.1, +0.05, +4900}: median is +0.05.
+  EXPECT_NEAR(out.reset->clock, 100.05, 1e-9);
+}
+
+TEST(MeanSync, AveragesOffsetsIncludingSelf) {
+  MeanSync sync;
+  // Replies at +3 and -1; own 0.  Mean over 3 participants = 2/3.
+  std::vector<TimeReading> replies = {
+      reading(1, 103.0, 0.1, 0.0, 100.0),
+      reading(2, 99.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->clock, 100.0 + 2.0 / 3.0, 1e-12);
+}
+
+TEST(MeanSync, OutlierDragsMean) {
+  // Contrast with MedianSync: the mean is NOT robust - this asymmetry is
+  // exactly what EXP-BASELINE demonstrates at service level.
+  MeanSync sync;
+  std::vector<TimeReading> replies = {
+      reading(1, 100.0, 0.1, 0.0, 100.0),
+      reading(2, 400.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = sync.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_GT(out.reset->clock, 150.0);
+}
+
+TEST(Baselines, ErrorBookkeepingInheritsWorstCase) {
+  MedianSync median;
+  MeanSync mean;
+  std::vector<TimeReading> replies = {
+      reading(1, 100.0, 0.3, 0.1, 100.0),
+      reading(2, 100.0, 0.05, 0.0, 100.0),
+  };
+  const auto state = local(100.0, 0.2, 0.0);
+  const auto m1 = median.on_round(state, replies);
+  const auto m2 = mean.on_round(state, replies);
+  ASSERT_TRUE(m1.reset && m2.reset);
+  // Worst inherited error: 0.3 + 0.1 = 0.4.
+  EXPECT_NEAR(m1.reset->error, 0.4, 1e-12);
+  EXPECT_NEAR(m2.reset->error, 0.4, 1e-12);
+}
+
+TEST(SyncFactory, CreatesEveryAlgorithm) {
+  for (auto algo : {SyncAlgorithm::kMM, SyncAlgorithm::kIM, SyncAlgorithm::kMax,
+                    SyncAlgorithm::kMedian, SyncAlgorithm::kMean}) {
+    const auto fn = make_sync_function(algo);
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name(), to_string(algo));
+  }
+  EXPECT_THROW(make_sync_function(SyncAlgorithm::kNone), std::invalid_argument);
+}
+
+TEST(SyncFactory, ToStringCoversAll) {
+  EXPECT_EQ(to_string(SyncAlgorithm::kNone), "NONE");
+  EXPECT_EQ(to_string(SyncAlgorithm::kMM), "MM");
+  EXPECT_EQ(to_string(SyncAlgorithm::kIM), "IM");
+  EXPECT_EQ(to_string(SyncAlgorithm::kMax), "MAX");
+  EXPECT_EQ(to_string(SyncAlgorithm::kMedian), "MEDIAN");
+  EXPECT_EQ(to_string(SyncAlgorithm::kMean), "MEAN");
+}
+
+}  // namespace
+}  // namespace mtds::core

@@ -1,0 +1,176 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mtds::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(3.0, [&] { order.push_back(3); });
+  q.at(1.0, [&] { order.push_back(1); });
+  q.at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AfterSchedulesRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.at(10.0, [&] {
+    q.after(5.0, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, RejectsPastAndNegative) {
+  EventQueue q;
+  q.at(10.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  EXPECT_EQ(q.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 2u);
+  // Inclusive boundary.
+  EXPECT_EQ(q.run_until(3.0), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, RunUntilAdvancesNowEvenWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(100.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledTopDoesNotLeakLaterEvents) {
+  // Regression guard: a cancelled earliest event must not cause run_until
+  // to execute an event beyond the horizon.
+  EventQueue q;
+  bool late_fired = false;
+  const auto id = q.at(1.0, [] {});
+  q.at(10.0, [&] { late_fired = true; });
+  q.cancel(id);
+  q.run_until(5.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, CancelUnknownIdIsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(42));
+}
+
+TEST(EventQueue, CancelAfterExecutionIsHarmlessNoOp) {
+  // Regression: cancelling an id that already ran must not return true,
+  // corrupt pending(), or affect other scheduled events.
+  EventQueue q;
+  const auto ran = q.at(1.0, [] {});
+  bool other_fired = false;
+  q.at(2.0, [&] { other_fired = true; });
+  q.run_until(1.5);
+  EXPECT_FALSE(q.cancel(ran));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_TRUE(other_fired);
+}
+
+TEST(EventQueue, CancelledIdIsNeverConfusedWithLaterEvents) {
+  // Regression for the sentinel bug: cancelling id 0 after it ran must not
+  // suppress any later event.
+  EventQueue q;
+  int fired = 0;
+  const auto first = q.at(0.5, [&] { ++fired; });
+  EXPECT_EQ(first, 0u);  // ids start at 0: exactly the hazardous case
+  q.run_all();
+  q.cancel(first);  // stale handle
+  q.at(1.0, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SelfSchedulingChainTerminatesWithRunUntil) {
+  EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    q.after(1.0, tick);
+  };
+  q.after(1.0, tick);
+  q.run_until(10.5);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(EventQueue, RunAllGuardsAgainstRunaway) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.after(0.0, forever); };
+  q.after(0.0, forever);
+  EXPECT_EQ(q.run_all(/*max_events=*/1000), 1000u);
+}
+
+TEST(EventQueue, ZeroDelaySameTimeOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(1.0, [&] {
+    order.push_back(1);
+    q.after(0.0, [&] { order.push_back(2); });
+  });
+  q.at(1.0, [&] { order.push_back(3); });
+  q.run_all();
+  // The zero-delay event was enqueued after the second 1.0 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue q;
+  const auto a = q.at(1.0, [] {});
+  q.at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace mtds::sim

@@ -1,0 +1,193 @@
+#include "core/im_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace mtds::core {
+namespace {
+
+LocalState local(ClockTime c, Duration e, double delta = 0.0) {
+  return LocalState{c, e, delta};
+}
+
+TimeReading reading(ServerId from, ClockTime c, Duration e, Duration rtt,
+                    ClockTime local_receive) {
+  return TimeReading{from, c, e, rtt, local_receive};
+}
+
+TEST(IMSync, ModeAndName) {
+  IntersectionSync im;
+  EXPECT_EQ(im.mode(), SyncMode::kPerRound);
+  EXPECT_EQ(im.name(), "IM");
+}
+
+TEST(IMSync, EmptyRoundDoesNothing) {
+  IntersectionSync im;
+  const auto out = im.on_round(local(0.0, 1.0), {});
+  EXPECT_FALSE(out.reset.has_value());
+  EXPECT_FALSE(out.round_inconsistent);
+}
+
+TEST(IMSync, SingleTighterReplyShrinksError) {
+  IntersectionSync im;
+  // Local: offset interval [-1, 1].  Reply: same clock value, error 0.1,
+  // zero delay -> transformed interval [-0.1, 0.1].
+  std::vector<TimeReading> replies = {reading(1, 100.0, 0.1, 0.0, 100.0)};
+  const auto out = im.on_round(local(100.0, 1.0), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->error, 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+}
+
+TEST(IMSync, TransformUsesAsymmetricDelayPadding) {
+  IntersectionSync im;
+  // IM-2: T = C_j - E_j - C_i,  L = C_j + E_j + (1+delta) xi - C_i.
+  const double xi = 0.2;
+  std::vector<TimeReading> replies = {reading(1, 100.0, 0.1, xi, 100.0)};
+  const auto out = im.on_round(local(100.0, 10.0, /*delta=*/0.0), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  // a = -0.1, b = 0.1 + 0.2 -> midpoint 0.1, radius 0.2.
+  EXPECT_NEAR(out.reset->clock, 100.0 + 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->error, 0.2, 1e-12);
+}
+
+TEST(IMSync, LocalIntervalParticipates) {
+  IntersectionSync im;
+  // Reply interval wider than the local one: the local edges must cap it,
+  // so the result is a no-op reset to the local interval.
+  std::vector<TimeReading> replies = {reading(1, 100.0, 5.0, 0.0, 100.0)};
+  const auto out = im.on_round(local(100.0, 0.5), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  EXPECT_NEAR(out.reset->error, 0.5, 1e-12);
+  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+}
+
+TEST(IMSync, OverlappingIntervalsDeriveSmallerError) {
+  IntersectionSync im;
+  // Two replies offset in opposite directions: intersection is smaller
+  // than each (Figure 2, right; Theorem 6).
+  std::vector<TimeReading> replies = {
+      reading(1, 100.4, 0.5, 0.0, 100.0),   // offsets [-0.1, 0.9]
+      reading(2, 99.6, 0.5, 0.0, 100.0),    // offsets [-0.9, 0.1]
+  };
+  const auto out = im.on_round(local(100.0, 10.0), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  // a = -0.1, b = 0.1 -> error 0.1 < 0.5.
+  EXPECT_NEAR(out.reset->error, 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+}
+
+TEST(IMSync, DisjointRepliesAreInconsistent) {
+  IntersectionSync im;
+  std::vector<TimeReading> replies = {
+      reading(1, 105.0, 0.1, 0.0, 100.0),
+      reading(2, 95.0, 0.1, 0.0, 100.0),
+  };
+  const auto out = im.on_round(local(100.0, 1.0), replies);
+  EXPECT_FALSE(out.reset.has_value());
+  EXPECT_TRUE(out.round_inconsistent);
+  EXPECT_FALSE(out.inconsistent_with.empty());
+}
+
+TEST(IMSync, InconsistentWithNamesEdgeOwners) {
+  IntersectionSync im;
+  std::vector<TimeReading> replies = {
+      reading(7, 105.0, 0.1, 0.0, 100.0),  // defines the max trailing edge
+      reading(9, 95.0, 0.1, 0.0, 100.0),   // defines the min leading edge
+  };
+  const auto out = im.on_round(local(100.0, 100.0), replies);
+  ASSERT_TRUE(out.round_inconsistent);
+  EXPECT_EQ(out.inconsistent_with.size(), 2u);
+  EXPECT_TRUE((out.inconsistent_with[0] == 7u && out.inconsistent_with[1] == 9u) ||
+              (out.inconsistent_with[0] == 9u && out.inconsistent_with[1] == 7u));
+}
+
+TEST(IMSync, AgingWidensBufferedReplies) {
+  IntersectionSync im;
+  const double delta = 0.01;
+  // Reply received 10 local seconds ago: padding delta * 10 on each side.
+  std::vector<TimeReading> replies = {reading(1, 90.0, 0.1, 0.0, 90.0)};
+  const auto out = im.on_round(local(100.0, 10.0, delta), replies);
+  ASSERT_TRUE(out.reset.has_value());
+  // Un-aged transformed interval (offsets relative to local clock at
+  // receipt): [-0.1, 0.1]; aged: [-0.2, 0.2].
+  EXPECT_NEAR(out.reset->error, 0.2, 1e-12);
+}
+
+TEST(IMSync, Theorem6IntersectionAtMostSmallestInterval) {
+  // Property: the derived error never exceeds the smallest transformed
+  // interval's radius (and never exceeds the local error).
+  IntersectionSync im;
+  sim::Rng rng(42);
+  int resets = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const double ei = rng.uniform(0.2, 2.0);
+    LocalState state = local(50.0, ei, 1e-4);
+    std::vector<TimeReading> replies;
+    const int n = 1 + static_cast<int>(rng.uniform_index(5));
+    double smallest_half_width = ei;
+    for (int j = 0; j < n; ++j) {
+      const double e = rng.uniform(0.05, 1.0);
+      const double xi = rng.uniform(0.0, 0.1);
+      const double c = 50.0 + rng.uniform(-0.5, 0.5);
+      replies.push_back(reading(static_cast<ServerId>(j + 1), c, e, xi, 50.0));
+      smallest_half_width =
+          std::min(smallest_half_width, e + 0.5 * (1.0 + state.delta) * xi);
+    }
+    const auto out = im.on_round(state, replies);
+    if (!out.reset) continue;
+    ++resets;
+    EXPECT_LE(out.reset->error, ei + 1e-12);
+    EXPECT_LE(out.reset->error, smallest_half_width + 1e-9);
+  }
+  EXPECT_GT(resets, 500);
+}
+
+TEST(IMSync, CorrectnessPreservedProperty) {
+  // Theorem 5: if the local interval and all reply intervals are correct,
+  // the post-reset interval contains true time.
+  IntersectionSync im;
+  sim::Rng rng(4321);
+  int resets = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const double t = rng.uniform(0.0, 1000.0);
+    const double ei = rng.uniform(0.05, 1.0);
+    const double ci = t + rng.uniform(-ei, ei);
+    LocalState state = local(ci, ei, 1e-4);
+    std::vector<TimeReading> replies;
+    const int n = 1 + static_cast<int>(rng.uniform_index(6));
+    for (int j = 0; j < n; ++j) {
+      const double xi = rng.uniform(0.0, 0.05);
+      const double t_reply = t - rng.uniform(0.0, xi);
+      const double e = rng.uniform(0.01, 1.0);
+      const double c = t_reply + rng.uniform(-e, e);
+      replies.push_back(reading(static_cast<ServerId>(j + 1), c, e, xi, ci));
+    }
+    const auto out = im.on_round(state, replies);
+    if (!out.reset) continue;  // replies may be mutually inconsistent here
+    ++resets;
+    EXPECT_LE(out.reset->clock - out.reset->error, t + 1e-9);
+    EXPECT_GE(out.reset->clock + out.reset->error, t - 1e-9);
+  }
+  EXPECT_GT(resets, 500);
+}
+
+TEST(IMSync, ConsistentRepliesNeverReportInconsistent) {
+  // If all replies share a common point with the local interval, the round
+  // must produce a reset.
+  IntersectionSync im;
+  std::vector<TimeReading> replies = {
+      reading(1, 100.2, 0.3, 0.0, 100.0),
+      reading(2, 99.9, 0.2, 0.0, 100.0),
+      reading(3, 100.05, 0.5, 0.0, 100.0),
+  };
+  const auto out = im.on_round(local(100.0, 0.4), replies);
+  EXPECT_TRUE(out.reset.has_value());
+  EXPECT_FALSE(out.round_inconsistent);
+}
+
+}  // namespace
+}  // namespace mtds::core

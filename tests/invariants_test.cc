@@ -1,0 +1,112 @@
+#include "service/invariants.h"
+
+#include <gtest/gtest.h>
+
+namespace mtds::service {
+namespace {
+
+sim::Sample sample(double t, core::ServerId s, double clock, double error) {
+  return sim::Sample{t, s, clock, error};
+}
+
+TEST(CheckCorrectness, PassesWhenIntervalsContainTruth) {
+  sim::Trace trace;
+  trace.record(sample(10.0, 0, 10.05, 0.1));
+  trace.record(sample(10.0, 1, 9.92, 0.1));
+  const auto report = check_correctness(trace);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.samples_checked, 2u);
+  EXPECT_NEAR(report.worst_ratio, 0.8, 1e-9);
+}
+
+TEST(CheckCorrectness, FlagsViolationWithMagnitude) {
+  sim::Trace trace;
+  trace.record(sample(10.0, 3, 10.5, 0.1));
+  const auto report = check_correctness(trace);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].server, 3u);
+  EXPECT_NEAR(report.violations[0].magnitude, 0.4, 1e-9);
+  EXPECT_NE(report.violations[0].what.find(">"), std::string::npos);
+}
+
+TEST(CheckCorrectness, ToleranceAbsorbsFloatNoise) {
+  sim::Trace trace;
+  trace.record(sample(10.0, 0, 10.1 + 1e-12, 0.1));
+  EXPECT_TRUE(check_correctness(trace).ok());
+}
+
+TEST(CheckPairwiseConsistency, DetectsInconsistentPair) {
+  sim::Trace trace;
+  trace.record(sample(5.0, 0, 181.0, 2.0));   // the paper's 3:01 +/- 2
+  trace.record(sample(5.0, 1, 186.0, 2.0));   // 3:06 +/- 2
+  trace.record(sample(5.0, 2, 183.0, 2.0));   // consistent with both
+  const auto report = check_pairwise_consistency(trace);
+  EXPECT_EQ(report.pairs_checked, 3u);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].server, 0u);
+  EXPECT_EQ(report.violations[0].peer, 1u);
+  EXPECT_NEAR(report.violations[0].magnitude, 1.0, 1e-9);
+}
+
+TEST(CheckPairwiseConsistency, DifferentTimesNotCompared) {
+  sim::Trace trace;
+  trace.record(sample(1.0, 0, 0.0, 0.1));
+  trace.record(sample(2.0, 1, 100.0, 0.1));
+  const auto report = check_pairwise_consistency(trace);
+  EXPECT_EQ(report.pairs_checked, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(MeasureAsynchronism, FindsWorstPairAndTime) {
+  sim::Trace trace;
+  trace.record(sample(1.0, 0, 1.0, 0.1));
+  trace.record(sample(1.0, 1, 1.2, 0.1));
+  trace.record(sample(2.0, 0, 2.0, 0.1));
+  trace.record(sample(2.0, 1, 2.5, 0.1));
+  const auto report = measure_asynchronism(trace);
+  EXPECT_NEAR(report.max_observed, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(report.worst_time, 2.0);
+  ASSERT_EQ(report.times.size(), 2u);
+  EXPECT_NEAR(report.spread[0], 0.2, 1e-12);
+}
+
+TEST(MeasureAsynchronism, SingleServerYieldsNothing) {
+  sim::Trace trace;
+  trace.record(sample(1.0, 0, 1.0, 0.1));
+  const auto report = measure_asynchronism(trace);
+  EXPECT_TRUE(report.times.empty());
+  EXPECT_DOUBLE_EQ(report.max_observed, 0.0);
+}
+
+TEST(MeasureErrorGrowth, TracksMinMaxAndSlope) {
+  sim::Trace trace;
+  for (int t = 0; t <= 10; ++t) {
+    trace.record(sample(t, 0, t, 0.1 + 0.01 * t));
+    trace.record(sample(t, 1, t, 0.5 + 0.02 * t));
+  }
+  const auto report = measure_error_growth(trace);
+  ASSERT_EQ(report.times.size(), 11u);
+  EXPECT_NEAR(report.min_error.front(), 0.1, 1e-12);
+  EXPECT_NEAR(report.max_error.front(), 0.5, 1e-12);
+  EXPECT_NEAR(report.min_fit.slope, 0.01, 1e-9);
+  EXPECT_NEAR(report.max_fit.slope, 0.02, 1e-9);
+  EXPECT_TRUE(report.min_monotonic);
+}
+
+TEST(MeasureErrorGrowth, DetectsMinimumDecrease) {
+  sim::Trace trace;
+  trace.record(sample(1.0, 0, 1.0, 0.5));
+  trace.record(sample(2.0, 0, 2.0, 0.3));  // minimum decreased
+  const auto report = measure_error_growth(trace);
+  EXPECT_FALSE(report.min_monotonic);
+}
+
+TEST(MeasureErrorGrowth, EmptyTraceSafe) {
+  sim::Trace trace;
+  const auto report = measure_error_growth(trace);
+  EXPECT_TRUE(report.times.empty());
+  EXPECT_TRUE(report.min_monotonic);
+}
+
+}  // namespace
+}  // namespace mtds::service

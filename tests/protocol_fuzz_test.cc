@@ -1,0 +1,80 @@
+// Decoder robustness: the UDP wire decoders must reject arbitrary garbage
+// and mutated packets without crashing or mis-parsing, since a real port
+// receives whatever the network delivers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/protocol.h"
+#include "sim/rng.h"
+
+namespace mtds::net {
+namespace {
+
+TEST(ProtocolFuzz, RandomGarbageNeverDecodes) {
+  sim::Rng rng(0xF00D);
+  int accepted = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t size = rng.uniform_index(128);
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    if (decode_request(bytes.data(), bytes.size())) ++accepted;
+    if (decode_response(bytes.data(), bytes.size())) ++accepted;
+  }
+  // Random bytes matching magic + version + type by chance is ~2^-48.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(ProtocolFuzz, SingleByteMutationsEitherRejectOrPreserveStructure) {
+  sim::Rng rng(0xBEEF);
+  TimeResponsePacket original;
+  original.tag = 0x1122334455667788ull;
+  original.client_send_ns = 42;
+  original.server_id = 3;
+  original.clock_ns = 1'000'000'000;
+  original.error_ns = 5'000'000;
+  const auto buf = encode(original);
+
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto mutated = buf;
+    const auto pos = rng.uniform_index(mutated.size());
+    const auto bit = rng.uniform_index(8);
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+    const auto decoded = decode_response(mutated.data(), mutated.size());
+    if (pos < 6) {
+      // Header mutation (magic/version/type) must be rejected.
+      EXPECT_FALSE(decoded.has_value()) << "pos=" << pos;
+    } else if (decoded) {
+      // Payload mutation decodes (checksums are the transport's job) but
+      // must differ from the original in exactly the mutated field region.
+      const bool any_change = decoded->tag != original.tag ||
+                              decoded->client_send_ns != original.client_send_ns ||
+                              decoded->server_id != original.server_id ||
+                              decoded->clock_ns != original.clock_ns ||
+                              decoded->error_ns != original.error_ns;
+      const bool reserved = (pos >= 6 && pos < 8) || (pos >= 28 && pos < 32);
+      EXPECT_EQ(any_change, !reserved) << "pos=" << pos;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TruncationsAlwaysRejected) {
+  const auto req = encode(TimeRequestPacket{});
+  for (std::size_t len = 0; len < req.size(); ++len) {
+    EXPECT_FALSE(decode_request(req.data(), len).has_value());
+  }
+  const auto resp = encode(TimeResponsePacket{});
+  for (std::size_t len = 0; len < resp.size(); ++len) {
+    EXPECT_FALSE(decode_response(resp.data(), len).has_value());
+  }
+}
+
+TEST(ProtocolFuzz, OversizedBuffersRejected) {
+  std::vector<std::uint8_t> big(encode(TimeRequestPacket{}).begin(),
+                                encode(TimeRequestPacket{}).end());
+  big.push_back(0);
+  EXPECT_FALSE(decode_request(big.data(), big.size()).has_value());
+}
+
+}  // namespace
+}  // namespace mtds::net

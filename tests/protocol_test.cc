@@ -1,0 +1,105 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace mtds::net {
+namespace {
+
+TEST(Protocol, RequestRoundTrip) {
+  TimeRequestPacket req;
+  req.tag = 0xDEADBEEFCAFE1234ull;
+  req.client_send_ns = -123456789;
+  const auto buf = encode(req);
+  const auto decoded = decode_request(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tag, req.tag);
+  EXPECT_EQ(decoded->client_send_ns, req.client_send_ns);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  TimeResponsePacket resp;
+  resp.tag = 42;
+  resp.client_send_ns = 1111;
+  resp.server_id = 7;
+  resp.clock_ns = 987654321012345678ll;
+  resp.error_ns = 5000000;
+  const auto buf = encode(resp);
+  const auto decoded = decode_response(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tag, 42u);
+  EXPECT_EQ(decoded->client_send_ns, 1111);
+  EXPECT_EQ(decoded->server_id, 7u);
+  EXPECT_EQ(decoded->clock_ns, 987654321012345678ll);
+  EXPECT_EQ(decoded->error_ns, 5000000);
+}
+
+TEST(Protocol, RoundTripRandomized) {
+  sim::Rng rng(31337);
+  for (int i = 0; i < 1000; ++i) {
+    TimeResponsePacket resp;
+    resp.tag = rng.next_u64();
+    resp.client_send_ns = static_cast<std::int64_t>(rng.next_u64());
+    resp.server_id = static_cast<std::uint32_t>(rng.next_u64());
+    resp.clock_ns = static_cast<std::int64_t>(rng.next_u64());
+    resp.error_ns = static_cast<std::int64_t>(rng.next_u64());
+    const auto buf = encode(resp);
+    const auto decoded = decode_response(buf.data(), buf.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->tag, resp.tag);
+    EXPECT_EQ(decoded->clock_ns, resp.clock_ns);
+    EXPECT_EQ(decoded->error_ns, resp.error_ns);
+    EXPECT_EQ(decoded->server_id, resp.server_id);
+  }
+}
+
+TEST(Protocol, RejectsWrongSize) {
+  const auto buf = encode(TimeRequestPacket{});
+  EXPECT_FALSE(decode_request(buf.data(), buf.size() - 1).has_value());
+  EXPECT_FALSE(decode_response(buf.data(), buf.size()).has_value());
+}
+
+TEST(Protocol, RejectsWrongMagic) {
+  auto buf = encode(TimeRequestPacket{});
+  buf[0] ^= 0xFF;
+  EXPECT_FALSE(decode_request(buf.data(), buf.size()).has_value());
+}
+
+TEST(Protocol, RejectsWrongVersion) {
+  auto buf = encode(TimeRequestPacket{});
+  buf[4] = kVersion + 1;
+  EXPECT_FALSE(decode_request(buf.data(), buf.size()).has_value());
+}
+
+TEST(Protocol, RejectsCrossTypeDecode) {
+  const auto req = encode(TimeRequestPacket{});
+  EXPECT_FALSE(decode_response(req.data(), req.size()).has_value());
+  const auto resp = encode(TimeResponsePacket{});
+  EXPECT_FALSE(decode_request(resp.data(), resp.size()).has_value());
+}
+
+TEST(Protocol, SecondsNsConversion) {
+  EXPECT_EQ(seconds_to_ns(1.5), 1500000000ll);
+  EXPECT_EQ(seconds_to_ns(-0.25), -250000000ll);
+  EXPECT_NEAR(ns_to_seconds(1500000000ll), 1.5, 1e-15);
+  // Round trip within a nanosecond.
+  const double x = 123456.789012345;
+  EXPECT_NEAR(ns_to_seconds(seconds_to_ns(x)), x, 1e-9);
+}
+
+TEST(Protocol, SecondsNsSaturates) {
+  EXPECT_EQ(seconds_to_ns(1e30), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(seconds_to_ns(-1e30), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Protocol, NetworkByteOrderIsBigEndian) {
+  TimeRequestPacket req;
+  req.tag = 0x0102030405060708ull;
+  const auto buf = encode(req);
+  EXPECT_EQ(buf[8], 0x01);
+  EXPECT_EQ(buf[15], 0x08);
+}
+
+}  // namespace
+}  // namespace mtds::net

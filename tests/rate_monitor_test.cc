@@ -1,0 +1,152 @@
+#include "service/rate_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "service/time_service.h"
+
+namespace mtds::service {
+namespace {
+
+core::TimeReading reading(core::ServerId from, double local, double remote,
+                          double rtt = 0.0) {
+  core::TimeReading r;
+  r.from = from;
+  r.c = remote;
+  r.e = 0.01;
+  r.rtt_own = rtt;
+  r.local_receive = local;
+  return r;
+}
+
+TEST(RateMonitor, NoEstimateBeforeEnoughObservations) {
+  RateMonitor monitor(1e-5);
+  EXPECT_EQ(monitor.neighbours(), 0u);
+  EXPECT_FALSE(monitor.rate_interval(1).has_value());
+  monitor.observe(reading(1, 0.0, 0.0));
+  EXPECT_EQ(monitor.neighbours(), 1u);
+  EXPECT_FALSE(monitor.rate_interval(1).has_value());
+}
+
+TEST(RateMonitor, MeasuresRelativeRate) {
+  RateMonitor monitor(1e-5);
+  // Neighbour gains 1e-3 per local second; 1 ms round trips give the
+  // estimate a small non-zero uncertainty band.
+  for (int i = 0; i <= 5; ++i) {
+    const double local = 100.0 * i;
+    monitor.observe(reading(1, local, local * (1.0 + 1e-3), 0.001));
+  }
+  const auto interval = monitor.rate_interval(1);
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_TRUE(interval->contains(1e-3)) << interval->str();
+  EXPECT_LT(interval->length(), 1e-4);  // (0.001+0.001)/500 per side
+}
+
+TEST(RateMonitor, DissonantRequiresClaimedDelta) {
+  RateMonitor monitor(1e-5);
+  for (int i = 0; i <= 5; ++i) {
+    const double local = 100.0 * i;
+    monitor.observe(reading(1, local, local * 1.04));  // 4% fast!
+  }
+  // Without a claimed bound the monitor cannot judge.
+  EXPECT_TRUE(monitor.dissonant().empty());
+  monitor.set_claimed_delta(1, 1.2e-5);
+  const auto bad = monitor.dissonant();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 1u);
+}
+
+TEST(RateMonitor, ConsonantNeighbourNotFlagged) {
+  RateMonitor monitor(1e-5);
+  monitor.set_claimed_delta(1, 2e-5);
+  for (int i = 0; i <= 5; ++i) {
+    const double local = 100.0 * i;
+    monitor.observe(reading(1, local, local * (1.0 + 1.5e-5)));
+  }
+  EXPECT_TRUE(monitor.dissonant().empty());
+}
+
+TEST(RateMonitor, LocalResetClearsWindows) {
+  RateMonitor monitor(1e-5);
+  monitor.set_claimed_delta(1, 1e-5);
+  for (int i = 0; i <= 5; ++i) {
+    monitor.observe(reading(1, 100.0 * i, 100.0 * i * 1.04));
+  }
+  ASSERT_FALSE(monitor.dissonant().empty());
+  monitor.on_local_reset();
+  EXPECT_FALSE(monitor.rate_interval(1).has_value());
+  EXPECT_TRUE(monitor.dissonant().empty());
+}
+
+TEST(RateMonitor, RefinedOwnRateFromConsonantNeighbours) {
+  // Our clock is actually 2e-5 fast; three accurate neighbours all appear
+  // ~2e-5 SLOW relative to us.  The refined own-rate interval must contain
+  // +2e-5 and exclude rates far outside.
+  RateMonitor monitor(5e-5);
+  for (core::ServerId j = 1; j <= 3; ++j) {
+    monitor.set_claimed_delta(j, 1e-6);
+    for (int i = 0; i <= 5; ++i) {
+      const double local = 200.0 * i;
+      monitor.observe(reading(j, local, local * (1.0 - 2e-5)));
+    }
+  }
+  const auto own = monitor.refined_own_rate();
+  ASSERT_TRUE(own.has_value());
+  EXPECT_TRUE(own->contains(2e-5)) << own->str();
+  EXPECT_LT(own->length(), 1e-4);
+  EXPECT_FALSE(own->contains(1e-3));
+}
+
+TEST(RateMonitor, RefinedOwnRateSkipsDissonantNeighbour) {
+  RateMonitor monitor(5e-5);
+  monitor.set_claimed_delta(1, 1e-6);
+  monitor.set_claimed_delta(2, 1e-6);
+  for (int i = 0; i <= 5; ++i) {
+    const double local = 200.0 * i;
+    monitor.observe(reading(1, local, local * (1.0 - 2e-5)));  // honest
+    monitor.observe(reading(2, local, local * 1.04));          // 4% liar
+  }
+  const auto own = monitor.refined_own_rate();
+  ASSERT_TRUE(own.has_value());
+  // The liar, being dissonant, is excluded; the estimate still brackets our
+  // true rate error.
+  EXPECT_TRUE(own->contains(2e-5)) << own->str();
+}
+
+TEST(RateMonitorService, FlagsInvalidBoundWhileIntervalsStillConsistent) {
+  // Section 5's punchline: the 4%-fast server is detected by RATE analysis
+  // long before (and independently of) interval inconsistency.
+  ServiceConfig cfg;
+  cfg.seed = 61;
+  cfg.delay_hi = 0.001;
+  cfg.sample_interval = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    ServerSpec s;
+    s.algo = core::SyncAlgorithm::kNone;  // free-running: pure observation
+    s.claimed_delta = 1.2e-5;
+    s.actual_drift = i == 2 ? 0.04 : 1e-6 * i;
+    s.initial_error = 10.0;  // huge errors: intervals stay consistent
+    s.poll_period = 5.0;
+    cfg.servers.push_back(s);
+  }
+  // Server 0 polls both neighbours to feed its monitor; its own error is
+  // kept far below everyone else's so MM never accepts a reply (a reset
+  // would clear the rate windows) and it purely observes.
+  cfg.servers[0].algo = core::SyncAlgorithm::kMM;
+  cfg.servers[0].monitor_rates = true;
+  cfg.servers[0].initial_error = 0.001;
+  TimeService service(cfg);
+  service.run_until(200.0);
+
+  const auto* monitor = service.server(0).rate_monitor();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->neighbours(), 2u);
+  // Intervals are all consistent (errors are 10 s, offsets < 8 s)...
+  EXPECT_TRUE(service.all_correct());
+  // ...yet the rate monitor has already convicted server 2.
+  const auto bad = monitor->dissonant();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 2u);
+}
+
+}  // namespace
+}  // namespace mtds::service

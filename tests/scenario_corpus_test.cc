@@ -1,0 +1,98 @@
+// Runs every shipped scenario file in scenarios/ and checks its intended
+// outcome - the corpus doubles as executable documentation of the DSL.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/report.h"
+#include "service/scenario.h"
+
+namespace mtds::service {
+namespace {
+
+std::string read_scenario(const std::string& name) {
+  // ctest runs from the build directory; scenarios live in the source tree.
+  for (const std::string prefix :
+       {"scenarios/", "../scenarios/", "../../scenarios/"}) {
+    std::ifstream in(prefix + name);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return buffer.str();
+    }
+  }
+  ADD_FAILURE() << "scenario file not found: " << name;
+  return "";
+}
+
+ServiceReport run_file(const std::string& name) {
+  ScenarioRunner runner(parse_scenario(read_scenario(name)));
+  return build_report(runner.run());
+}
+
+TEST(ScenarioCorpus, BasicMMIsHealthy) {
+  const auto report = run_file("basic_mm.mtds");
+  EXPECT_TRUE(report.healthy());
+  EXPECT_GT(report.resets, 20u);
+  for (const auto& s : report.servers) EXPECT_TRUE(s.correct);
+}
+
+TEST(ScenarioCorpus, RecoveryKeepsBadClockBounded) {
+  const auto report = run_file("recovery.mtds");
+  EXPECT_GT(report.recoveries, 0u);
+  EXPECT_GT(report.inconsistencies, 0u);
+  // The 4%-fast clock would free-run to 0.04 * 800 = 32 s; recovery keeps
+  // it within a second.
+  EXPECT_LT(std::abs(report.servers[0].offset), 1.0);
+  // As the paper observed, it is not *correct* between recoveries.
+  EXPECT_FALSE(report.correctness.ok());
+}
+
+TEST(ScenarioCorpus, PartitionHealsAndResynchronizes) {
+  const auto report = run_file("partition_heal.mtds");
+  EXPECT_GT(report.network.dropped_partition, 0u);
+  EXPECT_TRUE(report.correctness.ok());
+  // After healing, the halves re-converged.
+  double spread = 0.0;
+  for (const auto& a : report.servers) {
+    for (const auto& b : report.servers) {
+      spread = std::max(spread, std::abs(a.offset - b.offset));
+    }
+  }
+  EXPECT_LT(spread, 0.02);
+}
+
+TEST(ScenarioCorpus, IMFTSurvivesTwoLiars) {
+  const auto report = run_file("imft_liars.mtds");
+  // The five honest IMFT servers keep resetting and stay correct; the two
+  // confident liars are, of course, incorrect.
+  std::size_t honest_correct = 0, honest_resets = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (report.servers[i].correct) ++honest_correct;
+    honest_resets += report.servers[i].counters.resets;
+  }
+  EXPECT_EQ(honest_correct, 5u);
+  EXPECT_GT(honest_resets, 100u);
+  EXPECT_FALSE(report.servers[5].correct);
+  EXPECT_FALSE(report.servers[6].correct);
+}
+
+TEST(ScenarioCorpus, ChurnEndsHealthyForSurvivors) {
+  const auto report = run_file("churn.mtds");
+  EXPECT_EQ(report.joins, 5u);   // 3 initial + 2 timeline joins
+  EXPECT_EQ(report.leaves, 2u);
+  std::size_t running = 0;
+  for (const auto& s : report.servers) {
+    if (s.running) {
+      ++running;
+      EXPECT_TRUE(s.correct) << "S" << s.id;
+      EXPECT_LT(s.error, 0.5);  // late joiners synchronized in
+    }
+  }
+  EXPECT_EQ(running, 3u);
+}
+
+}  // namespace
+}  // namespace mtds::service

@@ -1,0 +1,244 @@
+// Loopback integration tests for the real UDP time service.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/udp_client.h"
+#include "net/udp_server.h"
+#include "net/udp_socket.h"
+
+namespace mtds::net {
+namespace {
+
+TEST(UdpSocket, BindsEphemeralPort) {
+  UdpSocket sock;
+  EXPECT_GT(sock.port(), 0);
+  EXPECT_FALSE(sock.closed());
+}
+
+TEST(UdpSocket, SendReceiveLoopback) {
+  UdpSocket a, b;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(a.send_to(b.port(), payload));
+  const auto dgram = b.receive(/*timeout_ms=*/500);
+  ASSERT_TRUE(dgram.has_value());
+  EXPECT_EQ(dgram->payload, payload);
+}
+
+TEST(UdpSocket, ReceiveTimesOut) {
+  UdpSocket sock;
+  const auto dgram = sock.receive(/*timeout_ms=*/10);
+  EXPECT_FALSE(dgram.has_value());
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  UdpSocket a;
+  const auto port = a.port();
+  UdpSocket b(std::move(a));
+  EXPECT_EQ(b.port(), port);
+  EXPECT_TRUE(a.closed());
+}
+
+TEST(UdpSocket, ClosedSocketRefusesIo) {
+  UdpSocket sock;
+  sock.close();
+  EXPECT_TRUE(sock.closed());
+  EXPECT_FALSE(sock.send_to(1234, std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(sock.receive(1).has_value());
+}
+
+TEST(UdpServer, AnswersQueries) {
+  UdpServerConfig cfg;
+  cfg.id = 9;
+  cfg.claimed_delta = 1e-4;
+  cfg.initial_error = 0.002;
+  cfg.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer server(cfg);
+  server.start();
+
+  UdpTimeClient client;
+  const auto readings = client.collect({server.port()}, 0.5);
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_EQ(readings[0].from, 9u);
+  EXPECT_NEAR(readings[0].e, 0.002, 1e-3);
+  EXPECT_GE(readings[0].rtt_own, 0.0);
+  EXPECT_LT(readings[0].rtt_own, 0.5);
+  EXPECT_GT(server.requests_served(), 0u);
+  server.stop();
+}
+
+TEST(UdpServer, ClientStrategiesAgainstThreeServers) {
+  std::vector<std::unique_ptr<UdpTimeServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 3; ++i) {
+    UdpServerConfig cfg;
+    cfg.id = static_cast<std::uint32_t>(i);
+    cfg.claimed_delta = 1e-4;
+    cfg.initial_error = 0.002 + 0.002 * i;
+    cfg.initial_offset = (i - 1) * 0.001;
+    cfg.algo = core::SyncAlgorithm::kNone;
+    servers.push_back(std::make_unique<UdpTimeServer>(cfg));
+    servers.back()->start();
+    ports.push_back(servers.back()->port());
+  }
+
+  UdpTimeClient client;
+  const auto first = client.query(ports, service::ClientStrategy::kFirstReply, 0.5);
+  EXPECT_EQ(first.replies, 1u);
+  // Theorem 6 compares strategies over the SAME replies: collect once.
+  const auto readings = client.collect(ports, 0.5);
+  ASSERT_EQ(readings.size(), 3u);
+  const auto smallest =
+      service::combine_replies(readings, service::ClientStrategy::kSmallestError);
+  const auto intersect =
+      service::combine_replies(readings, service::ClientStrategy::kIntersect);
+  EXPECT_EQ(intersect.replies, 3u);
+  EXPECT_TRUE(intersect.consistent);
+  EXPECT_LE(intersect.error, smallest.error + 1e-9);
+  // The estimate approximates host time within its own error bound.
+  EXPECT_LE(std::abs(intersect.estimate - host_seconds()),
+            intersect.error + 0.01);
+  for (auto& s : servers) s->stop();
+}
+
+TEST(UdpServer, MMSyncPullsOffsetServerIn) {
+  // Reference server: correct, tight error.  Learner: 50 ms off with a
+  // large error; after a few MM rounds it must have adopted the reference.
+  UdpServerConfig ref;
+  ref.id = 0;
+  ref.claimed_delta = 1e-5;
+  ref.initial_error = 0.0005;
+  ref.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer reference(ref);
+  reference.start();
+
+  UdpServerConfig learn;
+  learn.id = 1;
+  learn.claimed_delta = 1e-4;
+  learn.initial_error = 0.5;
+  learn.initial_offset = 0.05;
+  learn.algo = core::SyncAlgorithm::kMM;
+  learn.poll_period = 0.02;
+  learn.reply_timeout = 0.01;
+  UdpTimeServer learner(learn);
+  learner.set_peers({reference.port()});
+  learner.start();
+
+  // Wait for a few sync rounds.
+  for (int i = 0; i < 100 && learner.resets() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(learner.resets(), 0u);
+  EXPECT_LT(std::abs(learner.true_offset()), 0.01);
+  EXPECT_LT(learner.current_error(), 0.1);
+  learner.stop();
+  reference.stop();
+}
+
+TEST(UdpServer, IMSyncShrinksError) {
+  UdpServerConfig a;
+  a.id = 0;
+  a.claimed_delta = 1e-5;
+  a.initial_error = 0.003;
+  a.initial_offset = 0.002;
+  a.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer sa(a);
+  sa.start();
+
+  UdpServerConfig b = a;
+  b.id = 1;
+  b.initial_offset = -0.002;
+  UdpTimeServer sb(b);
+  sb.start();
+
+  UdpServerConfig im;
+  im.id = 2;
+  im.claimed_delta = 1e-4;
+  im.initial_error = 0.25;
+  im.algo = core::SyncAlgorithm::kIM;
+  im.poll_period = 0.02;
+  im.reply_timeout = 0.01;
+  UdpTimeServer learner(im);
+  learner.set_peers({sa.port(), sb.port()});
+  learner.start();
+
+  for (int i = 0; i < 100 && learner.resets() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(learner.resets(), 0u);
+  EXPECT_LT(learner.current_error(), 0.05);
+  EXPECT_LT(std::abs(learner.true_offset()), 0.05);
+  learner.stop();
+  sa.stop();
+  sb.stop();
+}
+
+TEST(UdpServer, ThirdServerRecoveryOverUdp) {
+  // An honest remote server (the "other network") plus a confidently wrong
+  // peer: the learner's MM rounds see only inconsistency, so the recovery
+  // path must reset it from the remote.
+  UdpServerConfig remote;
+  remote.id = 9;
+  remote.claimed_delta = 1e-6;
+  remote.initial_error = 0.0005;
+  remote.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer third(remote);
+  third.start();
+
+  UdpServerConfig liar;
+  liar.id = 1;
+  liar.claimed_delta = 1e-6;
+  liar.initial_error = 0.0005;
+  liar.initial_offset = -5.0;  // wildly wrong, tiny claimed error
+  liar.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer bad(liar);
+  bad.start();
+
+  UdpServerConfig cfg;
+  cfg.id = 0;
+  cfg.claimed_delta = 1e-4;
+  cfg.initial_error = 0.01;
+  cfg.initial_offset = 0.05;
+  cfg.algo = core::SyncAlgorithm::kMM;
+  cfg.poll_period = 0.02;
+  cfg.reply_timeout = 0.01;
+  cfg.recovery_ports = {third.port()};
+  UdpTimeServer learner(cfg);
+  learner.set_peers({bad.port()});
+  learner.start();
+
+  for (int i = 0; i < 150 && learner.recoveries() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(learner.recoveries(), 0u);
+  EXPECT_LT(std::abs(learner.true_offset()), 0.02);
+  learner.stop();
+  bad.stop();
+  third.stop();
+}
+
+TEST(UdpServer, StopIsIdempotentAndRestartSafe) {
+  UdpServerConfig cfg;
+  cfg.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer server(cfg);
+  server.start();
+  server.start();  // double start is a no-op
+  server.stop();
+  server.stop();  // double stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+TEST(UdpServer, VirtualDriftMovesClock) {
+  UdpServerConfig cfg;
+  cfg.simulated_drift = 0.5;  // extreme drift for a fast test
+  cfg.algo = core::SyncAlgorithm::kNone;
+  UdpTimeServer server(cfg);
+  const double o1 = server.true_offset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double o2 = server.true_offset();
+  EXPECT_GT(o2 - o1, 0.02);  // ~0.05 expected
+}
+
+}  // namespace
+}  // namespace mtds::net
