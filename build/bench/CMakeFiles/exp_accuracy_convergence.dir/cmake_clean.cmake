@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_accuracy_convergence.dir/exp_accuracy_convergence.cc.o"
+  "CMakeFiles/exp_accuracy_convergence.dir/exp_accuracy_convergence.cc.o.d"
+  "exp_accuracy_convergence"
+  "exp_accuracy_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_accuracy_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_adaptive_poll.dir/exp_adaptive_poll.cc.o"
+  "CMakeFiles/exp_adaptive_poll.dir/exp_adaptive_poll.cc.o.d"
+  "exp_adaptive_poll"
+  "exp_adaptive_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_adaptive_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

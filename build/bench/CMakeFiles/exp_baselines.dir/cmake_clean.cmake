@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_baselines.dir/exp_baselines.cc.o"
+  "CMakeFiles/exp_baselines.dir/exp_baselines.cc.o.d"
+  "exp_baselines"
+  "exp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

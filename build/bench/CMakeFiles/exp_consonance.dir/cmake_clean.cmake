@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_consonance.dir/exp_consonance.cc.o"
+  "CMakeFiles/exp_consonance.dir/exp_consonance.cc.o.d"
+  "exp_consonance"
+  "exp_consonance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_consonance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

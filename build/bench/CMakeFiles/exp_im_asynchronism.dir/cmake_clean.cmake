@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_im_asynchronism.dir/exp_im_asynchronism.cc.o"
+  "CMakeFiles/exp_im_asynchronism.dir/exp_im_asynchronism.cc.o.d"
+  "exp_im_asynchronism"
+  "exp_im_asynchronism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_im_asynchronism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_im_error_growth.dir/exp_im_error_growth.cc.o"
+  "CMakeFiles/exp_im_error_growth.dir/exp_im_error_growth.cc.o.d"
+  "exp_im_error_growth"
+  "exp_im_error_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_im_error_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_im_error_growth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_im_error_growth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_imft_ablation.dir/exp_imft_ablation.cc.o"
+  "CMakeFiles/exp_imft_ablation.dir/exp_imft_ablation.cc.o.d"
+  "exp_imft_ablation"
+  "exp_imft_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_imft_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

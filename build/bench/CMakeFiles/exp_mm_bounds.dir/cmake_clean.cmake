@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mm_bounds.dir/exp_mm_bounds.cc.o"
+  "CMakeFiles/exp_mm_bounds.dir/exp_mm_bounds.cc.o.d"
+  "exp_mm_bounds"
+  "exp_mm_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mm_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

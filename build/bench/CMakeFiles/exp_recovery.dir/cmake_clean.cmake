@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_recovery.dir/exp_recovery.cc.o"
+  "CMakeFiles/exp_recovery.dir/exp_recovery.cc.o.d"
+  "exp_recovery"
+  "exp_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm8_montecarlo.dir/exp_thm8_montecarlo.cc.o"
+  "CMakeFiles/exp_thm8_montecarlo.dir/exp_thm8_montecarlo.cc.o.d"
+  "exp_thm8_montecarlo"
+  "exp_thm8_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm8_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

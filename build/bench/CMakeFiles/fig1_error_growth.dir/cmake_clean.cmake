@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_error_growth.dir/fig1_error_growth.cc.o"
+  "CMakeFiles/fig1_error_growth.dir/fig1_error_growth.cc.o.d"
+  "fig1_error_growth"
+  "fig1_error_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_error_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

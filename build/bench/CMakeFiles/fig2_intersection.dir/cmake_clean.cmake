@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_intersection.dir/fig2_intersection.cc.o"
+  "CMakeFiles/fig2_intersection.dir/fig2_intersection.cc.o.d"
+  "fig2_intersection"
+  "fig2_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_im_vs_mm_fault.dir/fig3_im_vs_mm_fault.cc.o"
+  "CMakeFiles/fig3_im_vs_mm_fault.dir/fig3_im_vs_mm_fault.cc.o.d"
+  "fig3_im_vs_mm_fault"
+  "fig3_im_vs_mm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_im_vs_mm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_im_vs_mm_fault.
+# This may be replaced when dependencies are built.

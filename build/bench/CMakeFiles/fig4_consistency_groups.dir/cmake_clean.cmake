@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_consistency_groups.dir/fig4_consistency_groups.cc.o"
+  "CMakeFiles/fig4_consistency_groups.dir/fig4_consistency_groups.cc.o.d"
+  "fig4_consistency_groups"
+  "fig4_consistency_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_consistency_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_service.dir/internet_service.cpp.o"
+  "CMakeFiles/internet_service.dir/internet_service.cpp.o.d"
+  "internet_service"
+  "internet_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

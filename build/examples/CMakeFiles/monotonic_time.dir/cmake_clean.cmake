@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonic_time.dir/monotonic_time.cpp.o"
+  "CMakeFiles/monotonic_time.dir/monotonic_time.cpp.o.d"
+  "monotonic_time"
+  "monotonic_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonic_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

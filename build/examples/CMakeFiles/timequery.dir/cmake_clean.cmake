@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timequery.dir/timequery.cpp.o"
+  "CMakeFiles/timequery.dir/timequery.cpp.o.d"
+  "timequery"
+  "timequery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timequery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeserverd.dir/timeserverd.cpp.o"
+  "CMakeFiles/timeserverd.dir/timeserverd.cpp.o.d"
+  "timeserverd"
+  "timeserverd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeserverd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/mtds_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/mtds_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/clock.cc" "src/core/CMakeFiles/mtds_core.dir/clock.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/clock.cc.o.d"
+  "/root/repo/src/core/consonance.cc" "src/core/CMakeFiles/mtds_core.dir/consonance.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/consonance.cc.o.d"
+  "/root/repo/src/core/im_sync.cc" "src/core/CMakeFiles/mtds_core.dir/im_sync.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/im_sync.cc.o.d"
+  "/root/repo/src/core/imft_sync.cc" "src/core/CMakeFiles/mtds_core.dir/imft_sync.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/imft_sync.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/mtds_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/marzullo.cc" "src/core/CMakeFiles/mtds_core.dir/marzullo.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/marzullo.cc.o.d"
+  "/root/repo/src/core/mm_sync.cc" "src/core/CMakeFiles/mtds_core.dir/mm_sync.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/mm_sync.cc.o.d"
+  "/root/repo/src/core/sync_function.cc" "src/core/CMakeFiles/mtds_core.dir/sync_function.cc.o" "gcc" "src/core/CMakeFiles/mtds_core.dir/sync_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mtds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtds_core.dir/baselines.cc.o"
+  "CMakeFiles/mtds_core.dir/baselines.cc.o.d"
+  "CMakeFiles/mtds_core.dir/bounds.cc.o"
+  "CMakeFiles/mtds_core.dir/bounds.cc.o.d"
+  "CMakeFiles/mtds_core.dir/clock.cc.o"
+  "CMakeFiles/mtds_core.dir/clock.cc.o.d"
+  "CMakeFiles/mtds_core.dir/consonance.cc.o"
+  "CMakeFiles/mtds_core.dir/consonance.cc.o.d"
+  "CMakeFiles/mtds_core.dir/im_sync.cc.o"
+  "CMakeFiles/mtds_core.dir/im_sync.cc.o.d"
+  "CMakeFiles/mtds_core.dir/imft_sync.cc.o"
+  "CMakeFiles/mtds_core.dir/imft_sync.cc.o.d"
+  "CMakeFiles/mtds_core.dir/interval.cc.o"
+  "CMakeFiles/mtds_core.dir/interval.cc.o.d"
+  "CMakeFiles/mtds_core.dir/marzullo.cc.o"
+  "CMakeFiles/mtds_core.dir/marzullo.cc.o.d"
+  "CMakeFiles/mtds_core.dir/mm_sync.cc.o"
+  "CMakeFiles/mtds_core.dir/mm_sync.cc.o.d"
+  "CMakeFiles/mtds_core.dir/sync_function.cc.o"
+  "CMakeFiles/mtds_core.dir/sync_function.cc.o.d"
+  "libmtds_core.a"
+  "libmtds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/protocol.cc" "src/net/CMakeFiles/mtds_net.dir/protocol.cc.o" "gcc" "src/net/CMakeFiles/mtds_net.dir/protocol.cc.o.d"
+  "/root/repo/src/net/udp_client.cc" "src/net/CMakeFiles/mtds_net.dir/udp_client.cc.o" "gcc" "src/net/CMakeFiles/mtds_net.dir/udp_client.cc.o.d"
+  "/root/repo/src/net/udp_server.cc" "src/net/CMakeFiles/mtds_net.dir/udp_server.cc.o" "gcc" "src/net/CMakeFiles/mtds_net.dir/udp_server.cc.o.d"
+  "/root/repo/src/net/udp_socket.cc" "src/net/CMakeFiles/mtds_net.dir/udp_socket.cc.o" "gcc" "src/net/CMakeFiles/mtds_net.dir/udp_socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/mtds_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

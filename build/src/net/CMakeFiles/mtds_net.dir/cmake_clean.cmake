@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtds_net.dir/protocol.cc.o"
+  "CMakeFiles/mtds_net.dir/protocol.cc.o.d"
+  "CMakeFiles/mtds_net.dir/udp_client.cc.o"
+  "CMakeFiles/mtds_net.dir/udp_client.cc.o.d"
+  "CMakeFiles/mtds_net.dir/udp_server.cc.o"
+  "CMakeFiles/mtds_net.dir/udp_server.cc.o.d"
+  "CMakeFiles/mtds_net.dir/udp_socket.cc.o"
+  "CMakeFiles/mtds_net.dir/udp_socket.cc.o.d"
+  "libmtds_net.a"
+  "libmtds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/client.cc" "src/service/CMakeFiles/mtds_service.dir/client.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/client.cc.o.d"
+  "/root/repo/src/service/invariants.cc" "src/service/CMakeFiles/mtds_service.dir/invariants.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/invariants.cc.o.d"
+  "/root/repo/src/service/monotonic.cc" "src/service/CMakeFiles/mtds_service.dir/monotonic.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/monotonic.cc.o.d"
+  "/root/repo/src/service/rate_monitor.cc" "src/service/CMakeFiles/mtds_service.dir/rate_monitor.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/rate_monitor.cc.o.d"
+  "/root/repo/src/service/report.cc" "src/service/CMakeFiles/mtds_service.dir/report.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/report.cc.o.d"
+  "/root/repo/src/service/sample_filter.cc" "src/service/CMakeFiles/mtds_service.dir/sample_filter.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/sample_filter.cc.o.d"
+  "/root/repo/src/service/scenario.cc" "src/service/CMakeFiles/mtds_service.dir/scenario.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/scenario.cc.o.d"
+  "/root/repo/src/service/time_server.cc" "src/service/CMakeFiles/mtds_service.dir/time_server.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/time_server.cc.o.d"
+  "/root/repo/src/service/time_service.cc" "src/service/CMakeFiles/mtds_service.dir/time_service.cc.o" "gcc" "src/service/CMakeFiles/mtds_service.dir/time_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

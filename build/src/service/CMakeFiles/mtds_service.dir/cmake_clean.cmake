@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtds_service.dir/client.cc.o"
+  "CMakeFiles/mtds_service.dir/client.cc.o.d"
+  "CMakeFiles/mtds_service.dir/invariants.cc.o"
+  "CMakeFiles/mtds_service.dir/invariants.cc.o.d"
+  "CMakeFiles/mtds_service.dir/monotonic.cc.o"
+  "CMakeFiles/mtds_service.dir/monotonic.cc.o.d"
+  "CMakeFiles/mtds_service.dir/rate_monitor.cc.o"
+  "CMakeFiles/mtds_service.dir/rate_monitor.cc.o.d"
+  "CMakeFiles/mtds_service.dir/report.cc.o"
+  "CMakeFiles/mtds_service.dir/report.cc.o.d"
+  "CMakeFiles/mtds_service.dir/sample_filter.cc.o"
+  "CMakeFiles/mtds_service.dir/sample_filter.cc.o.d"
+  "CMakeFiles/mtds_service.dir/scenario.cc.o"
+  "CMakeFiles/mtds_service.dir/scenario.cc.o.d"
+  "CMakeFiles/mtds_service.dir/time_server.cc.o"
+  "CMakeFiles/mtds_service.dir/time_server.cc.o.d"
+  "CMakeFiles/mtds_service.dir/time_service.cc.o"
+  "CMakeFiles/mtds_service.dir/time_service.cc.o.d"
+  "libmtds_service.a"
+  "libmtds_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtds_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_model.cc" "src/sim/CMakeFiles/mtds_sim.dir/delay_model.cc.o" "gcc" "src/sim/CMakeFiles/mtds_sim.dir/delay_model.cc.o.d"
+  "/root/repo/src/sim/drift.cc" "src/sim/CMakeFiles/mtds_sim.dir/drift.cc.o" "gcc" "src/sim/CMakeFiles/mtds_sim.dir/drift.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/mtds_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/mtds_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/mtds_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/mtds_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/mtds_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/mtds_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtds_sim.dir/delay_model.cc.o"
+  "CMakeFiles/mtds_sim.dir/delay_model.cc.o.d"
+  "CMakeFiles/mtds_sim.dir/drift.cc.o"
+  "CMakeFiles/mtds_sim.dir/drift.cc.o.d"
+  "CMakeFiles/mtds_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mtds_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mtds_sim.dir/rng.cc.o"
+  "CMakeFiles/mtds_sim.dir/rng.cc.o.d"
+  "CMakeFiles/mtds_sim.dir/trace.cc.o"
+  "CMakeFiles/mtds_sim.dir/trace.cc.o.d"
+  "libmtds_sim.a"
+  "libmtds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

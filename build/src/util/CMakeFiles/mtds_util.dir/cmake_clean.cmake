@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtds_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/mtds_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/mtds_util.dir/csv.cc.o"
+  "CMakeFiles/mtds_util.dir/csv.cc.o.d"
+  "CMakeFiles/mtds_util.dir/histogram.cc.o"
+  "CMakeFiles/mtds_util.dir/histogram.cc.o.d"
+  "CMakeFiles/mtds_util.dir/log.cc.o"
+  "CMakeFiles/mtds_util.dir/log.cc.o.d"
+  "CMakeFiles/mtds_util.dir/stats.cc.o"
+  "CMakeFiles/mtds_util.dir/stats.cc.o.d"
+  "libmtds_util.a"
+  "libmtds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consonance_test.dir/consonance_test.cc.o"
+  "CMakeFiles/consonance_test.dir/consonance_test.cc.o.d"
+  "consonance_test"
+  "consonance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consonance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_tracker_test.dir/error_tracker_test.cc.o"
+  "CMakeFiles/error_tracker_test.dir/error_tracker_test.cc.o.d"
+  "error_tracker_test"
+  "error_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

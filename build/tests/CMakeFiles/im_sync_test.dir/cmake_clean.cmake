@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im_sync_test.dir/im_sync_test.cc.o"
+  "CMakeFiles/im_sync_test.dir/im_sync_test.cc.o.d"
+  "im_sync_test"
+  "im_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imft_sync_test.dir/imft_sync_test.cc.o"
+  "CMakeFiles/imft_sync_test.dir/imft_sync_test.cc.o.d"
+  "imft_sync_test"
+  "imft_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imft_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

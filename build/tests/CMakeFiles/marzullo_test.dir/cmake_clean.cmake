@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marzullo_test.dir/marzullo_test.cc.o"
+  "CMakeFiles/marzullo_test.dir/marzullo_test.cc.o.d"
+  "marzullo_test"
+  "marzullo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marzullo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_sync_test.dir/mm_sync_test.cc.o"
+  "CMakeFiles/mm_sync_test.dir/mm_sync_test.cc.o.d"
+  "mm_sync_test"
+  "mm_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monotonic_test.cc" "tests/CMakeFiles/monotonic_test.dir/monotonic_test.cc.o" "gcc" "tests/CMakeFiles/monotonic_test.dir/monotonic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/mtds_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mtds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_monitor_test.dir/rate_monitor_test.cc.o"
+  "CMakeFiles/rate_monitor_test.dir/rate_monitor_test.cc.o.d"
+  "rate_monitor_test"
+  "rate_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

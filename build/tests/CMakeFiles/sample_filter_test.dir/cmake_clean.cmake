@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_filter_test.dir/sample_filter_test.cc.o"
+  "CMakeFiles/sample_filter_test.dir/sample_filter_test.cc.o.d"
+  "sample_filter_test"
+  "sample_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_corpus_test.dir/scenario_corpus_test.cc.o"
+  "CMakeFiles/scenario_corpus_test.dir/scenario_corpus_test.cc.o.d"
+  "scenario_corpus_test"
+  "scenario_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

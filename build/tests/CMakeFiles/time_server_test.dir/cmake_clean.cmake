@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_server_test.dir/time_server_test.cc.o"
+  "CMakeFiles/time_server_test.dir/time_server_test.cc.o.d"
+  "time_server_test"
+  "time_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_service_test.dir/time_service_test.cc.o"
+  "CMakeFiles/time_service_test.dir/time_service_test.cc.o.d"
+  "time_service_test"
+  "time_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
