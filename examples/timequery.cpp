@@ -14,29 +14,10 @@
 
 using namespace mtds;
 
-namespace {
-
-std::vector<std::uint16_t> parse_ports(const std::string& csv) {
-  std::vector<std::uint16_t> ports;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const auto comma = csv.find(',', pos);
-    const std::string item = csv.substr(pos, comma - pos);
-    if (!item.empty()) {
-      ports.push_back(static_cast<std::uint16_t>(std::stoul(item)));
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return ports;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.parse(argc, argv);
-  const auto ports = parse_ports(flags.get("ports", ""));
+  const auto ports = flags.get_ports("ports");
   if (ports.empty()) {
     std::fprintf(stderr,
                  "usage: timequery --ports=P1,P2,... "

@@ -29,21 +29,6 @@ std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop.store(true); }
 
-std::vector<std::uint16_t> parse_ports(const std::string& csv) {
-  std::vector<std::uint16_t> ports;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const auto comma = csv.find(',', pos);
-    const std::string item = csv.substr(pos, comma - pos);
-    if (!item.empty()) {
-      ports.push_back(static_cast<std::uint16_t>(std::stoul(item)));
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return ports;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +47,11 @@ int main(int argc, char** argv) {
         "  --recovery=P1,P2  third-server recovery ports (Section 3)\n"
         "  --algo=MM|IM|IMFT sync algorithm (default MM)\n"
         "  --poll=X          sync period, seconds (default 0.5)\n"
+        "  --adaptive=X      adaptive polling: halve/double the period around\n"
+        "                    error target X seconds (default: off)\n"
+        "  --filter          ntpd-style min-RTT sample filter per neighbour\n"
+        "  --broadcast       collect each round with one broadcast tag\n"
+        "  --monitor-rates   Section 5 per-neighbour rate monitor\n"
         "  --seconds=X       run time; 0 = until signal (default 0)\n"
         "  --status-every=X  status print period (default 1)\n");
     return 0;
@@ -81,9 +71,20 @@ int main(int argc, char** argv) {
              : algo == "IMFT" ? core::SyncAlgorithm::kIMFT
              : algo == "NONE" ? core::SyncAlgorithm::kNone
                               : core::SyncAlgorithm::kMM;
-  const auto peers = parse_ports(flags.get("peers", ""));
-  cfg.recovery_ports = parse_ports(flags.get("recovery", ""));
+  const auto peers = flags.get_ports("peers");
+  cfg.recovery_ports = flags.get_ports("recovery");
   if (peers.empty()) cfg.poll_period = 0;  // respond-only
+
+  // Engine extensions, now available over UDP through the shared engine.
+  if (flags.has("adaptive")) {
+    cfg.adaptive.enabled = true;
+    cfg.adaptive.error_target = flags.get_double("adaptive", 0.05);
+    cfg.adaptive.min_period = cfg.poll_period / 8;
+    cfg.adaptive.max_period = cfg.poll_period * 8;
+  }
+  cfg.use_sample_filter = flags.get_bool("filter", false);
+  cfg.use_broadcast = flags.get_bool("broadcast", false);
+  cfg.monitor_rates = flags.get_bool("monitor-rates", false);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -105,10 +106,11 @@ int main(int argc, char** argv) {
       if (run_seconds > 0 && now - t_start >= run_seconds) break;
       if (now >= next_status) {
         next_status += status_every;
-        std::printf("  t=%6.1f C=%12.6f E=%9.6f offset=%+9.6f served=%llu "
-                    "resets=%llu\n",
+        std::printf("  t=%6.1f C=%12.6f E=%9.6f offset=%+9.6f tau=%6.3f "
+                    "served=%llu resets=%llu\n",
                     now - t_start, server.read_clock(),
                     server.current_error(), server.true_offset(),
+                    server.poll_period(),
                     static_cast<unsigned long long>(server.requests_served()),
                     static_cast<unsigned long long>(server.resets()));
       }

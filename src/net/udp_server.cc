@@ -1,224 +1,116 @@
 #include "net/udp_server.h"
 
-#include <algorithm>
-#include <chrono>
-#include <map>
+#include <mutex>
 
-#include "core/reading.h"
-#include "net/protocol.h"
-#include "util/log.h"
+#include "core/clock.h"
+#include "sim/rng.h"
 
 namespace mtds::net {
 
-double host_seconds() noexcept {
-  // Raw steady-clock time (seconds since boot on Linux): system-wide, so
-  // servers and clients in DIFFERENT processes share the same timeline and
-  // cross-process offsets are meaningful.  Doubles carry ~0.1 us precision
-  // even at months of uptime - far below loopback round trips.
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+namespace {
+
+// Engine-side ids for configured remotes.  Daemon ids are user-chosen small
+// integers and pseudo ids (unlisted correspondents) start at 0x80000000, so
+// these ranges cannot collide with either.
+constexpr core::ServerId kPeerIdBase = 1'000'000;
+constexpr core::ServerId kRecoveryIdBase = 2'000'000;
+
+service::ServerSpec make_spec(const UdpServerConfig& config) {
+  service::ServerSpec spec;
+  spec.algo = config.algo;
+  spec.claimed_delta = config.claimed_delta;
+  spec.actual_drift = config.simulated_drift;
+  spec.initial_error = config.initial_error;
+  spec.initial_offset = config.initial_offset;
+  spec.poll_period = config.poll_period;
+  spec.adaptive = config.adaptive;
+  spec.use_sample_filter = config.use_sample_filter;
+  spec.use_broadcast = config.use_broadcast;
+  spec.monitor_rates = config.monitor_rates;
+  spec.recovery = config.recovery_ports.empty()
+                      ? service::RecoveryPolicy::kIgnore
+                      : service::RecoveryPolicy::kThirdServer;
+  for (std::size_t j = 0; j < config.recovery_ports.size(); ++j) {
+    spec.recovery_pool.push_back(kRecoveryIdBase +
+                                 static_cast<core::ServerId>(j));
+  }
+  return spec;
 }
 
+}  // namespace
+
 UdpTimeServer::UdpTimeServer(UdpServerConfig config)
-    : config_(config),
-      socket_(config.port),
-      clock_(config.simulated_drift, host_seconds() + config.initial_offset,
-             host_seconds()),
-      tracker_(config.claimed_delta, config.initial_error,
-               host_seconds() + config.initial_offset),
-      sync_(config.algo == core::SyncAlgorithm::kNone
-                ? nullptr
-                : core::make_sync_function(config.algo)) {}
+    : config_(std::move(config)) {
+  runtime::UdpRuntimeConfig rt;
+  rt.port = config_.port;
+  rt.reply_window = config_.reply_timeout;
+  runtime_ = std::make_unique<runtime::UdpRuntime>(rt);
+  for (std::size_t j = 0; j < config_.recovery_ports.size(); ++j) {
+    runtime_->add_peer({kRecoveryIdBase + static_cast<core::ServerId>(j),
+                        config_.recovery_ports[j]});
+  }
+  auto clock = std::make_unique<core::DriftingClock>(
+      config_.simulated_drift, host_seconds() + config_.initial_offset,
+      host_seconds());
+  engine_ = std::make_unique<service::ProtocolEngine>(
+      config_.id, std::move(clock), make_spec(config_),
+      runtime::Runtime{runtime_.get(), runtime_.get(), runtime_.get()},
+      /*observer=*/nullptr, sim::Rng(0x5DEECE66Dull + config_.id));
+}
 
 UdpTimeServer::~UdpTimeServer() { stop(); }
 
 void UdpTimeServer::set_peers(std::vector<std::uint16_t> peers) {
-  peers_ = std::move(peers);
+  peer_ports_ = std::move(peers);
 }
 
 void UdpTimeServer::start() {
-  if (running_.exchange(true)) return;
-  responder_ = std::thread([this] { responder_loop(); });
-  if (sync_ != nullptr && config_.poll_period > 0) {
-    syncer_ = std::thread([this] { sync_loop(); });
+  if (running_.exchange(true) || stopped_) return;
+  std::vector<core::ServerId> neighbors;
+  if (config_.poll_period > 0) {
+    for (std::size_t k = 0; k < peer_ports_.size(); ++k) {
+      const auto id = kPeerIdBase + static_cast<core::ServerId>(k);
+      runtime_->add_peer({id, peer_ports_[k]});
+      neighbors.push_back(id);
+    }
   }
+  std::lock_guard lock(runtime_->state_mutex());
+  engine_->start(neighbors);
 }
 
 void UdpTimeServer::stop() {
   if (!running_.exchange(false)) return;
-  socket_.close();
-  if (responder_.joinable()) responder_.join();
-  if (syncer_.joinable()) syncer_.join();
+  stopped_ = true;
+  {
+    std::lock_guard lock(runtime_->state_mutex());
+    engine_->stop();
+  }
+  runtime_->shutdown();
 }
 
 double UdpTimeServer::read_clock() const {
-  std::lock_guard lock(mutex_);
-  // DriftingClock::read is logically const; the lock serializes with set().
-  return const_cast<core::DriftingClock&>(clock_).read(host_seconds());
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->read_clock(host_seconds());
 }
 
 double UdpTimeServer::current_error() const {
-  std::lock_guard lock(mutex_);
-  auto& clock = const_cast<core::DriftingClock&>(clock_);
-  return tracker_.error_at(clock.read(host_seconds()));
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->current_error(host_seconds());
 }
 
 double UdpTimeServer::true_offset() const {
-  const double now = host_seconds();
-  std::lock_guard lock(mutex_);
-  return const_cast<core::DriftingClock&>(clock_).read(now) - now;
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->true_offset(host_seconds());
 }
 
-void UdpTimeServer::responder_loop() {
-  while (running_.load()) {
-    auto dgram = socket_.receive(/*timeout_ms=*/20);
-    if (!dgram) continue;
-    const auto request = decode_request(dgram->payload.data(),
-                                        dgram->payload.size());
-    if (!request) continue;
-
-    TimeResponsePacket resp;
-    resp.tag = request->tag;
-    resp.client_send_ns = request->client_send_ns;
-    resp.server_id = config_.id;
-    {
-      std::lock_guard lock(mutex_);
-      const double c = clock_.read(host_seconds());
-      resp.clock_ns = seconds_to_ns(c);
-      resp.error_ns = seconds_to_ns(tracker_.error_at(c));
-    }
-    const auto buf = encode(resp);
-    // Count before sending: a fast client must never observe its own reply
-    // while the counter still reads the old value.
-    served_.fetch_add(1);
-    socket_.send_to(dgram->from, buf);
-  }
+double UdpTimeServer::poll_period() const {
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->current_poll_period();
 }
 
-void UdpTimeServer::sync_loop() {
-  // The sync loop uses its own ephemeral socket so peer replies never mix
-  // with client requests on the responder socket.
-  UdpSocket sock;
-  std::uint64_t next_tag = 1;
-
-  while (running_.load()) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(config_.poll_period));
-    if (!running_.load()) break;
-    if (peers_.empty()) continue;
-
-    // Send a request to every peer, remembering own-clock send times.
-    std::map<std::uint64_t, double> sent_local;
-    for (std::uint16_t peer : peers_) {
-      TimeRequestPacket req;
-      req.tag = next_tag++;
-      req.client_send_ns = 0;
-      {
-        std::lock_guard lock(mutex_);
-        sent_local[req.tag] = clock_.read(host_seconds());
-      }
-      const auto buf = encode(req);
-      sock.send_to(peer, buf);
-    }
-
-    // Collect replies until the timeout.
-    core::Readings readings;
-    const std::size_t expected = sent_local.size();
-    const double deadline = host_seconds() + config_.reply_timeout;
-    while (host_seconds() < deadline && readings.size() < expected) {
-      const double remain = deadline - host_seconds();
-      auto dgram = sock.receive(std::max(1, static_cast<int>(remain * 1e3)));
-      if (!dgram) continue;
-      const auto resp =
-          decode_response(dgram->payload.data(), dgram->payload.size());
-      if (!resp) continue;
-      const auto it = sent_local.find(resp->tag);
-      if (it == sent_local.end()) continue;
-
-      core::TimeReading reading;
-      reading.from = resp->server_id;
-      reading.c = ns_to_seconds(resp->clock_ns);
-      reading.e = ns_to_seconds(resp->error_ns);
-      {
-        std::lock_guard lock(mutex_);
-        reading.local_receive = clock_.read(host_seconds());
-      }
-      reading.rtt_own = std::max(0.0, reading.local_receive - it->second);
-      sent_local.erase(it);
-      readings.push_back(reading);
-    }
-    if (recovery_tick_.exchange(false)) {
-      run_recovery(sock, next_tag++);
-    }
-    if (readings.empty()) continue;
-
-    // Evaluate exactly as the simulated server does.
-    std::lock_guard lock(mutex_);
-    const double now = host_seconds();
-    auto local = [&] {
-      core::LocalState s;
-      s.clock = clock_.read(now);
-      s.error = tracker_.error_at(s.clock);
-      s.delta = config_.claimed_delta;
-      return s;
-    };
-    auto apply = [&](const core::ClockReset& reset) {
-      clock_.set(host_seconds(), reset.clock);
-      tracker_.reset(reset.clock, reset.error);
-      resets_.fetch_add(1);
-    };
-    bool inconsistent = false;
-    if (sync_->mode() == core::SyncMode::kPerReply) {
-      for (const auto& r : readings) {
-        const auto outcome = sync_->on_reply(local(), r);
-        if (outcome.reset) apply(*outcome.reset);
-        if (!outcome.inconsistent_with.empty()) inconsistent = true;
-      }
-    } else {
-      const auto outcome = sync_->on_round(local(), readings);
-      if (outcome.reset) apply(*outcome.reset);
-      if (outcome.round_inconsistent) inconsistent = true;
-    }
-    if (inconsistent && !config_.recovery_ports.empty()) {
-      recovery_tick_.store(true);
-    }
-  }
-}
-
-void UdpTimeServer::run_recovery(UdpSocket& sock, std::uint64_t tag) {
-  // Section 3: reset unconditionally to the value of a server on another
-  // network, inheriting its error plus the round trip.
-  for (std::uint16_t port : config_.recovery_ports) {
-    TimeRequestPacket req;
-    req.tag = tag;
-    double sent_local;
-    {
-      std::lock_guard lock(mutex_);
-      sent_local = clock_.read(host_seconds());
-    }
-    const auto buf = encode(req);
-    if (!sock.send_to(port, buf)) continue;
-    const double deadline = host_seconds() + config_.reply_timeout;
-    while (host_seconds() < deadline) {
-      const double remain = deadline - host_seconds();
-      auto dgram = sock.receive(std::max(1, static_cast<int>(remain * 1e3)));
-      if (!dgram) continue;
-      const auto resp =
-          decode_response(dgram->payload.data(), dgram->payload.size());
-      if (!resp || resp->tag != tag) continue;
-      std::lock_guard lock(mutex_);
-      const double now = host_seconds();
-      const double local = clock_.read(now);
-      const double rtt = std::max(0.0, local - sent_local);
-      const double c = ns_to_seconds(resp->clock_ns);
-      const double e = ns_to_seconds(resp->error_ns) +
-                       (1.0 + config_.claimed_delta) * rtt;
-      clock_.set(now, c);
-      tracker_.reset(c, e);
-      recoveries_.fetch_add(1);
-      return;
-    }
-  }
+service::ServerCounters UdpTimeServer::counters() const {
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->counters();
 }
 
 }  // namespace mtds::net

@@ -1,27 +1,29 @@
-// A real time server over UDP loopback.
+// A real time server over UDP loopback: a thin shell composing the shared
+// service::ProtocolEngine with runtime::UdpRuntime.
 //
-// Runs the same MM-1 responder and MM-2/IM-2 synchronization loop as the
-// simulated TimeServer, but over real sockets and real elapsed time.  The
-// local clock is *virtualized*: a core::DriftingClock layered over
-// CLOCK_MONOTONIC, so drift and offset can be injected for demonstrations
-// while the host's monotonic clock serves as the experiment's ground truth.
+// The protocol logic - rule MM-1 responder, rule MM-2/IM-2 synchronization
+// loop, adaptive polling, sample filtering, broadcast rounds, rate
+// monitoring, third-server recovery - is service::ProtocolEngine, the exact
+// code the simulator validates (service::TimeServer runs it over
+// runtime::SimRuntime).  This shell only plumbs configuration: it builds
+// the virtualized clock (a core::DriftingClock layered over CLOCK_MONOTONIC
+// so drift and offset can be injected for demonstrations), maps peer ports
+// to engine ServerIds, and exposes thread-safe introspection.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
 
-#include "core/clock.h"
-#include "core/error_tracker.h"
-#include "core/sync_function.h"
-#include "net/udp_socket.h"
+#include "runtime/udp_runtime.h"
+#include "service/config.h"
+#include "service/protocol_engine.h"
 
 namespace mtds::net {
 
 // Monotonic host time in seconds since process-local epoch.
-double host_seconds() noexcept;
+inline double host_seconds() noexcept { return runtime::host_seconds(); }
 
 struct UdpServerConfig {
   std::uint32_t id = 0;
@@ -39,6 +41,13 @@ struct UdpServerConfig {
   // network" to reset from unconditionally when the sync round finds this
   // server inconsistent with its peers.  Empty = ignore inconsistency.
   std::vector<std::uint16_t> recovery_ports;
+
+  // Engine extensions, shared with the simulated ServerSpec (the runtime
+  // refactor makes these available over UDP for free).
+  service::ServerSpec::AdaptivePoll adaptive;  // adaptive polling
+  bool use_sample_filter = false;              // ntpd-style clock filter
+  bool use_broadcast = false;                  // one-tag broadcast rounds
+  bool monitor_rates = false;                  // Section 5 rate monitor
 };
 
 class UdpTimeServer {
@@ -49,7 +58,7 @@ class UdpTimeServer {
   UdpTimeServer(const UdpTimeServer&) = delete;
   UdpTimeServer& operator=(const UdpTimeServer&) = delete;
 
-  std::uint16_t port() const noexcept { return socket_.port(); }
+  std::uint16_t port() const noexcept { return runtime_->port(); }
   std::uint32_t id() const noexcept { return config_.id; }
 
   // Peers (by loopback port) polled by the sync loop.  Set before start().
@@ -63,30 +72,19 @@ class UdpTimeServer {
   double read_clock() const;      // C_i now (virtual seconds)
   double current_error() const;   // E_i now
   double true_offset() const;     // C_i - host time (ground truth)
-  std::uint64_t resets() const noexcept { return resets_.load(); }
-  std::uint64_t recoveries() const noexcept { return recoveries_.load(); }
-  std::uint64_t requests_served() const noexcept { return served_.load(); }
+  double poll_period() const;     // current tau (moves under adaptive polling)
+  service::ServerCounters counters() const;  // snapshot of engine counters
+  std::uint64_t resets() const { return counters().resets; }
+  std::uint64_t recoveries() const { return counters().recoveries; }
+  std::uint64_t requests_served() const { return counters().responses_sent; }
 
  private:
-  void responder_loop();
-  void sync_loop();
-  void run_recovery(UdpSocket& sock, std::uint64_t tag);
-
   UdpServerConfig config_;
-  UdpSocket socket_;       // responder socket (the server's public address)
-  mutable std::mutex mutex_;  // guards clock_ + tracker_
-  core::DriftingClock clock_;
-  core::ErrorTracker tracker_;
-  std::unique_ptr<core::SyncFunction> sync_;
-  std::vector<std::uint16_t> peers_;
-
+  std::vector<std::uint16_t> peer_ports_;
+  std::unique_ptr<runtime::UdpRuntime> runtime_;
+  std::unique_ptr<service::ProtocolEngine> engine_;
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> resets_{0};
-  std::atomic<std::uint64_t> recoveries_{0};
-  std::atomic<bool> recovery_tick_{false};
-  std::atomic<std::uint64_t> served_{0};
-  std::thread responder_;
-  std::thread syncer_;
+  bool stopped_ = false;  // shutdown is one-way (the socket is closed)
 };
 
 }  // namespace mtds::net

@@ -1,0 +1,211 @@
+#include "runtime/udp_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/protocol.h"
+
+namespace mtds::runtime {
+
+namespace {
+
+// Pseudo ids for unconfigured correspondents (clients on ephemeral sockets)
+// start high enough that no configured server or peer table entry collides.
+constexpr ServerId kPseudoIdBase = 0x80000000u;
+
+// Replies owed to correspondents who never read them (an engine stopped
+// between request and response) would otherwise accumulate echo payloads.
+constexpr std::size_t kMaxEchoEntries = 4096;
+
+}  // namespace
+
+double host_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+UdpRuntime::UdpRuntime(UdpRuntimeConfig config)
+    : config_(std::move(config)),
+      socket_(config_.port),
+      next_pseudo_id_(kPseudoIdBase) {
+  for (const UdpPeer& peer : config_.peers) add_peer(peer);
+}
+
+void UdpRuntime::add_peer(const UdpPeer& peer) {
+  std::lock_guard lock(state_mutex_);
+  const sockaddr_in addr = net::UdpSocket::loopback(peer.port);
+  addr_by_id_[peer.id] = addr;
+  id_by_addr_[addr_key(addr)] = peer.id;
+}
+
+UdpRuntime::~UdpRuntime() { shutdown(); }
+
+UdpRuntime::AddrKey UdpRuntime::addr_key(const sockaddr_in& addr) noexcept {
+  return (static_cast<AddrKey>(addr.sin_addr.s_addr) << 16) |
+         static_cast<AddrKey>(addr.sin_port);
+}
+
+void UdpRuntime::shutdown() {
+  threads_running_.store(false);
+  socket_.close();
+  timer_cv_.notify_all();
+  if (receiver_.joinable()) receiver_.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  std::lock_guard lock(timer_mutex_);
+  timer_queue_.clear();
+}
+
+void UdpRuntime::open(ServerId self, Handler handler) {
+  std::lock_guard lock(state_mutex_);
+  self_ = self;
+  handler_ = std::move(handler);
+  open_ = true;
+  if (!threads_running_.exchange(true)) {
+    receiver_ = std::thread([this] { receive_loop(); });
+    timer_thread_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+void UdpRuntime::close() {
+  std::lock_guard lock(state_mutex_);
+  open_ = false;
+}
+
+ServerId UdpRuntime::id_for_addr(const sockaddr_in& addr) {
+  const AddrKey key = addr_key(addr);
+  const auto it = id_by_addr_.find(key);
+  if (it != id_by_addr_.end()) return it->second;
+  const ServerId id = next_pseudo_id_++;
+  id_by_addr_[key] = id;
+  addr_by_id_[id] = addr;
+  return id;
+}
+
+void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
+  // Called with state_mutex_ held (engine callbacks run under it).
+  const auto addr = addr_by_id_.find(to);
+  if (addr == addr_by_id_.end()) return;  // unknown destination: best effort
+  if (msg.type == ServiceMessage::Type::kTimeRequest) {
+    net::TimeRequestPacket req;
+    req.tag = msg.tag;
+    req.client_send_ns = 0;
+    socket_.send_to(addr->second, net::encode(req));
+    return;
+  }
+  net::TimeResponsePacket resp;
+  resp.tag = msg.tag;
+  resp.server_id = self_;
+  resp.clock_ns = net::seconds_to_ns(msg.c);
+  resp.error_ns = net::seconds_to_ns(msg.e);
+  if (const auto echo = echo_ns_.find({to, msg.tag}); echo != echo_ns_.end()) {
+    resp.client_send_ns = echo->second;
+    echo_ns_.erase(echo);
+  }
+  socket_.send_to(addr->second, net::encode(resp));
+}
+
+std::size_t UdpRuntime::broadcast(const std::vector<ServerId>& targets,
+                                  const ServiceMessage& msg) {
+  std::size_t dispatched = 0;
+  for (ServerId to : targets) {
+    if (to == self_) continue;
+    if (addr_by_id_.count(to) == 0) continue;
+    send(to, msg);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+Duration UdpRuntime::max_one_way_delay() const {
+  // The engine waits 2 * bound * 1.5 for replies; advertising window / 3
+  // makes that wait exactly the configured reply window.
+  return config_.reply_window / 3.0;
+}
+
+TimerId UdpRuntime::after(Duration delay, std::function<void()> cb) {
+  std::lock_guard lock(timer_mutex_);
+  const TimerId id = next_timer_id_++;
+  const double deadline = host_seconds() + std::max(0.0, delay);
+  timer_queue_.emplace(deadline, TimerEntry{deadline, id, std::move(cb)});
+  timer_cv_.notify_all();
+  return id;
+}
+
+bool UdpRuntime::cancel(TimerId id) {
+  std::lock_guard lock(timer_mutex_);
+  for (auto it = timer_queue_.begin(); it != timer_queue_.end(); ++it) {
+    if (it->second.id == id) {
+      timer_queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void UdpRuntime::timer_loop() {
+  using namespace std::chrono_literals;
+  while (threads_running_.load()) {
+    std::function<void()> cb;
+    {
+      std::unique_lock lock(timer_mutex_);
+      if (timer_queue_.empty()) {
+        timer_cv_.wait_for(lock, 50ms);
+        continue;
+      }
+      const double now = host_seconds();
+      const double next = timer_queue_.begin()->first;
+      if (next > now) {
+        timer_cv_.wait_for(lock, std::chrono::duration<double>(
+                                     std::min(next - now, 0.05)));
+        continue;
+      }
+      cb = std::move(timer_queue_.begin()->second.cb);
+      timer_queue_.erase(timer_queue_.begin());
+    }
+    std::lock_guard lock(state_mutex_);
+    if (open_) cb();
+  }
+}
+
+void UdpRuntime::receive_loop() {
+  while (threads_running_.load()) {
+    auto dgram = socket_.receive(/*timeout_ms=*/20);
+    if (!dgram) {
+      if (socket_.closed()) break;
+      continue;
+    }
+    const auto* data = dgram->payload.data();
+    const auto size = dgram->payload.size();
+    if (const auto req = net::decode_request(data, size)) {
+      std::lock_guard lock(state_mutex_);
+      if (!open_ || !handler_) continue;
+      const ServerId from = id_for_addr(dgram->from);
+      if (echo_ns_.size() >= kMaxEchoEntries) {
+        echo_ns_.erase(echo_ns_.begin());
+      }
+      echo_ns_[{from, req->tag}] = req->client_send_ns;
+      ServiceMessage msg;
+      msg.type = ServiceMessage::Type::kTimeRequest;
+      msg.from = from;
+      msg.to = self_;
+      msg.tag = req->tag;
+      handler_(host_seconds(), msg);
+    } else if (const auto resp = net::decode_response(data, size)) {
+      std::lock_guard lock(state_mutex_);
+      if (!open_ || !handler_) continue;
+      // Attribute by source address when it is a configured peer; fall back
+      // to the wire id for unlisted responders (informational only).
+      const auto it = id_by_addr_.find(addr_key(dgram->from));
+      ServiceMessage msg;
+      msg.type = ServiceMessage::Type::kTimeResponse;
+      msg.from = it != id_by_addr_.end() ? it->second : resp->server_id;
+      msg.to = self_;
+      msg.tag = resp->tag;
+      msg.c = net::ns_to_seconds(resp->clock_ns);
+      msg.e = net::ns_to_seconds(resp->error_ns);
+      handler_(host_seconds(), msg);
+    }
+  }
+}
+
+}  // namespace mtds::runtime

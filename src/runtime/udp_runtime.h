@@ -1,0 +1,140 @@
+// UdpRuntime: the real-socket implementation of the runtime interfaces.
+//
+// One UDP socket bound to loopback carries everything: rule MM-1 requests
+// from clients, the engine's own poll requests to peers, and the replies to
+// both.  A receiver thread decodes datagrams (net/protocol.{h,cc}) into
+// ServiceMessages and delivers them to the engine handler; a timer thread
+// fires the engine's scheduled callbacks; WallSource is CLOCK_MONOTONIC.
+//
+// Addressing: the engine speaks ServerIds, the wire speaks ports.
+//   * Configured peers (sync targets and recovery servers) are a static
+//     id -> port table supplied up front.
+//   * Anybody else who sends us a request (e.g. a UdpTimeClient on an
+//     ephemeral socket, or an unlisted server) is assigned a pseudo id on
+//     first contact, keyed by source address, so the engine can answer via
+//     plain Transport::send.  Inbound replies are attributed by source
+//     address when it matches a configured peer - the robust choice, since
+//     request packets carry no sender id.
+//
+// Threading: both delivery threads take the state mutex around every
+// handler/timer callback, giving the engine the same serialized world the
+// event queue provides.  Embedders lock the same mutex for introspection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/udp_socket.h"
+#include "runtime/runtime.h"
+
+namespace mtds::runtime {
+
+// Monotonic host time in seconds since an arbitrary process-shared epoch
+// (seconds since boot on Linux): system-wide, so servers and clients in
+// DIFFERENT processes share the same timeline and cross-process offsets are
+// meaningful.  Doubles carry ~0.1 us precision even at months of uptime -
+// far below loopback round trips.
+double host_seconds() noexcept;
+
+// A configured remote server: the engine-side id and its loopback port.
+struct UdpPeer {
+  ServerId id = core::kInvalidServer;
+  std::uint16_t port = 0;
+};
+
+struct UdpRuntimeConfig {
+  std::uint16_t port = 0;     // bind port; 0 = ephemeral
+  double reply_window = 0.02; // seconds a round waits for replies; the
+                              // advertised one-way bound is window / 3 so
+                              // the engine's 2 * bound * 1.5 wait equals it
+  std::vector<UdpPeer> peers;
+};
+
+class UdpRuntime final : public Transport, public Timers, public WallSource {
+ public:
+  // Binds the socket immediately (so port() is valid before open()).
+  explicit UdpRuntime(UdpRuntimeConfig config);
+  ~UdpRuntime() override;
+
+  UdpRuntime(const UdpRuntime&) = delete;
+  UdpRuntime& operator=(const UdpRuntime&) = delete;
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+  // Serializes engine callbacks; embedders hold it around engine calls.
+  // Recursive because engine calls made under it re-enter the transport
+  // (start -> open, stop -> close, handle -> send).
+  std::recursive_mutex& state_mutex() noexcept { return state_mutex_; }
+
+  // Stops and joins the delivery threads.  Idempotent; called by the dtor.
+  // The engine must only be destroyed after shutdown() returns.
+  void shutdown();
+
+  // Registers another configured peer (id -> port).  Embedders call this
+  // between construction and open() as the peer set becomes known.
+  void add_peer(const UdpPeer& peer);
+
+  // Transport.  open() starts the receiver and timer threads.
+  void open(ServerId self, Handler handler) override;
+  void close() override;
+  void send(ServerId to, const ServiceMessage& msg) override;
+  std::size_t broadcast(const std::vector<ServerId>& targets,
+                        const ServiceMessage& msg) override;
+  Duration max_one_way_delay() const override;
+
+  // Timers.
+  TimerId after(Duration delay, std::function<void()> cb) override;
+  bool cancel(TimerId id) override;
+
+  // WallSource.
+  RealTime now() override { return host_seconds(); }
+
+ private:
+  using AddrKey = std::uint64_t;  // packed (ip, port)
+
+  static AddrKey addr_key(const sockaddr_in& addr) noexcept;
+
+  void receive_loop();
+  void timer_loop();
+  // Maps a source address to an engine-side id, allocating a pseudo id for
+  // first-time correspondents.  Requires state_mutex_.
+  ServerId id_for_addr(const sockaddr_in& addr);
+
+  UdpRuntimeConfig config_;
+  net::UdpSocket socket_;
+
+  std::recursive_mutex state_mutex_;       // engine serialization domain
+  Transport::Handler handler_;             // guarded by state_mutex_
+  ServerId self_ = core::kInvalidServer;   // guarded by state_mutex_
+  bool open_ = false;                      // guarded by state_mutex_
+
+  // Address book (guarded by state_mutex_).
+  std::map<ServerId, sockaddr_in> addr_by_id_;
+  std::map<AddrKey, ServerId> id_by_addr_;
+  ServerId next_pseudo_id_;
+  // client_send_ns echo payloads for replies we owe: (to, tag) -> ns.
+  std::map<std::pair<ServerId, std::uint64_t>, std::int64_t> echo_ns_;
+
+  // Timer queue (guarded by timer_mutex_; never held across callbacks).
+  struct TimerEntry {
+    double deadline;  // host_seconds()
+    TimerId id;
+    std::function<void()> cb;
+  };
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::multimap<double, TimerEntry> timer_queue_;
+  TimerId next_timer_id_ = 1;
+
+  std::atomic<bool> threads_running_{false};
+  std::thread receiver_;
+  std::thread timer_thread_;
+};
+
+}  // namespace mtds::runtime

@@ -1,0 +1,165 @@
+// ProtocolEngine: the runtime-agnostic core of a time server.
+//
+// One implementation of the paper's protocol - the rule MM-1/IM-1 responder
+// plus the periodic rule MM-2/IM-2 synchronization loop, with pluggable
+// synchronization function, adaptive polling, sample filtering, broadcast
+// rounds, Section 5 rate monitoring and Section 3 third-server recovery -
+// driven entirely through the narrow runtime::Transport / Timers /
+// WallSource interfaces.  The same engine runs inside the discrete-event
+// simulator (service::TimeServer over runtime::SimRuntime) and inside the
+// UDP daemon (net::UdpTimeServer over runtime::UdpRuntime), so the deployed
+// loop is exactly the loop the simulator validates.
+//
+// Concurrency: the engine is not internally synchronized; the runtime
+// serializes message delivery and timer fires (see runtime/runtime.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/error_tracker.h"
+#include "core/reading.h"
+#include "core/sync_function.h"
+#include "runtime/runtime.h"
+#include "service/config.h"
+#include "service/message.h"
+#include "service/rate_monitor.h"
+#include "service/sample_filter.h"
+#include "sim/rng.h"
+
+namespace mtds::service {
+
+struct ServerCounters {
+  std::uint64_t rounds = 0;           // poll rounds started
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t responses_sent = 0;   // rule MM-1/IM-1 replies served
+  std::uint64_t resets = 0;           // clock resets applied
+  std::uint64_t inconsistencies = 0;  // inconsistent replies / empty rounds
+  std::uint64_t recoveries = 0;       // third-server recoveries performed
+};
+
+// Lifecycle notifications for embedders (the simulated shell adapts these
+// to sim::Trace; the UDP shell ignores them or logs).  All callbacks fire
+// inside the runtime's serialization domain.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_join(core::RealTime, core::ServerId) {}
+  virtual void on_leave(core::RealTime, core::ServerId) {}
+  virtual void on_reset(core::RealTime, core::ServerId /*id*/,
+                        core::ServerId /*source*/, core::Duration /*error*/,
+                        bool /*is_recovery*/) {}
+  virtual void on_inconsistent(core::RealTime, core::ServerId /*id*/,
+                               core::ServerId /*peer*/) {}
+};
+
+class ProtocolEngine {
+ public:
+  // The engine owns its clock; runtime planes and observer are borrowed and
+  // must outlive it.  `observer` may be null.
+  ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
+                 const ServerSpec& spec, runtime::Runtime rt,
+                 EngineObserver* observer, sim::Rng rng);
+  ~ProtocolEngine();
+
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  // Opens the transport and schedules the first poll round.  The first poll
+  // is jittered uniformly within one poll period so that a service's rounds
+  // don't run in lockstep.
+  void start(const std::vector<ServerId>& neighbors);
+
+  // Leaves the service: closes the transport and stops polling.
+  void stop();
+
+  // Membership update: future rounds will also poll `peer`.
+  void add_neighbor(ServerId peer);
+  // Stops polling `peer` (outstanding requests to it simply expire).
+  void remove_neighbor(ServerId peer);
+  bool running() const noexcept { return running_; }
+
+  ServerId id() const noexcept { return id_; }
+  const ServerSpec& spec() const noexcept { return spec_; }
+  const ServerCounters& counters() const noexcept { return counters_; }
+  const std::vector<ServerId>& neighbors() const noexcept { return neighbors_; }
+
+  // The poll period currently in effect (== spec().poll_period unless
+  // adaptive polling has moved it).
+  Duration current_poll_period() const noexcept { return current_period_; }
+
+  // Current clock reading / reported maximum error (rule MM-1).
+  core::ClockTime read_clock(RealTime t);
+  core::Duration current_error(RealTime t);
+
+  // Offset from the runtime's real-time axis; positive means the clock is
+  // fast.  (Ground truth in the simulator; host-monotonic offset over UDP.)
+  double true_offset(RealTime t);
+
+  // Whether the interval currently contains true time.
+  bool correct(RealTime t);
+
+  // Message entry point (installed as the transport handler by start()).
+  void handle(RealTime t, const ServiceMessage& msg);
+
+  // Section 5 rate monitor; non-null only when spec.monitor_rates is set.
+  RateMonitor* rate_monitor() noexcept { return rate_monitor_.get(); }
+  const RateMonitor* rate_monitor() const noexcept {
+    return rate_monitor_.get();
+  }
+
+ private:
+  void schedule_next_poll(Duration own_clock_delay);
+  void begin_round();
+  void end_round();
+  void process_reading(const core::TimeReading& reading);
+  void apply_reset(const core::ClockReset& reset, bool is_recovery);
+  void note_inconsistency(const std::vector<ServerId>& peers);
+  void request_recovery(ServerId exclude);
+  core::LocalState local_state(RealTime t);
+
+  ServerId id_;
+  std::unique_ptr<core::Clock> clock_;
+  core::ErrorTracker tracker_;
+  ServerSpec spec_;
+  std::unique_ptr<core::SyncFunction> sync_;   // null for kNone
+  std::unique_ptr<RateMonitor> rate_monitor_;  // null unless monitor_rates
+  std::unique_ptr<SampleFilter> filter_;       // null unless use_sample_filter
+  runtime::Transport* transport_;
+  runtime::Timers* timers_;
+  runtime::WallSource* wall_;
+  EngineObserver* observer_;
+  sim::Rng rng_;
+
+  std::vector<ServerId> neighbors_;
+  bool running_ = false;
+  Duration current_period_ = 0.0;  // adaptive tau; starts at spec.poll_period
+
+  // Outstanding requests: tag -> own-clock send time.
+  struct Pending {
+    core::ClockTime sent_local;
+    bool recovery;  // reply triggers an unconditional recovery reset
+  };
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_tag_;
+
+  // Broadcast-mode round state: one shared tag, one send timestamp, and the
+  // set of neighbours whose reply is still awaited.
+  std::uint64_t broadcast_tag_ = 0;
+  core::ClockTime broadcast_sent_local_ = 0.0;
+  std::set<ServerId> broadcast_awaiting_;
+
+  // Current round state (per-round sync functions buffer replies here).
+  core::Readings round_replies_;
+  bool round_open_ = false;
+  runtime::TimerId round_end_timer_ = runtime::kInvalidTimer;
+
+  ServerCounters counters_;
+};
+
+}  // namespace mtds::service

@@ -1,385 +1,47 @@
 #include "service/time_server.h"
 
-#include <algorithm>
-#include <cassert>
-
-#include "util/log.h"
-
 namespace mtds::service {
-
-using core::ClockReset;
-using core::ClockTime;
-using core::LocalState;
-using core::SyncMode;
-using core::TimeReading;
-using util::LogLevel;
 
 TimeServer::TimeServer(ServerId id, std::unique_ptr<core::Clock> clock,
                        const ServerSpec& spec, sim::EventQueue& queue,
                        ServiceNetwork& network, sim::Trace* trace, sim::Rng rng)
-    : id_(id),
-      clock_(std::move(clock)),
-      tracker_(spec.claimed_delta, spec.initial_error,
-               clock_ ? clock_->read(queue.now()) : 0.0),
-      spec_(spec),
-      sync_(spec.algo == SyncAlgorithm::kNone
-                ? nullptr
-                : core::make_sync_function(spec.algo)),
-      rate_monitor_(spec.monitor_rates
-                        ? std::make_unique<RateMonitor>(spec.claimed_delta)
-                        : nullptr),
-      filter_(spec.use_sample_filter ? std::make_unique<SampleFilter>()
-                                     : nullptr),
-      queue_(&queue),
-      network_(&network),
-      trace_(trace),
-      rng_(rng),
-      current_period_(spec.poll_period),
-      next_tag_(1) {
-  assert(clock_ != nullptr);
-}
+    : runtime_(queue, network),
+      observer_(trace),
+      engine_(id, std::move(clock), spec, runtime_.runtime(), &observer_,
+              rng) {}
 
-TimeServer::~TimeServer() {
-  if (running_) stop();
-}
-
-void TimeServer::start(const std::vector<ServerId>& neighbors) {
-  neighbors_ = neighbors;
-  running_ = true;
-  network_->register_node(id_, [this](RealTime t, const ServiceMessage& msg) {
-    handle(t, msg);
-  });
+void TimeServer::TraceObserver::on_join(core::RealTime t, core::ServerId id) {
   if (trace_ != nullptr) {
-    trace_->record({queue_->now(), id_, sim::TraceEventKind::kJoin,
-                    core::kInvalidServer, 0.0});
-  }
-  if (sync_ != nullptr && !neighbors_.empty()) {
-    // Jitter the first round so the service's rounds don't run in lockstep.
-    schedule_next_poll(rng_.uniform(0.0, spec_.poll_period));
+    trace_->record(
+        {t, id, sim::TraceEventKind::kJoin, core::kInvalidServer, 0.0});
   }
 }
 
-void TimeServer::stop() {
-  running_ = false;
-  network_->unregister_node(id_);
-  pending_.clear();
-  round_open_ = false;
+void TimeServer::TraceObserver::on_leave(core::RealTime t, core::ServerId id) {
   if (trace_ != nullptr) {
-    trace_->record({queue_->now(), id_, sim::TraceEventKind::kLeave,
-                    core::kInvalidServer, 0.0});
+    trace_->record(
+        {t, id, sim::TraceEventKind::kLeave, core::kInvalidServer, 0.0});
   }
 }
 
-void TimeServer::add_neighbor(ServerId peer) {
-  if (peer == id_) return;
-  if (std::find(neighbors_.begin(), neighbors_.end(), peer) ==
-      neighbors_.end()) {
-    neighbors_.push_back(peer);
-    // A previously isolated server starts polling once it has a neighbour.
-    if (running_ && sync_ != nullptr && neighbors_.size() == 1) {
-      schedule_next_poll(rng_.uniform(0.0, spec_.poll_period));
-    }
-  }
-}
-
-void TimeServer::remove_neighbor(ServerId peer) {
-  neighbors_.erase(std::remove(neighbors_.begin(), neighbors_.end(), peer),
-                   neighbors_.end());
-}
-
-ClockTime TimeServer::read_clock(RealTime t) { return clock_->read(t); }
-
-core::Duration TimeServer::current_error(RealTime t) {
-  return tracker_.error_at(clock_->read(t));
-}
-
-double TimeServer::true_offset(RealTime t) { return clock_->read(t) - t; }
-
-bool TimeServer::correct(RealTime t) {
-  return std::abs(true_offset(t)) <= current_error(t) + 1e-12;
-}
-
-void TimeServer::schedule_next_poll(Duration own_clock_delay) {
-  // The poll timer is driven by the server's own oscillator, so a drifting
-  // clock polls slightly faster or slower in real time.  A (faulty) stopped
-  // clock would never fire its timer; cap the conversion so the simulation
-  // still terminates, which models a hardware timer that keeps ticking.
-  const double rate = std::max(clock_->rate(queue_->now()), 0.1);
-  queue_->after(own_clock_delay / rate, [this] {
-    if (running_) begin_round();
-  });
-}
-
-void TimeServer::begin_round() {
-  if (!running_) return;
-  // A still-open round (possible when tau is close to the reply wait) is
-  // closed before a new one starts.
-  if (round_open_) end_round();
-
-  ++counters_.rounds;
-  round_open_ = true;
-  round_replies_.clear();
-  // A previous round's close timer may still be pending (overlapping
-  // rounds happen when a fast/racing clock polls quicker than the reply
-  // wait); it must not close the round we are about to open.
-  if (round_end_event_ != kNoEvent) {
-    queue_->cancel(round_end_event_);
-    round_end_event_ = kNoEvent;
-  }
-
-  const RealTime now = queue_->now();
-  const ClockTime local = clock_->read(now);
-  if (spec_.use_broadcast) {
-    // Directed broadcast: one request tag fans out to every neighbour.
-    ServiceMessage req;
-    req.type = ServiceMessage::Type::kTimeRequest;
-    req.from = id_;
-    req.tag = broadcast_tag_ = next_tag_++;
-    broadcast_sent_local_ = local;
-    broadcast_awaiting_.clear();
-    for (ServerId peer : neighbors_) {
-      if (peer != id_) broadcast_awaiting_.insert(peer);
-    }
-    counters_.requests_sent += network_->broadcast(
-        id_, neighbors_, req);
-  } else {
-    for (ServerId peer : neighbors_) {
-      if (peer == id_) continue;
-      ServiceMessage req;
-      req.type = ServiceMessage::Type::kTimeRequest;
-      req.from = id_;
-      req.to = peer;
-      req.tag = next_tag_++;
-      pending_[req.tag] = Pending{local, /*recovery=*/false};
-      ++counters_.requests_sent;
-      network_->send(id_, peer, req);
-    }
-  }
-
-  // Close the round once every reply had time to arrive: a full round trip
-  // is at most twice the one-way bound.  Keep strictly inside tau so rounds
-  // do not overlap.
-  const Duration wait = std::min(2.0 * network_->max_one_way_delay() * 1.5 + 1e-6,
-                                 current_period_ * 0.9);
-  round_end_event_ = queue_->after(wait, [this] {
-    if (running_) end_round();
-  });
-
-  if (spec_.adaptive.enabled) {
-    // Extension: spend messages only when the error budget demands it.
-    const Duration error = tracker_.error_at(local);
-    if (error > spec_.adaptive.error_target) {
-      current_period_ = std::max(spec_.adaptive.min_period,
-                                 current_period_ / 2.0);
-    } else if (error < spec_.adaptive.error_target / 2.0) {
-      current_period_ = std::min(spec_.adaptive.max_period,
-                                 current_period_ * 2.0);
-    }
-  }
-  schedule_next_poll(current_period_);
-}
-
-void TimeServer::end_round() {
-  if (!round_open_) return;
-  round_open_ = false;
-
-  // Expire outstanding non-recovery requests; late replies are discarded.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    it = it->second.recovery ? std::next(it) : pending_.erase(it);
-  }
-  broadcast_awaiting_.clear();
-
-  if (sync_ == nullptr || sync_->mode() != SyncMode::kPerRound) {
-    round_replies_.clear();
-    return;
-  }
-
-  const RealTime now = queue_->now();
-  core::Readings round_input = std::move(round_replies_);
-  round_replies_.clear();
-  if (filter_ != nullptr) {
-    // Serve the filtered best per neighbour instead of the raw replies.
-    // This also sustains rounds whose replies were all lost: recent cached
-    // samples (aged by the drift budget) are still sound inputs.
-    round_input = filter_->best_all(clock_->read(now), spec_.claimed_delta);
-  }
-  if (round_input.empty()) return;
-  const auto outcome = sync_->on_round(local_state(now), round_input);
-  if (outcome.reset) {
-    apply_reset(*outcome.reset, /*is_recovery=*/false);
-  }
-  if (outcome.round_inconsistent || !outcome.inconsistent_with.empty()) {
-    ++counters_.inconsistencies;
-    note_inconsistency(outcome.inconsistent_with);
-  }
-}
-
-void TimeServer::handle(RealTime t, const ServiceMessage& msg) {
-  if (!running_) return;
-  switch (msg.type) {
-    case ServiceMessage::Type::kTimeRequest: {
-      // Rule MM-1 / IM-1: respond with the pair <C_i(t), E_i(t)>.
-      ServiceMessage resp;
-      resp.type = ServiceMessage::Type::kTimeResponse;
-      resp.from = id_;
-      resp.to = msg.from;
-      resp.tag = msg.tag;
-      resp.c = clock_->read(t);
-      resp.e = tracker_.error_at(resp.c);
-      network_->send(id_, msg.from, resp);
-      return;
-    }
-    case ServiceMessage::Type::kTimeResponse: {
-      Pending pend;
-      if (spec_.use_broadcast && msg.tag == broadcast_tag_) {
-        // A broadcast-round reply: pair by (round tag, sender).
-        if (broadcast_awaiting_.erase(msg.from) == 0) return;  // duplicate
-        pend = Pending{broadcast_sent_local_, /*recovery=*/false};
-      } else {
-        const auto it = pending_.find(msg.tag);
-        if (it == pending_.end()) return;  // stale or unknown reply
-        pend = it->second;
-        pending_.erase(it);
-      }
-      ++counters_.replies_received;
-
-      const ClockTime local = clock_->read(t);
-      TimeReading reading;
-      reading.from = msg.from;
-      reading.c = msg.c;
-      reading.e = msg.e;
-      reading.rtt_own = std::max(0.0, local - pend.sent_local);
-      reading.local_receive = local;
-
-      if (rate_monitor_ != nullptr) rate_monitor_->observe(reading);
-      if (pend.recovery) {
-        // Third-server recovery (Section 3): reset unconditionally to the
-        // third server's value, inheriting its error plus the round trip.
-        ClockReset reset;
-        reset.clock = reading.c;
-        reset.error = reading.e + (1.0 + spec_.claimed_delta) * reading.rtt_own;
-        reset.sources.push_back(reading.from);
-        ++counters_.recoveries;
-        apply_reset(reset, /*is_recovery=*/true);
-        return;
-      }
-      process_reading(reading);
-      return;
-    }
-  }
-}
-
-void TimeServer::process_reading(const TimeReading& reading) {
-  if (sync_ == nullptr) return;
-  if (filter_ != nullptr) filter_->add(reading);
-  if (sync_->mode() == SyncMode::kPerRound) {
-    if (round_open_) round_replies_.push_back(reading);
-    return;
-  }
-  // Per-reply (algorithm MM): evaluate against the live state in arrival
-  // order, exactly as rule MM-2 prescribes.  With the clock filter on, the
-  // neighbour's lowest-delay recent sample stands in for the raw reply.
-  TimeReading effective = reading;
-  if (filter_ != nullptr) {
-    if (auto best = filter_->best(reading.from, reading.local_receive,
-                                  spec_.claimed_delta)) {
-      effective = *best;
-    }
-  }
-  const auto outcome = sync_->on_reply(local_state(queue_->now()), effective);
-  if (outcome.reset) {
-    apply_reset(*outcome.reset, /*is_recovery=*/false);
-  }
-  if (!outcome.inconsistent_with.empty()) {
-    ++counters_.inconsistencies;
-    note_inconsistency(outcome.inconsistent_with);
-  }
-}
-
-void TimeServer::apply_reset(const ClockReset& reset, bool is_recovery) {
-  const RealTime now = queue_->now();
-  // Outstanding requests recorded their send time on the pre-reset clock;
-  // rebase them so xi^i_j (measured as C(recv) - C(send)) stays the elapsed
-  // own-clock time rather than absorbing the jump.  Without this, a
-  // backward reset makes later replies in the same round look instantaneous
-  // and their inherited error underestimates the delay - a genuine
-  // correctness leak.
-  const double jump = reset.clock - clock_->read(now);
-  for (auto& [tag, pend] : pending_) {
-    pend.sent_local += jump;
-  }
-  broadcast_sent_local_ += jump;
-  if (filter_ != nullptr) filter_->on_local_reset(jump);
-  clock_->set(now, reset.clock);
-  if (rate_monitor_ != nullptr) rate_monitor_->on_local_reset();
-  // The tracker records the *intended* post-reset state.  A faulty clock
-  // that refuses the set (kStickyReset) leaves the server's bookkeeping
-  // believing the reset happened - precisely the failure mode the paper
-  // names; the invariant checkers surface the resulting incorrectness.
-  tracker_.reset(reset.clock, reset.error);
-  ++counters_.resets;
+void TimeServer::TraceObserver::on_reset(core::RealTime t, core::ServerId id,
+                                         core::ServerId source,
+                                         core::Duration error,
+                                         bool is_recovery) {
   if (trace_ != nullptr) {
-    trace_->record({now, id_,
+    trace_->record({t, id,
                     is_recovery ? sim::TraceEventKind::kRecovery
                                 : sim::TraceEventKind::kReset,
-                    reset.sources.empty() ? core::kInvalidServer
-                                          : reset.sources.front(),
-                    reset.error});
+                    source, error});
   }
-  util::logt(LogLevel::kDebug, now, "S%u reset: C=%.6f eps=%.6g%s", id_,
-             reset.clock, reset.error, is_recovery ? " (recovery)" : "");
 }
 
-void TimeServer::note_inconsistency(const std::vector<ServerId>& peers) {
-  const RealTime now = queue_->now();
+void TimeServer::TraceObserver::on_inconsistent(core::RealTime t,
+                                                core::ServerId id,
+                                                core::ServerId peer) {
   if (trace_ != nullptr) {
-    trace_->record({now, id_, sim::TraceEventKind::kInconsistent,
-                    peers.empty() ? core::kInvalidServer : peers.front(), 0.0});
+    trace_->record({t, id, sim::TraceEventKind::kInconsistent, peer, 0.0});
   }
-  util::logt(LogLevel::kDebug, now, "S%u inconsistent with %zu peer(s)", id_,
-             peers.size());
-  if (spec_.recovery == RecoveryPolicy::kThirdServer) {
-    request_recovery(peers.empty() ? core::kInvalidServer : peers.front());
-  }
-}
-
-void TimeServer::request_recovery(ServerId exclude) {
-  // At most one recovery request in flight.
-  for (const auto& [tag, pend] : pending_) {
-    if (pend.recovery) return;
-  }
-  // "The original server resets to the value of any third server": prefer a
-  // dedicated recovery pool (servers on another network), else any neighbour
-  // other than the one we disagreed with.
-  std::vector<ServerId> candidates;
-  for (ServerId s : spec_.recovery_pool) {
-    if (s != id_ && s != exclude) candidates.push_back(s);
-  }
-  if (candidates.empty()) {
-    for (ServerId s : neighbors_) {
-      if (s != id_ && s != exclude) candidates.push_back(s);
-    }
-  }
-  if (candidates.empty()) return;
-  const ServerId target =
-      candidates[rng_.uniform_index(candidates.size())];
-
-  ServiceMessage req;
-  req.type = ServiceMessage::Type::kTimeRequest;
-  req.from = id_;
-  req.to = target;
-  req.tag = next_tag_++;
-  pending_[req.tag] = Pending{clock_->read(queue_->now()), /*recovery=*/true};
-  ++counters_.requests_sent;
-  network_->send(id_, target, req);
-}
-
-LocalState TimeServer::local_state(RealTime t) {
-  LocalState state;
-  state.clock = clock_->read(t);
-  state.error = tracker_.error_at(state.clock);
-  state.delta = spec_.claimed_delta;
-  return state;
 }
 
 }  // namespace mtds::service

@@ -1,38 +1,29 @@
-// A time server: rule MM-1/IM-1 responder plus the periodic synchronization
-// loop of rule MM-2/IM-2, with pluggable synchronization function and
-// inconsistency recovery policy.
+// A simulated time server: a thin shell composing the shared ProtocolEngine
+// with the discrete-event runtime (runtime::SimRuntime) and adapting engine
+// lifecycle events to the simulation trace.
+//
+// All protocol behavior - the rule MM-1/IM-1 responder, the rule MM-2/IM-2
+// synchronization loop, adaptive polling, sample filtering, broadcast
+// rounds, rate monitoring and third-server recovery - lives in
+// service::ProtocolEngine (protocol_engine.h); the UDP daemon runs exactly
+// the same engine over runtime::UdpRuntime.
 #pragma once
 
-#include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/clock.h"
-#include "core/error_tracker.h"
-#include "core/reading.h"
-#include "core/sync_function.h"
+#include "runtime/sim_runtime.h"
 #include "service/config.h"
-#include "service/rate_monitor.h"
-#include "service/sample_filter.h"
 #include "service/message.h"
+#include "service/protocol_engine.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 
 namespace mtds::service {
 
-using ServiceNetwork = sim::Network<ServiceMessage>;
-
-struct ServerCounters {
-  std::uint64_t rounds = 0;          // poll rounds started
-  std::uint64_t requests_sent = 0;
-  std::uint64_t replies_received = 0;
-  std::uint64_t resets = 0;          // clock resets applied
-  std::uint64_t inconsistencies = 0; // inconsistent replies / empty rounds
-  std::uint64_t recoveries = 0;      // third-server recoveries performed
-};
+using ServiceNetwork = runtime::SimServiceNetwork;
 
 class TimeServer {
  public:
@@ -41,99 +32,76 @@ class TimeServer {
   TimeServer(ServerId id, std::unique_ptr<core::Clock> clock,
              const ServerSpec& spec, sim::EventQueue& queue,
              ServiceNetwork& network, sim::Trace* trace, sim::Rng rng);
-  ~TimeServer();
 
   TimeServer(const TimeServer&) = delete;
   TimeServer& operator=(const TimeServer&) = delete;
 
-  // Registers with the network and schedules the first poll round.  The
-  // first poll is jittered uniformly within one poll period so that a
-  // service's rounds don't run in lockstep.
-  void start(const std::vector<ServerId>& neighbors);
+  // Registers with the network and schedules the first poll round.
+  void start(const std::vector<ServerId>& neighbors) {
+    engine_.start(neighbors);
+  }
 
   // Leaves the service: unregisters from the network and stops polling.
-  void stop();
+  void stop() { engine_.stop(); }
 
-  // Membership update: future rounds will also poll `peer`.
-  void add_neighbor(ServerId peer);
-  // Stops polling `peer` (outstanding requests to it simply expire).
-  void remove_neighbor(ServerId peer);
-  bool running() const noexcept { return running_; }
+  void add_neighbor(ServerId peer) { engine_.add_neighbor(peer); }
+  void remove_neighbor(ServerId peer) { engine_.remove_neighbor(peer); }
+  bool running() const noexcept { return engine_.running(); }
 
-  ServerId id() const noexcept { return id_; }
-  const ServerSpec& spec() const noexcept { return spec_; }
-  const ServerCounters& counters() const noexcept { return counters_; }
-  const std::vector<ServerId>& neighbors() const noexcept { return neighbors_; }
+  ServerId id() const noexcept { return engine_.id(); }
+  const ServerSpec& spec() const noexcept { return engine_.spec(); }
+  const ServerCounters& counters() const noexcept { return engine_.counters(); }
+  const std::vector<ServerId>& neighbors() const noexcept {
+    return engine_.neighbors();
+  }
 
   // The poll period currently in effect (== spec().poll_period unless
   // adaptive polling has moved it).
-  Duration current_poll_period() const noexcept { return current_period_; }
+  Duration current_poll_period() const noexcept {
+    return engine_.current_poll_period();
+  }
 
   // Current clock reading / reported maximum error (rule MM-1).
-  core::ClockTime read_clock(RealTime t);
-  core::Duration current_error(RealTime t);
+  core::ClockTime read_clock(RealTime t) { return engine_.read_clock(t); }
+  core::Duration current_error(RealTime t) { return engine_.current_error(t); }
 
   // Offset from true time; positive means the clock is fast.  (Simulator
   // ground truth - a real server cannot compute this.)
-  double true_offset(RealTime t);
+  double true_offset(RealTime t) { return engine_.true_offset(t); }
 
   // Whether the interval currently contains true time.
-  bool correct(RealTime t);
+  bool correct(RealTime t) { return engine_.correct(t); }
 
   // Message entry point (installed as the network handler by start()).
-  void handle(RealTime t, const ServiceMessage& msg);
+  void handle(RealTime t, const ServiceMessage& msg) { engine_.handle(t, msg); }
 
   // Section 5 rate monitor; non-null only when spec.monitor_rates is set.
-  RateMonitor* rate_monitor() noexcept { return rate_monitor_.get(); }
-  const RateMonitor* rate_monitor() const noexcept { return rate_monitor_.get(); }
+  RateMonitor* rate_monitor() noexcept { return engine_.rate_monitor(); }
+  const RateMonitor* rate_monitor() const noexcept {
+    return engine_.rate_monitor();
+  }
+
+  ProtocolEngine& engine() noexcept { return engine_; }
 
  private:
-  void schedule_next_poll(Duration own_clock_delay);
-  void begin_round();
-  void end_round();
-  void process_reading(const core::TimeReading& reading);
-  void apply_reset(const core::ClockReset& reset, bool is_recovery);
-  void note_inconsistency(const std::vector<ServerId>& peers);
-  void request_recovery(ServerId exclude);
-  core::LocalState local_state(RealTime t);
+  // Adapts engine lifecycle callbacks to sim::Trace records.
+  class TraceObserver final : public EngineObserver {
+   public:
+    explicit TraceObserver(sim::Trace* trace) : trace_(trace) {}
+    void on_join(core::RealTime t, core::ServerId id) override;
+    void on_leave(core::RealTime t, core::ServerId id) override;
+    void on_reset(core::RealTime t, core::ServerId id, core::ServerId source,
+                  core::Duration error, bool is_recovery) override;
+    void on_inconsistent(core::RealTime t, core::ServerId id,
+                         core::ServerId peer) override;
 
-  ServerId id_;
-  std::unique_ptr<core::Clock> clock_;
-  core::ErrorTracker tracker_;
-  ServerSpec spec_;
-  std::unique_ptr<core::SyncFunction> sync_;  // null for kNone
-  std::unique_ptr<RateMonitor> rate_monitor_;  // null unless monitor_rates
-  std::unique_ptr<SampleFilter> filter_;       // null unless use_sample_filter
-  sim::EventQueue* queue_;
-  ServiceNetwork* network_;
-  sim::Trace* trace_;
-  sim::Rng rng_;
-
-  std::vector<ServerId> neighbors_;
-  bool running_ = false;
-  Duration current_period_ = 0.0;  // adaptive tau; starts at spec.poll_period
-
-  // Outstanding requests: tag -> own-clock send time.
-  struct Pending {
-    core::ClockTime sent_local;
-    bool recovery;  // reply triggers an unconditional recovery reset
+   private:
+    sim::Trace* trace_;
   };
-  std::map<std::uint64_t, Pending> pending_;
-  std::uint64_t next_tag_;
 
-  // Broadcast-mode round state: one shared tag, one send timestamp, and the
-  // set of neighbours whose reply is still awaited.
-  std::uint64_t broadcast_tag_ = 0;
-  core::ClockTime broadcast_sent_local_ = 0.0;
-  std::set<ServerId> broadcast_awaiting_;
-
-  // Current round state (per-round sync functions buffer replies here).
-  core::Readings round_replies_;
-  bool round_open_ = false;
-  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
-  std::uint64_t round_end_event_ = kNoEvent;
-
-  ServerCounters counters_;
+  runtime::SimRuntime runtime_;
+  TraceObserver observer_;
+  ProtocolEngine engine_;
 };
 
 }  // namespace mtds::service

@@ -27,12 +27,23 @@ namespace mtds::sim {
 
 using core::ServerId;
 
+// Accounting invariants (asserted by network_test):
+//   * every send() attempt increments `sent`, whether or not it survives;
+//   * a sent copy is either dropped at send time (loss / partition), dropped
+//     at delivery time (no handler), or delivered - so once the queue
+//     drains, sent == delivered + dropped_loss + dropped_partition +
+//     dropped_no_handler;
+//   * broadcast() never calls send() for self-copies, so they appear in
+//     `skipped_self` and nowhere else (previously they vanished from the
+//     books entirely, while a direct self-send still counted in `sent` -
+//     the asymmetry made broadcast fan-out under-report traffic).
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_loss = 0;       // random loss
   std::uint64_t dropped_partition = 0;  // blocked link
   std::uint64_t dropped_no_handler = 0; // receiver not registered
+  std::uint64_t skipped_self = 0;       // broadcast copies to the sender
 };
 
 template <typename Msg>
@@ -109,13 +120,18 @@ class Network {
 
   // Directed broadcast ([Boggs 82], the paper's suggested collection
   // method): one logical send fanned out to every target, each copy subject
-  // to its own delay/loss/partition decision.  Returns the number of copies
-  // actually dispatched.
+  // to its own delay/loss/partition decision.  Self-copies are skipped and
+  // tracked in stats().skipped_self rather than silently discarded, so the
+  // stats stay consistent with send() accounting.  Returns the number of
+  // copies actually dispatched.
   std::size_t broadcast(ServerId from, const std::vector<ServerId>& targets,
                         const Msg& msg) {
     std::size_t dispatched = 0;
     for (ServerId to : targets) {
-      if (to == from) continue;
+      if (to == from) {
+        ++stats_.skipped_self;
+        continue;
+      }
       if (send(from, to, msg)) ++dispatched;
     }
     return dispatched;

@@ -4,6 +4,7 @@
 // Header-only; binaries define flags locally and query after parse().
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -54,6 +55,35 @@ class Flags {
     auto it = values_.find(name);
     if (it == values_.end()) return def;
     return it->second != "false" && it->second != "0";
+  }
+
+  // Splits a comma-separated flag into its non-empty items ("1,2,,3" ->
+  // {"1","2","3"}); an absent flag yields an empty list.
+  std::vector<std::string> get_list(const std::string& name) const {
+    std::vector<std::string> items;
+    const std::string csv = get(name, "");
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+      const auto comma = csv.find(',', pos);
+      const auto end = comma == std::string::npos ? csv.size() : comma;
+      if (end > pos) items.push_back(csv.substr(pos, end - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return items;
+  }
+
+  // Comma-separated UDP port list ("9001,9002"); items that don't parse as
+  // a port are skipped rather than aborting the process.
+  std::vector<std::uint16_t> get_ports(const std::string& name) const {
+    std::vector<std::uint16_t> ports;
+    for (const std::string& item : get_list(name)) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || value > 0xFFFF) continue;
+      ports.push_back(static_cast<std::uint16_t>(value));
+    }
+    return ports;
   }
 
   const std::vector<std::string>& positional() const { return positional_; }

@@ -147,6 +147,42 @@ TEST_F(NetworkTest, MaxOneWayDelayReflectsModel) {
   EXPECT_DOUBLE_EQ(net.max_one_way_delay(), 0.5);
 }
 
+TEST_F(NetworkTest, BroadcastStatsStayConsistent) {
+  // Regression: broadcast used to drop self-copies from the books entirely
+  // while a direct self-send still counted in `sent`.  After a broadcast
+  // over targets that include the sender, a partitioned peer and an
+  // unregistered peer, every copy must be accounted for exactly once.
+  net.register_node(0, [](core::RealTime, const TestMsg&) {});
+  net.register_node(1, [](core::RealTime, const TestMsg&) {});
+  net.register_node(2, [](core::RealTime, const TestMsg&) {});
+  net.set_partitioned(0, 2, true);
+
+  // Targets: self (skipped), 1 (delivered), 2 (partitioned), 9 (dispatched
+  // but dropped at delivery - no handler).
+  const std::size_t dispatched = net.broadcast(0, {0, 1, 2, 9}, TestMsg{5});
+  EXPECT_EQ(dispatched, 2u);  // copies to 1 and 9 got a delay
+  queue.run_all();
+
+  const auto& s = net.stats();
+  EXPECT_EQ(s.skipped_self, 1u);
+  EXPECT_EQ(s.sent, 3u);  // self-copy never reaches send()
+  EXPECT_EQ(s.dropped_partition, 1u);
+  EXPECT_EQ(s.dropped_no_handler, 1u);
+  EXPECT_EQ(s.delivered, 1u);
+  // The ledger balances: every send() attempt ends in exactly one bucket,
+  // and dispatched copies are the ones that survived send-time drops.
+  EXPECT_EQ(s.sent,
+            s.delivered + s.dropped_loss + s.dropped_partition +
+                s.dropped_no_handler);
+  EXPECT_EQ(dispatched, s.sent - s.dropped_loss - s.dropped_partition);
+}
+
+TEST_F(NetworkTest, BroadcastSelfOnlyDispatchesNothing) {
+  EXPECT_EQ(net.broadcast(3, {3, 3}, TestMsg{}), 0u);
+  EXPECT_EQ(net.stats().skipped_self, 2u);
+  EXPECT_EQ(net.stats().sent, 0u);
+}
+
 TEST_F(NetworkTest, StatsCountSends) {
   net.register_node(1, [](core::RealTime, const TestMsg&) {});
   net.send(0, 1, TestMsg{});

@@ -70,8 +70,10 @@ TEST(ProtocolFuzz, TruncationsAlwaysRejected) {
 }
 
 TEST(ProtocolFuzz, OversizedBuffersRejected) {
-  std::vector<std::uint8_t> big(encode(TimeRequestPacket{}).begin(),
-                                encode(TimeRequestPacket{}).end());
+  // NB: must encode once; begin()/end() from two separate encode() calls
+  // would be iterators into two different temporaries.
+  const auto buf = encode(TimeRequestPacket{});
+  std::vector<std::uint8_t> big(buf.begin(), buf.end());
   big.push_back(0);
   EXPECT_FALSE(decode_request(big.data(), big.size()).has_value());
 }

@@ -162,6 +162,33 @@ TEST(Flags, DefaultsWhenMissing) {
   EXPECT_EQ(flags.get("x", "d"), "d");
 }
 
+TEST(Flags, GetListSplitsCsv) {
+  const char* argv[] = {"prog", "--items=a,b,,c", "--empty="};
+  Flags flags;
+  flags.parse(3, const_cast<char**>(argv));
+  const auto items = flags.get_list("items");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[1], "b");
+  EXPECT_EQ(items[2], "c");
+  EXPECT_TRUE(flags.get_list("empty").empty());
+  EXPECT_TRUE(flags.get_list("absent").empty());
+}
+
+TEST(Flags, GetPortsParsesAndSkipsJunk) {
+  // Out-of-range and non-numeric items are skipped, not fatal (the old
+  // per-example parse_ports() would std::stoul-throw or truncate).
+  const char* argv[] = {"prog", "--peers=9001,9002,,70000,abc,0"};
+  Flags flags;
+  flags.parse(2, const_cast<char**>(argv));
+  const auto ports = flags.get_ports("peers");
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0], 9001);
+  EXPECT_EQ(ports[1], 9002);
+  EXPECT_EQ(ports[2], 0);
+  EXPECT_TRUE(flags.get_ports("absent").empty());
+}
+
 TEST(Flags, BooleanFalseStrings) {
   const char* argv[] = {"prog", "--a=false", "--b=0", "--c=yes"};
   Flags flags;
