@@ -1,7 +1,10 @@
 // Fault injection: the clock failure modes of Section 1.1 ("a clock may
 // fail in many ways, such as by stopping, racing ahead, or refusing to
 // change its value when reset") plus the invalid-drift-bound failure of
-// Section 3, run against both recovery policies.
+// Section 3, run against both recovery policies - and, via the chaos plane
+// (runtime::FaultInjector), the *communication* failure modes of Section 1:
+// message loss, duplication, delay spikes and a crash-stopped server, with
+// the peer-health layer discovering the crash and degrading gracefully.
 //
 //   $ ./fault_injection [--horizon=800]
 #include <cstdio>
@@ -64,6 +67,87 @@ ScenarioResult run(const std::string& name, core::ClockFault fault,
   return r;
 }
 
+// Chaos plane + peer health: every server's transport runs behind a
+// FaultInjector (10% loss, 10% duplication, 10% delay spikes); at
+// crash_at server 4's injector crash-stops the endpoint (silent, still
+// "running") and at restart_at it comes back.  The peers must walk S4
+// through healthy -> suspect -> dead, fall back to backoff probes, and
+// heal it within a couple of rounds of the restart; S4 itself - all its
+// polls unanswered - must enter and then leave degraded mode.
+bool run_chaos(double horizon) {
+  service::ServiceConfig cfg;
+  cfg.seed = 4242;
+  cfg.delay_hi = 0.005;
+  cfg.sample_interval = 5.0;
+  for (int i = 0; i < 5; ++i) {
+    service::ServerSpec s;
+    s.algo = core::SyncAlgorithm::kMM;
+    s.claimed_delta = 2e-5;
+    s.actual_drift = (i - 2) * 8e-6;
+    s.initial_error = 0.01;
+    s.poll_period = 10.0;
+    s.health.enabled = true;
+    s.chaos.drop = 0.1;
+    s.chaos.duplicate = 0.1;
+    s.chaos.delay = 0.1;
+    s.chaos.delay_hi = 0.05;
+    s.chaos.seed = 0xC4A05 + static_cast<std::uint64_t>(i);
+    cfg.servers.push_back(s);
+  }
+
+  service::TimeService service(cfg);
+  const double crash_at = horizon * 0.25;
+  const double restart_at = horizon * 0.6;
+  service.run_until(crash_at);
+  service.server(4).fault_injector()->set_crashed(true);
+  service.run_until(restart_at);
+  const bool degraded_while_crashed = service.server(4).degraded();
+  service.server(4).fault_injector()->set_crashed(false);
+  service.run_until(horizon);
+
+  const double now = service.now();
+  std::uint64_t deaths = 0, heals = 0, probes = 0, suppressed = 0;
+  std::uint64_t loss = 0, dup = 0, delayed = 0;
+  bool correct = true, healed = true;
+  for (int i = 0; i < 5; ++i) {
+    const auto& c = service.server(i).counters();
+    deaths += c.peer_deaths;
+    heals += c.peer_recoveries;
+    probes += c.probes_sent;
+    suppressed += c.polls_suppressed;
+    const auto fs = service.server(i).fault_injector()->stats();
+    loss += fs.dropped_loss;
+    dup += fs.duplicated;
+    delayed += fs.delayed;
+    correct = correct && service.server(i).correct(now);
+    if (i != 4) {
+      // Under sustained 10% chaos a peer is legitimately suspect at any
+      // instant; "healed" means S4 is no longer written off as dead.
+      healed = healed && service.server(i).peer_state(4) !=
+                             service::PeerState::kDead;
+    }
+  }
+  std::printf("chaos plane: loss %llu dup %llu delayed %llu | deaths %llu "
+              "heals %llu probes %llu suppressed %llu | S4 degraded while "
+              "crashed: %s\n",
+              static_cast<unsigned long long>(loss),
+              static_cast<unsigned long long>(dup),
+              static_cast<unsigned long long>(delayed),
+              static_cast<unsigned long long>(deaths),
+              static_cast<unsigned long long>(heals),
+              static_cast<unsigned long long>(probes),
+              static_cast<unsigned long long>(suppressed),
+              degraded_while_crashed ? "yes" : "no");
+  std::printf("  survivors correct: %s | S4 healed: %s | S4 degraded at end: "
+              "%s\n", correct ? "yes" : "no", healed ? "yes" : "no",
+              service.server(4).degraded() ? "yes" : "no");
+
+  return correct && healed && degraded_while_crashed &&
+         !service.server(4).degraded() && loss > 0 && dup > 0 &&
+         delayed > 0 && deaths > 0 && heals > 0 && probes > 0 &&
+         probes < suppressed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +190,9 @@ int main(int argc, char** argv) {
        liar_rec.faulty_offset < liar.faulty_offset;
   std::printf("\nwith recovery the liar's final offset shrinks from %.2f s "
               "to %.2f s\n", liar.faulty_offset, liar_rec.faulty_offset);
+
+  std::printf("\n--- chaos plane: message faults + crash-stop (S4) ---\n");
+  ok = ok && run_chaos(horizon);
 
   std::printf("\n%s\n", ok ? "all expectations held" : "UNEXPECTED BEHAVIOUR");
   return ok ? 0 : 1;

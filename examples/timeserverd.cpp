@@ -52,6 +52,16 @@ int main(int argc, char** argv) {
         "  --filter          ntpd-style min-RTT sample filter per neighbour\n"
         "  --broadcast       collect each round with one broadcast tag\n"
         "  --monitor-rates   Section 5 per-neighbour rate monitor\n"
+        "  --health          peer-health layer: suspect/dead tracking,\n"
+        "                    backoff probing, degraded mode\n"
+        "  --quarantine=N    quarantine a peer after N consecutive\n"
+        "                    inconsistencies (implies --health)\n"
+        "  --chaos-drop=P    chaos plane: drop each message w.p. P\n"
+        "  --chaos-dup=P     ... duplicate w.p. P\n"
+        "  --chaos-delay=P   ... delay w.p. P (spike up to --chaos-delay-max)\n"
+        "  --chaos-delay-max=X  delay spike upper bound, seconds (default 0.1)\n"
+        "  --chaos-corrupt=P ... corrupt fields w.p. P\n"
+        "  --chaos-seed=N    chaos RNG seed (default 0x5EED)\n"
         "  --seconds=X       run time; 0 = until signal (default 0)\n"
         "  --status-every=X  status print period (default 1)\n");
     return 0;
@@ -86,6 +96,19 @@ int main(int argc, char** argv) {
   cfg.use_broadcast = flags.get_bool("broadcast", false);
   cfg.monitor_rates = flags.get_bool("monitor-rates", false);
 
+  // Peer-health layer and chaos plane.
+  cfg.health.enabled = flags.get_bool("health", false);
+  cfg.health.quarantine_after =
+      static_cast<std::uint32_t>(flags.get_int("quarantine", 0));
+  if (cfg.health.quarantine_after > 0) cfg.health.enabled = true;
+  cfg.chaos.drop = flags.get_double("chaos-drop", 0.0);
+  cfg.chaos.duplicate = flags.get_double("chaos-dup", 0.0);
+  cfg.chaos.delay = flags.get_double("chaos-delay", 0.0);
+  cfg.chaos.delay_hi = flags.get_double("chaos-delay-max", 0.1);
+  cfg.chaos.corrupt = flags.get_double("chaos-corrupt", 0.0);
+  cfg.chaos.seed =
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0x5EED));
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
@@ -107,18 +130,42 @@ int main(int argc, char** argv) {
       if (now >= next_status) {
         next_status += status_every;
         std::printf("  t=%6.1f C=%12.6f E=%9.6f offset=%+9.6f tau=%6.3f "
-                    "served=%llu resets=%llu\n",
+                    "served=%llu resets=%llu%s\n",
                     now - t_start, server.read_clock(),
                     server.current_error(), server.true_offset(),
                     server.poll_period(),
                     static_cast<unsigned long long>(server.requests_served()),
-                    static_cast<unsigned long long>(server.resets()));
+                    static_cast<unsigned long long>(server.resets()),
+                    server.degraded() ? " DEGRADED" : "");
       }
     }
     server.stop();
     std::printf("timeserverd: stopped (served %llu requests, %llu resets)\n",
                 static_cast<unsigned long long>(server.requests_served()),
                 static_cast<unsigned long long>(server.resets()));
+    if (cfg.chaos.active()) {
+      const auto fs = server.fault_stats();
+      std::printf("  chaos ledger: out=%llu in=%llu fwd=%llu loss=%llu "
+                  "dup=%llu delay=%llu corrupt=%llu\n",
+                  static_cast<unsigned long long>(fs.outbound),
+                  static_cast<unsigned long long>(fs.inbound),
+                  static_cast<unsigned long long>(fs.forwarded),
+                  static_cast<unsigned long long>(fs.dropped_loss),
+                  static_cast<unsigned long long>(fs.duplicated),
+                  static_cast<unsigned long long>(fs.delayed),
+                  static_cast<unsigned long long>(fs.corrupted));
+    }
+    if (cfg.health.enabled) {
+      const auto c = server.counters();
+      std::printf("  peer health: deaths=%llu heals=%llu probes=%llu "
+                  "suppressed=%llu quarantines=%llu degraded=%llu\n",
+                  static_cast<unsigned long long>(c.peer_deaths),
+                  static_cast<unsigned long long>(c.peer_recoveries),
+                  static_cast<unsigned long long>(c.probes_sent),
+                  static_cast<unsigned long long>(c.polls_suppressed),
+                  static_cast<unsigned long long>(c.quarantines),
+                  static_cast<unsigned long long>(c.degraded_entries));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "timeserverd: %s\n", e.what());

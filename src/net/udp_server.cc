@@ -27,6 +27,8 @@ service::ServerSpec make_spec(const UdpServerConfig& config) {
   spec.use_sample_filter = config.use_sample_filter;
   spec.use_broadcast = config.use_broadcast;
   spec.monitor_rates = config.monitor_rates;
+  spec.health = config.health;
+  spec.chaos = config.chaos;
   spec.recovery = config.recovery_ports.empty()
                       ? service::RecoveryPolicy::kIgnore
                       : service::RecoveryPolicy::kThirdServer;
@@ -52,9 +54,19 @@ UdpTimeServer::UdpTimeServer(UdpServerConfig config)
   auto clock = std::make_unique<core::DriftingClock>(
       config_.simulated_drift, host_seconds() + config_.initial_offset,
       host_seconds());
+  if (config_.chaos.active()) {
+    // The injector lives in the runtime's serialization domain: every
+    // delivery, timer fire and (locked) engine call already serializes
+    // through the state mutex, so it needs no locking of its own.
+    chaos_ = std::make_unique<runtime::FaultInjector>(
+        *runtime_, *runtime_, *runtime_, config_.chaos);
+  }
   engine_ = std::make_unique<service::ProtocolEngine>(
       config_.id, std::move(clock), make_spec(config_),
-      runtime::Runtime{runtime_.get(), runtime_.get(), runtime_.get()},
+      runtime::Runtime{chaos_ != nullptr
+                           ? static_cast<runtime::Transport*>(chaos_.get())
+                           : static_cast<runtime::Transport*>(runtime_.get()),
+                       runtime_.get(), runtime_.get()},
       /*observer=*/nullptr, sim::Rng(0x5DEECE66Dull + config_.id));
 }
 
@@ -111,6 +123,30 @@ double UdpTimeServer::poll_period() const {
 service::ServerCounters UdpTimeServer::counters() const {
   std::lock_guard lock(runtime_->state_mutex());
   return engine_->counters();
+}
+
+core::ServerId UdpTimeServer::peer_engine_id(std::size_t k) noexcept {
+  return kPeerIdBase + static_cast<core::ServerId>(k);
+}
+
+service::PeerState UdpTimeServer::peer_state(core::ServerId peer) const {
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->peer_state(peer);
+}
+
+bool UdpTimeServer::degraded() const {
+  std::lock_guard lock(runtime_->state_mutex());
+  return engine_->degraded();
+}
+
+runtime::FaultStats UdpTimeServer::fault_stats() const {
+  std::lock_guard lock(runtime_->state_mutex());
+  return chaos_ != nullptr ? chaos_->stats() : runtime::FaultStats{};
+}
+
+void UdpTimeServer::set_crashed(bool crashed) {
+  std::lock_guard lock(runtime_->state_mutex());
+  if (chaos_ != nullptr) chaos_->set_crashed(crashed);
 }
 
 }  // namespace mtds::net

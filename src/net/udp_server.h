@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/fault_injector.h"
 #include "runtime/udp_runtime.h"
 #include "service/config.h"
 #include "service/protocol_engine.h"
@@ -48,6 +49,13 @@ struct UdpServerConfig {
   bool use_sample_filter = false;              // ntpd-style clock filter
   bool use_broadcast = false;                  // one-tag broadcast rounds
   bool monitor_rates = false;                  // Section 5 rate monitor
+
+  // Chaos plane: when chaos.active() the UDP runtime is wrapped in a
+  // runtime::FaultInjector (loss, duplication, delay spikes, corruption,
+  // partitions, crash-stop) - the same decorator the simulator uses.
+  runtime::FaultPlan chaos;
+  // Peer-health / graceful-degradation policy (see service/peer_health.h).
+  service::PeerHealthPolicy health;
 };
 
 class UdpTimeServer {
@@ -78,10 +86,24 @@ class UdpTimeServer {
   std::uint64_t recoveries() const { return counters().recoveries; }
   std::uint64_t requests_served() const { return counters().responses_sent; }
 
+  // Engine-side id of the k-th configured peer port (for peer_state()).
+  static core::ServerId peer_engine_id(std::size_t k) noexcept;
+
+  // Peer-health introspection (kHealthy / false when the layer is off).
+  service::PeerState peer_state(core::ServerId peer) const;
+  bool degraded() const;
+
+  // Chaos plane (null unless config.chaos.active()).  Control calls
+  // (set_crashed, partition) are thread-safe.
+  runtime::FaultInjector* fault_injector() noexcept { return chaos_.get(); }
+  runtime::FaultStats fault_stats() const;
+  void set_crashed(bool crashed);
+
  private:
   UdpServerConfig config_;
   std::vector<std::uint16_t> peer_ports_;
   std::unique_ptr<runtime::UdpRuntime> runtime_;
+  std::unique_ptr<runtime::FaultInjector> chaos_;  // null unless chaos.active()
   std::unique_ptr<service::ProtocolEngine> engine_;
   std::atomic<bool> running_{false};
   bool stopped_ = false;  // shutdown is one-way (the socket is closed)

@@ -1,0 +1,151 @@
+#include "runtime/fault_injector.h"
+
+#include <utility>
+
+namespace mtds::runtime {
+
+namespace {
+
+// Corrupted clock fields are skewed by up to this much in either direction -
+// far beyond any honest error bound, so consistency checks can notice.
+constexpr double kMaxClockSkew = 500.0;
+
+}  // namespace
+
+FaultInjector::FaultInjector(Transport& inner, Timers& timers,
+                             WallSource& wall, FaultPlan plan)
+    : inner_(&inner), timers_(&timers), wall_(&wall), plan_(plan),
+      rng_(plan.seed) {}
+
+void FaultInjector::open(ServerId self, Handler handler) {
+  self_ = self;
+  handler_ = std::move(handler);
+  open_ = true;
+  // Derive the fault stream from (seed, endpoint), so a fleet sharing one
+  // plan draws independent - but individually reproducible - sequences.
+  rng_ = sim::Rng(plan_.seed ^ (0x9E3779B97F4A7C15ull * (self + 1)));
+  inner_->open(self, [this](RealTime t, const ServiceMessage& msg) {
+    if (!open_) return;
+    ++stats_.inbound;
+    process(Dir::kInbound, msg.from, msg, t);
+  });
+}
+
+void FaultInjector::close() {
+  open_ = false;
+  inner_->close();
+}
+
+void FaultInjector::send(ServerId to, const ServiceMessage& msg) {
+  ++stats_.outbound;
+  process(Dir::kOutbound, to, msg, wall_->now());
+}
+
+std::size_t FaultInjector::broadcast(const std::vector<ServerId>& targets,
+                                     const ServiceMessage& msg) {
+  // Fan out through the per-copy gauntlet so each copy gets its own fault
+  // decision, mirroring sim::Network::broadcast.  Returns copies that were
+  // not dropped outright (immediately forwarded or held for a delay spike).
+  std::size_t dispatched = 0;
+  for (ServerId to : targets) {
+    if (to == self_) continue;
+    const FaultStats before = stats_;
+    send(to, msg);
+    if (stats_.forwarded > before.forwarded ||
+        stats_.delayed > before.delayed) {
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+Duration FaultInjector::max_one_way_delay() const {
+  return inner_->max_one_way_delay() + (plan_.delay > 0 ? plan_.delay_hi : 0.0);
+}
+
+void FaultInjector::partition_outbound(ServerId peer, bool blocked) {
+  if (blocked) {
+    blocked_outbound_.insert(peer);
+  } else {
+    blocked_outbound_.erase(peer);
+  }
+}
+
+void FaultInjector::partition_inbound(ServerId peer, bool blocked) {
+  if (blocked) {
+    blocked_inbound_.insert(peer);
+  } else {
+    blocked_inbound_.erase(peer);
+  }
+}
+
+void FaultInjector::partition(ServerId peer, bool blocked) {
+  partition_outbound(peer, blocked);
+  partition_inbound(peer, blocked);
+}
+
+void FaultInjector::corrupt_fields(ServiceMessage& msg) {
+  // Two corruption modes: a clock-field skew (detectable by the paper's
+  // consistency check: the value lands far outside any honest interval) or
+  // a scrambled tag (the reply no longer pairs with any outstanding
+  // request - indistinguishable from a stale reply).
+  if (msg.type == ServiceMessage::Type::kTimeResponse &&
+      rng_.bernoulli(0.5)) {
+    msg.c += rng_.uniform(-kMaxClockSkew, kMaxClockSkew);
+  } else {
+    msg.tag ^= rng_.next_u64() | 1;
+  }
+  ++stats_.corrupted;
+}
+
+void FaultInjector::process(Dir dir, ServerId peer, ServiceMessage msg,
+                            RealTime t) {
+  if (crashed_) {
+    ++stats_.dropped_crash;
+    return;
+  }
+  const auto& blocked =
+      dir == Dir::kOutbound ? blocked_outbound_ : blocked_inbound_;
+  if (blocked.count(peer) > 0) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (chance(plan_.drop)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  if (chance(plan_.corrupt)) corrupt_fields(msg);
+  if (chance(plan_.duplicate)) {
+    ++stats_.duplicated;
+    dispatch(dir, peer, msg, t);
+  }
+  if (chance(plan_.delay)) {
+    // Delay spike: hold the copy and re-dispatch through the timer plane.
+    // The runtime serializes timer fires with message delivery, so the late
+    // copy re-enters the engine exactly like a slow network would deliver
+    // it - possibly after the requesting round closed (a stale reply).
+    ++stats_.delayed;
+    const Duration spike = rng_.uniform(plan_.delay_lo, plan_.delay_hi);
+    timers_->after(spike, [this, dir, peer, msg] {
+      if (crashed_) {
+        ++stats_.dropped_crash;
+        return;
+      }
+      dispatch(dir, peer, msg, wall_->now());
+    });
+    return;
+  }
+  dispatch(dir, peer, msg, t);
+}
+
+void FaultInjector::dispatch(Dir dir, ServerId peer, const ServiceMessage& msg,
+                             RealTime t) {
+  ++stats_.forwarded;
+  if (dir == Dir::kOutbound) {
+    inner_->send(peer, msg);
+  } else if (handler_ && open_) {
+    handler_(t, msg);
+  }
+}
+
+}  // namespace mtds::runtime

@@ -1,0 +1,132 @@
+// FaultInjector: a chaos plane for any runtime::Transport.
+//
+// A decorator that wraps an inner transport (sim or UDP) and injects the
+// paper's "communication failures" (Section 1) deterministically from a
+// seeded sim::Rng: message loss, duplication, delay spikes (re-dispatched
+// through runtime::Timers, so a delayed reply can arrive after the round
+// that requested it closed - the stale-reply case), per-peer asymmetric
+// partitions, field corruption, and crash-stop/restart of the local
+// endpoint.  Both directions are intercepted: outbound via send()/
+// broadcast(), inbound by interposing on the handler installed at open().
+//
+// Every injected fault is accounted for in a FaultStats ledger mirroring
+// sim::NetworkStats, so a test can assert exactly what the chaos plane did
+// and that identical seeds replay identical fault sequences (the sim
+// runtime delivers bit-for-bit reproducible ledgers; over UDP thread timing
+// perturbs the sequence but the accounting invariant still holds).
+//
+// Threading: the injector is intentionally unsynchronized - it lives inside
+// the runtime's serialization domain exactly like the engine (see
+// runtime/runtime.h).  Over UDP, embedders must hold the runtime's state
+// mutex around control calls (set_crashed, partition_*) and stats reads;
+// net::UdpTimeServer exposes locked wrappers.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "sim/rng.h"
+
+namespace mtds::runtime {
+
+// Probabilities are per message copy *per direction*; a message crossing two
+// injected endpoints (sender's outbound + receiver's inbound) faces each
+// gauntlet independently.
+struct FaultPlan {
+  bool enabled = false;        // arm the injector even with all p == 0
+                               // (for pure crash/partition control)
+  double drop = 0.0;           // P(lose the copy)
+  double duplicate = 0.0;      // P(dispatch a second copy immediately)
+  double delay = 0.0;          // P(hold the copy for a delay spike)
+  core::Duration delay_lo = 0.0;  // spike length ~ U(delay_lo, delay_hi)
+  core::Duration delay_hi = 0.0;
+  double corrupt = 0.0;        // P(corrupt a field before dispatch)
+  std::uint64_t seed = 0x5EED;
+
+  bool active() const noexcept {
+    return enabled || drop > 0 || duplicate > 0 || delay > 0 || corrupt > 0;
+  }
+};
+
+// Accounting invariant (asserted by fault_injector_test): once all delayed
+// copies have fired,
+//   outbound + inbound + duplicated ==
+//       forwarded + dropped_loss + dropped_partition + dropped_crash
+// i.e. every copy that entered the injector (including the extra copies it
+// minted itself) is either dispatched or dropped for an attributed reason.
+struct FaultStats {
+  std::uint64_t outbound = 0;           // copies presented by the engine
+  std::uint64_t inbound = 0;            // copies presented by the inner transport
+  std::uint64_t forwarded = 0;          // copies dispatched (either direction)
+  std::uint64_t dropped_loss = 0;       // random loss
+  std::uint64_t dropped_partition = 0;  // per-peer directional block
+  std::uint64_t dropped_crash = 0;      // local endpoint crashed
+  std::uint64_t duplicated = 0;         // extra copies minted
+  std::uint64_t delayed = 0;            // copies held for a delay spike
+  std::uint64_t corrupted = 0;          // copies with a field corrupted
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+class FaultInjector final : public Transport {
+ public:
+  // Borrows the inner transport and the timer/wall planes (used to
+  // re-dispatch delayed copies); all must outlive the injector.  The RNG
+  // stream is derived from plan.seed and the endpoint id at open(), so two
+  // endpoints sharing one plan still draw independent fault sequences.
+  FaultInjector(Transport& inner, Timers& timers, WallSource& wall,
+                FaultPlan plan);
+
+  // Transport.
+  void open(ServerId self, Handler handler) override;
+  void close() override;
+  void send(ServerId to, const ServiceMessage& msg) override;
+  std::size_t broadcast(const std::vector<ServerId>& targets,
+                        const ServiceMessage& msg) override;
+  // Inner bound plus the worst delay spike, so the engine's reply window
+  // covers delayed (but not stale) replies.
+  Duration max_one_way_delay() const override;
+
+  // Crash-stop / restart of the local endpoint: while crashed, every copy
+  // in both directions is dropped (the endpoint neither sends nor hears).
+  void set_crashed(bool crashed) noexcept { crashed_ = crashed; }
+  bool crashed() const noexcept { return crashed_; }
+
+  // Asymmetric partitions: block one direction to/from a single peer.
+  void partition_outbound(ServerId peer, bool blocked);
+  void partition_inbound(ServerId peer, bool blocked);
+  // Both directions at once (a symmetric link cut).
+  void partition(ServerId peer, bool blocked);
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  enum class Dir : std::uint8_t { kOutbound, kInbound };
+
+  // Runs one copy through the fault gauntlet; may dispatch it now, later,
+  // twice, mutated, or never.  `t` is the delivery timestamp for immediate
+  // inbound dispatch.
+  void process(Dir dir, ServerId peer, ServiceMessage msg, RealTime t);
+  void dispatch(Dir dir, ServerId peer, const ServiceMessage& msg, RealTime t);
+  void corrupt_fields(ServiceMessage& msg);
+  bool chance(double p) noexcept { return p > 0 && rng_.bernoulli(p); }
+
+  Transport* inner_;
+  Timers* timers_;
+  WallSource* wall_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+
+  Handler handler_;  // the engine's handler; inner_ gets our interposer
+  ServerId self_ = core::kInvalidServer;
+  bool open_ = false;
+  bool crashed_ = false;
+  std::set<ServerId> blocked_outbound_;
+  std::set<ServerId> blocked_inbound_;
+  FaultStats stats_;
+};
+
+}  // namespace mtds::runtime

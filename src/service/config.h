@@ -8,6 +8,8 @@
 #include "core/clock.h"
 #include "core/sync_function.h"
 #include "core/time_types.h"
+#include "runtime/fault_injector.h"
+#include "service/peer_health.h"
 
 namespace mtds::service {
 
@@ -75,6 +77,19 @@ struct ServerSpec {
   // Servers this one may consult for third-server recovery but does not
   // poll routinely ("a server on some other network").
   std::vector<ServerId> recovery_pool;
+
+  // Peer-health / graceful-degradation policy: classify neighbours as
+  // healthy / suspect / dead / quarantined, probe dead peers on exponential
+  // backoff, and enter an explicit degraded mode when no peer is reachable
+  // (see service/peer_health.h).  Off by default - the engine then behaves
+  // exactly as before this layer existed.
+  PeerHealthPolicy health;
+
+  // Transport-level chaos plane: when active(), the server's transport is
+  // wrapped in a runtime::FaultInjector with this plan (loss, duplication,
+  // delay spikes, corruption, partitions, crash-stop) - the shells
+  // (service::TimeServer, net::UdpTimeServer) do the wrapping.
+  runtime::FaultPlan chaos;
 };
 
 enum class Topology : std::uint8_t { kFull, kRing, kStar, kLine, kCustom };

@@ -1,0 +1,111 @@
+#include "service/peer_health.h"
+
+#include <algorithm>
+
+namespace mtds::service {
+
+const char* to_string(PeerState state) noexcept {
+  switch (state) {
+    case PeerState::kHealthy: return "healthy";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDead: return "dead";
+    case PeerState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+void PeerHealth::transition(core::ServerId peer, Entry& entry, PeerState to) {
+  const PeerState from = entry.state;
+  if (from == to) return;
+  entry.state = to;
+  if (to == PeerState::kDead) {
+    // First probe fires on the next round; the interval then doubles per
+    // probe up to the cap, so a long-dead peer costs O(1/backoff_max) of
+    // the full poll rate instead of one request per round.
+    entry.probe_interval = std::max(1u, policy_.backoff_start);
+    entry.rounds_until_probe = 0;
+  }
+  if (hook_) hook_(peer, from, to);
+}
+
+bool PeerHealth::should_poll(core::ServerId peer) {
+  Entry& entry = peers_[peer];
+  switch (entry.state) {
+    case PeerState::kHealthy:
+    case PeerState::kSuspect:
+      return true;
+    case PeerState::kQuarantined:
+      return false;
+    case PeerState::kDead:
+      break;
+  }
+  if (entry.rounds_until_probe > 0) {
+    --entry.rounds_until_probe;
+    return false;
+  }
+  // Probe now; schedule the next one further out, jittered so a fleet that
+  // declared the same peer dead in the same round does not re-probe in
+  // lockstep.
+  const std::uint32_t interval = entry.probe_interval;
+  entry.probe_interval =
+      std::min(interval * 2, std::max(1u, policy_.backoff_max));
+  std::uint32_t extra = 0;
+  if (policy_.jitter > 0 && rng_ != nullptr) {
+    const auto span =
+        static_cast<std::uint64_t>(policy_.jitter * interval) + 1;
+    extra = static_cast<std::uint32_t>(rng_->uniform_index(span));
+  }
+  entry.rounds_until_probe = interval - 1 + extra;
+  return true;
+}
+
+void PeerHealth::note_reply(core::ServerId peer) {
+  Entry& entry = peers_[peer];
+  entry.miss_streak = 0;
+  if (entry.state == PeerState::kSuspect || entry.state == PeerState::kDead) {
+    transition(peer, entry, PeerState::kHealthy);
+  }
+}
+
+void PeerHealth::note_missed(core::ServerId peer) {
+  Entry& entry = peers_[peer];
+  if (entry.state == PeerState::kQuarantined) return;
+  ++entry.miss_streak;
+  if (entry.miss_streak >= policy_.dead_after &&
+      entry.state != PeerState::kDead) {
+    transition(peer, entry, PeerState::kDead);
+  } else if (entry.miss_streak >= policy_.suspect_after &&
+             entry.state == PeerState::kHealthy) {
+    transition(peer, entry, PeerState::kSuspect);
+  }
+}
+
+void PeerHealth::note_inconsistent(core::ServerId peer) {
+  Entry& entry = peers_[peer];
+  ++entry.inconsistent_streak;
+  if (policy_.quarantine_after > 0 &&
+      entry.inconsistent_streak >= policy_.quarantine_after &&
+      entry.state != PeerState::kQuarantined) {
+    transition(peer, entry, PeerState::kQuarantined);
+  }
+}
+
+void PeerHealth::note_consistent(core::ServerId peer) {
+  peers_[peer].inconsistent_streak = 0;
+}
+
+PeerState PeerHealth::state(core::ServerId peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? PeerState::kHealthy : it->second.state;
+}
+
+std::size_t PeerHealth::reachable_count(
+    const std::vector<core::ServerId>& peers) const {
+  return static_cast<std::size_t>(
+      std::count_if(peers.begin(), peers.end(), [this](core::ServerId p) {
+        const PeerState s = state(p);
+        return s == PeerState::kHealthy || s == PeerState::kSuspect;
+      }));
+}
+
+}  // namespace mtds::service

@@ -1,0 +1,108 @@
+// PeerHealth: per-peer reachability state machine for the protocol engine.
+//
+// The paper assumes "communication failures" (Section 1) and servers that
+// leave without notice; without health tracking the engine polls dead peers
+// forever at full rate.  This layer classifies every neighbour as
+//
+//   healthy     replying normally
+//   suspect     a few consecutive polls unanswered
+//   dead        persistently unreachable - probed on exponential backoff
+//               (with jitter) instead of every round
+//   quarantined persistently *inconsistent* (Section 4: a server whose
+//               readings keep contradicting ours has left our consistency
+//               group) - alive, but its readings are discarded and it is
+//               no longer polled
+//
+// Transitions are driven purely by reply/miss/consistency evidence the
+// engine already observes; the engine consults should_poll() when building
+// each round's target list.  When no neighbour is reachable the engine
+// enters an explicit degraded mode (see protocol_engine.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/time_types.h"
+#include "sim/rng.h"
+
+namespace mtds::service {
+
+enum class PeerState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kQuarantined = 3,
+};
+
+const char* to_string(PeerState state) noexcept;
+
+struct PeerHealthPolicy {
+  bool enabled = false;
+  std::uint32_t suspect_after = 2;  // consecutive unanswered polls -> suspect
+  std::uint32_t dead_after = 4;     // consecutive unanswered polls -> dead
+  std::uint32_t backoff_start = 2;  // first probe interval once dead (rounds)
+  std::uint32_t backoff_max = 8;    // probe interval cap (rounds)
+  double jitter = 0.25;             // extra rounds ~ U[0, jitter * interval]
+  std::uint32_t quarantine_after = 0;  // consecutive inconsistencies before
+                                       // quarantine; 0 = never quarantine
+};
+
+class PeerHealth {
+ public:
+  // Fires on every state change, inside the engine's serialization domain.
+  using TransitionHook =
+      std::function<void(core::ServerId, PeerState from, PeerState to)>;
+
+  // Borrows the RNG (the engine's own stream) for probe jitter.
+  PeerHealth(const PeerHealthPolicy& policy, sim::Rng* rng)
+      : policy_(policy), rng_(rng) {}
+
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  // Round planning: whether this round should send to `peer`.  Healthy and
+  // suspect peers are always polled; dead peers consume their backoff
+  // countdown and are probed only when it expires; quarantined peers are
+  // never polled.  Advances per-round probe state - call exactly once per
+  // peer per round.
+  bool should_poll(core::ServerId peer);
+
+  // Evidence.  note_reply is any paired reply (liveness: dead/suspect ->
+  // healthy; quarantine is sticky - an inconsistent server is alive, just
+  // untrusted).  note_missed is a poll the peer failed to answer within the
+  // round.  note_inconsistent / note_consistent track the Section 4
+  // consistency streak that drives quarantine.
+  void note_reply(core::ServerId peer);
+  void note_missed(core::ServerId peer);
+  void note_inconsistent(core::ServerId peer);
+  void note_consistent(core::ServerId peer);
+
+  // Membership change: drop all state for `peer`.
+  void forget(core::ServerId peer) { peers_.erase(peer); }
+
+  PeerState state(core::ServerId peer) const;
+
+  // Peers a round can still draw readings from (healthy or suspect).
+  std::size_t reachable_count(const std::vector<core::ServerId>& peers) const;
+
+  const PeerHealthPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct Entry {
+    PeerState state = PeerState::kHealthy;
+    std::uint32_t miss_streak = 0;
+    std::uint32_t inconsistent_streak = 0;
+    std::uint32_t probe_interval = 0;     // current backoff interval (rounds)
+    std::uint32_t rounds_until_probe = 0; // countdown to the next probe
+  };
+
+  void transition(core::ServerId peer, Entry& entry, PeerState to);
+
+  PeerHealthPolicy policy_;
+  sim::Rng* rng_;
+  TransitionHook hook_;
+  std::map<core::ServerId, Entry> peers_;
+};
+
+}  // namespace mtds::service

@@ -14,6 +14,17 @@ using core::SyncMode;
 using core::TimeReading;
 using util::LogLevel;
 
+namespace {
+
+// Section 3 recovery requests expire after surviving this many round closes
+// unanswered (>= 2 guarantees at least one full reply window), and a burst
+// retries at most this many times with doubling backoff before cooling off.
+constexpr std::uint32_t kRecoveryTimeoutRounds = 2;
+constexpr std::uint32_t kMaxRecoveryAttempts = 3;
+constexpr std::uint32_t kMaxRecoveryBackoffRounds = 8;
+
+}  // namespace
+
 ProtocolEngine::ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
                                const ServerSpec& spec, runtime::Runtime rt,
                                EngineObserver* observer, sim::Rng rng)
@@ -39,6 +50,24 @@ ProtocolEngine::ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
       next_tag_(1) {
   assert(clock_ != nullptr);
   assert(transport_ != nullptr && timers_ != nullptr && wall_ != nullptr);
+  if (spec_.health.enabled) {
+    health_ = std::make_unique<PeerHealth>(spec_.health, &rng_);
+    health_->set_transition_hook(
+        [this](ServerId peer, PeerState from, PeerState to) {
+          if (to == PeerState::kDead) ++counters_.peer_deaths;
+          if (to == PeerState::kQuarantined) ++counters_.quarantines;
+          if (to == PeerState::kHealthy &&
+              (from == PeerState::kSuspect || from == PeerState::kDead)) {
+            ++counters_.peer_recoveries;
+          }
+          const RealTime now = wall_->now();
+          if (observer_ != nullptr) {
+            observer_->on_peer_state(now, id_, peer, from, to);
+          }
+          util::logt(LogLevel::kDebug, now, "S%u peer S%u: %s -> %s", id_,
+                     peer, to_string(from), to_string(to));
+        });
+  }
 }
 
 ProtocolEngine::~ProtocolEngine() {
@@ -63,6 +92,9 @@ void ProtocolEngine::stop() {
   transport_->close();
   pending_.clear();
   round_open_ = false;
+  if (degraded_) set_degraded(false);
+  recovery_attempts_ = 0;
+  recovery_wait_rounds_ = 0;
   if (observer_ != nullptr) observer_->on_leave(wall_->now(), id_);
 }
 
@@ -81,6 +113,7 @@ void ProtocolEngine::add_neighbor(ServerId peer) {
 void ProtocolEngine::remove_neighbor(ServerId peer) {
   neighbors_.erase(std::remove(neighbors_.begin(), neighbors_.end(), peer),
                    neighbors_.end());
+  if (health_ != nullptr) health_->forget(peer);
 }
 
 ClockTime ProtocolEngine::read_clock(RealTime t) { return clock_->read(t); }
@@ -125,27 +158,44 @@ void ProtocolEngine::begin_round() {
 
   const RealTime now = wall_->now();
   const ClockTime local = clock_->read(now);
+
+  // Peer-health filter: healthy and suspect peers are polled every round;
+  // dead peers only when their backoff countdown expires (a probe);
+  // quarantined peers never.  Without the health layer every neighbour is
+  // a target, exactly as before.
+  std::vector<ServerId> targets;
+  targets.reserve(neighbors_.size());
+  for (ServerId peer : neighbors_) {
+    if (peer == id_) continue;
+    if (health_ != nullptr) {
+      const bool probe = health_->state(peer) == PeerState::kDead;
+      if (!health_->should_poll(peer)) {
+        ++counters_.polls_suppressed;
+        continue;
+      }
+      if (probe) ++counters_.probes_sent;
+    }
+    targets.push_back(peer);
+  }
+
   if (spec_.use_broadcast) {
-    // Directed broadcast: one request tag fans out to every neighbour.
+    // Directed broadcast: one request tag fans out to every target.
     ServiceMessage req;
     req.type = ServiceMessage::Type::kTimeRequest;
     req.from = id_;
     req.tag = broadcast_tag_ = next_tag_++;
     broadcast_sent_local_ = local;
     broadcast_awaiting_.clear();
-    for (ServerId peer : neighbors_) {
-      if (peer != id_) broadcast_awaiting_.insert(peer);
-    }
-    counters_.requests_sent += transport_->broadcast(neighbors_, req);
+    broadcast_awaiting_.insert(targets.begin(), targets.end());
+    counters_.requests_sent += transport_->broadcast(targets, req);
   } else {
-    for (ServerId peer : neighbors_) {
-      if (peer == id_) continue;
+    for (ServerId peer : targets) {
       ServiceMessage req;
       req.type = ServiceMessage::Type::kTimeRequest;
       req.from = id_;
       req.to = peer;
       req.tag = next_tag_++;
-      pending_[req.tag] = Pending{local, /*recovery=*/false};
+      pending_[req.tag] = Pending{local, /*recovery=*/false, peer};
       ++counters_.requests_sent;
       transport_->send(peer, req);
     }
@@ -180,10 +230,32 @@ void ProtocolEngine::end_round() {
   round_open_ = false;
 
   // Expire outstanding non-recovery requests; late replies are discarded.
+  // Each expired request is a missed poll for the health layer.  Recovery
+  // requests instead age towards their own timeout (see below) - before
+  // this they survived every round, so a recovery server that never
+  // replied stalled recovery forever.
   for (auto it = pending_.begin(); it != pending_.end();) {
-    it = it->second.recovery ? std::next(it) : pending_.erase(it);
+    if (it->second.recovery) {
+      ++it;
+      continue;
+    }
+    if (health_ != nullptr) health_->note_missed(it->second.to);
+    it = pending_.erase(it);
+  }
+  if (health_ != nullptr) {
+    for (ServerId peer : broadcast_awaiting_) health_->note_missed(peer);
   }
   broadcast_awaiting_.clear();
+  age_recovery_requests();
+
+  // Graceful degradation: with every neighbour dead or quarantined there is
+  // no reading to synchronize against; announce it explicitly (the clock
+  // free runs and the error report grows at the drift bound until a reply
+  // arrives - see note_peer_replied for the exit).
+  if (health_ != nullptr && !degraded_ && !neighbors_.empty() &&
+      health_->reachable_count(neighbors_) == 0) {
+    set_degraded(true);
+  }
 
   if (sync_ == nullptr || sync_->mode() != SyncMode::kPerRound) {
     round_replies_.clear();
@@ -204,9 +276,64 @@ void ProtocolEngine::end_round() {
   if (outcome.reset) {
     apply_reset(*outcome.reset, /*is_recovery=*/false);
   }
+  if (health_ != nullptr) {
+    // Section 4 consistency streaks: every contributor this round either
+    // extends its inconsistency streak (below, via note_inconsistency) or
+    // resets it here.
+    for (const auto& reading : round_input) {
+      if (std::find(outcome.inconsistent_with.begin(),
+                    outcome.inconsistent_with.end(),
+                    reading.from) == outcome.inconsistent_with.end()) {
+        health_->note_consistent(reading.from);
+      }
+    }
+  }
   if (outcome.round_inconsistent || !outcome.inconsistent_with.empty()) {
     ++counters_.inconsistencies;
     note_inconsistency(outcome.inconsistent_with);
+  }
+}
+
+void ProtocolEngine::age_recovery_requests() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!it->second.recovery || ++it->second.age < kRecoveryTimeoutRounds) {
+      ++it;
+      continue;
+    }
+    // The recovery server never answered: expire the request and back off
+    // before the next attempt (doubling per attempt, bounded burst).
+    ++counters_.recovery_timeouts;
+    if (health_ != nullptr) health_->note_missed(it->second.to);
+    recovery_wait_rounds_ = std::min(
+        kMaxRecoveryBackoffRounds,
+        recovery_attempts_ > 0 ? (1u << (recovery_attempts_ - 1)) : 1u);
+    it = pending_.erase(it);
+  }
+  if (recovery_wait_rounds_ > 0 && --recovery_wait_rounds_ == 0) {
+    if (recovery_attempts_ >= kMaxRecoveryAttempts) {
+      // Burst exhausted; cool off - a later inconsistency starts afresh.
+      recovery_attempts_ = 0;
+    } else if (recovery_attempts_ > 0) {
+      request_recovery(recovery_exclude_);  // bounded retry
+    }
+  }
+}
+
+void ProtocolEngine::set_degraded(bool degraded) {
+  if (degraded_ == degraded) return;
+  degraded_ = degraded;
+  if (degraded) ++counters_.degraded_entries;
+  const RealTime now = wall_->now();
+  if (observer_ != nullptr) observer_->on_degraded(now, id_, degraded);
+  util::logt(LogLevel::kInfo, now, "S%u %s degraded mode", id_,
+             degraded ? "entered" : "left");
+}
+
+void ProtocolEngine::note_peer_replied(ServerId peer) {
+  if (health_ == nullptr) return;
+  health_->note_reply(peer);
+  if (degraded_ && health_->reachable_count(neighbors_) > 0) {
+    set_degraded(false);
   }
 }
 
@@ -233,7 +360,7 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
       if (spec_.use_broadcast && msg.tag == broadcast_tag_) {
         // A broadcast-round reply: pair by (round tag, sender).
         if (broadcast_awaiting_.erase(msg.from) == 0) return;  // duplicate
-        pend = Pending{broadcast_sent_local_, /*recovery=*/false};
+        pend = Pending{broadcast_sent_local_, /*recovery=*/false, msg.from};
       } else {
         const auto it = pending_.find(msg.tag);
         if (it == pending_.end()) return;  // stale or unknown reply
@@ -241,6 +368,15 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
         pending_.erase(it);
       }
       ++counters_.replies_received;
+      // Any paired reply is liveness evidence, even from a quarantined
+      // peer - quarantine means untrusted, not unreachable.
+      note_peer_replied(msg.from);
+      if (health_ != nullptr &&
+          health_->state(msg.from) == PeerState::kQuarantined) {
+        // Section 4: a peer outside our consistency group may be alive,
+        // but its readings are discarded wholesale.
+        return;
+      }
 
       const ClockTime local = clock_->read(t);
       TimeReading reading;
@@ -259,6 +395,8 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
         reset.error = reading.e + (1.0 + spec_.claimed_delta) * reading.rtt_own;
         reset.sources.push_back(reading.from);
         ++counters_.recoveries;
+        recovery_attempts_ = 0;  // the burst succeeded
+        recovery_wait_rounds_ = 0;
         apply_reset(reset, /*is_recovery=*/true);
         return;
       }
@@ -292,6 +430,9 @@ void ProtocolEngine::process_reading(const TimeReading& reading) {
   if (!outcome.inconsistent_with.empty()) {
     ++counters_.inconsistencies;
     note_inconsistency(outcome.inconsistent_with);
+  } else if (health_ != nullptr) {
+    // Section 4 consistency streak: a clean reply resets it.
+    health_->note_consistent(reading.from);
   }
 }
 
@@ -335,6 +476,11 @@ void ProtocolEngine::note_inconsistency(const std::vector<ServerId>& peers) {
   }
   util::logt(LogLevel::kDebug, now, "S%u inconsistent with %zu peer(s)", id_,
              peers.size());
+  if (health_ != nullptr) {
+    // Section 4: persistent disagreement eventually quarantines the peer -
+    // the local model of "not in my consistency group".
+    for (ServerId peer : peers) health_->note_inconsistent(peer);
+  }
   if (spec_.recovery == RecoveryPolicy::kThirdServer) {
     request_recovery(peers.empty() ? core::kInvalidServer : peers.front());
   }
@@ -345,27 +491,44 @@ void ProtocolEngine::request_recovery(ServerId exclude) {
   for (const auto& [tag, pend] : pending_) {
     if (pend.recovery) return;
   }
+  // Bounded retry: a timed-out request is retried at most
+  // kMaxRecoveryAttempts times per burst, with doubling backoff between
+  // attempts (see age_recovery_requests).
+  if (recovery_wait_rounds_ > 0 ||
+      recovery_attempts_ >= kMaxRecoveryAttempts) {
+    return;
+  }
   // "The original server resets to the value of any third server": prefer a
   // dedicated recovery pool (servers on another network), else any neighbour
-  // other than the one we disagreed with.
+  // other than the one we disagreed with.  Peers the health layer has
+  // quarantined are never trusted as the third server.
+  const auto usable = [&](ServerId s) {
+    return s != id_ && s != exclude &&
+           (health_ == nullptr ||
+            health_->state(s) != PeerState::kQuarantined);
+  };
   std::vector<ServerId> candidates;
   for (ServerId s : spec_.recovery_pool) {
-    if (s != id_ && s != exclude) candidates.push_back(s);
+    if (usable(s)) candidates.push_back(s);
   }
   if (candidates.empty()) {
     for (ServerId s : neighbors_) {
-      if (s != id_ && s != exclude) candidates.push_back(s);
+      if (usable(s)) candidates.push_back(s);
     }
   }
   if (candidates.empty()) return;
   const ServerId target = candidates[rng_.uniform_index(candidates.size())];
+
+  recovery_exclude_ = exclude;
+  ++recovery_attempts_;
 
   ServiceMessage req;
   req.type = ServiceMessage::Type::kTimeRequest;
   req.from = id_;
   req.to = target;
   req.tag = next_tag_++;
-  pending_[req.tag] = Pending{clock_->read(wall_->now()), /*recovery=*/true};
+  pending_[req.tag] =
+      Pending{clock_->read(wall_->now()), /*recovery=*/true, target};
   ++counters_.requests_sent;
   transport_->send(target, req);
 }

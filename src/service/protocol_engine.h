@@ -27,6 +27,7 @@
 #include "runtime/runtime.h"
 #include "service/config.h"
 #include "service/message.h"
+#include "service/peer_health.h"
 #include "service/rate_monitor.h"
 #include "service/sample_filter.h"
 #include "sim/rng.h"
@@ -41,6 +42,19 @@ struct ServerCounters {
   std::uint64_t resets = 0;           // clock resets applied
   std::uint64_t inconsistencies = 0;  // inconsistent replies / empty rounds
   std::uint64_t recoveries = 0;       // third-server recoveries performed
+
+  // Peer-health layer (all zero unless spec.health.enabled).
+  std::uint64_t probes_sent = 0;       // backoff probes to dead peers
+  std::uint64_t polls_suppressed = 0;  // round sends skipped (dead backoff
+                                       // countdown or quarantined peer)
+  std::uint64_t peer_deaths = 0;       // healthy/suspect -> dead transitions
+  std::uint64_t peer_recoveries = 0;   // suspect/dead -> healthy transitions
+  std::uint64_t quarantines = 0;       // peers quarantined as inconsistent
+  std::uint64_t degraded_entries = 0;  // times degraded mode was entered
+
+  // Third-server recovery bookkeeping (Section 3).
+  std::uint64_t recovery_timeouts = 0; // recovery requests that expired
+                                       // unanswered (then retried w/ backoff)
 };
 
 // Lifecycle notifications for embedders (the simulated shell adapts these
@@ -56,6 +70,15 @@ class EngineObserver {
                         bool /*is_recovery*/) {}
   virtual void on_inconsistent(core::RealTime, core::ServerId /*id*/,
                                core::ServerId /*peer*/) {}
+  // Peer-health transition (only with spec.health.enabled).
+  virtual void on_peer_state(core::RealTime, core::ServerId /*id*/,
+                             core::ServerId /*peer*/, PeerState /*from*/,
+                             PeerState /*to*/) {}
+  // Degraded mode toggled: no neighbour is reachable (entered = true) or a
+  // peer answered again (entered = false).  While degraded the clock free
+  // runs and the reported error grows at the drift bound.
+  virtual void on_degraded(core::RealTime, core::ServerId /*id*/,
+                           bool /*entered*/) {}
 };
 
 class ProtocolEngine {
@@ -113,6 +136,17 @@ class ProtocolEngine {
     return rate_monitor_.get();
   }
 
+  // Peer-health layer; non-null only when spec.health.enabled.
+  PeerHealth* peer_health() noexcept { return health_.get(); }
+  const PeerHealth* peer_health() const noexcept { return health_.get(); }
+  // kHealthy when the health layer is off (every peer is then trusted).
+  PeerState peer_state(ServerId peer) const {
+    return health_ == nullptr ? PeerState::kHealthy : health_->state(peer);
+  }
+  // Degraded mode: no neighbour reachable; the clock free runs and the
+  // reported error grows at the drift bound until a peer answers again.
+  bool degraded() const noexcept { return degraded_; }
+
  private:
   void schedule_next_poll(Duration own_clock_delay);
   void begin_round();
@@ -122,6 +156,9 @@ class ProtocolEngine {
   void note_inconsistency(const std::vector<ServerId>& peers);
   void request_recovery(ServerId exclude);
   core::LocalState local_state(RealTime t);
+  void note_peer_replied(ServerId peer);
+  void age_recovery_requests();
+  void set_degraded(bool degraded);
 
   ServerId id_;
   std::unique_ptr<core::Clock> clock_;
@@ -143,10 +180,22 @@ class ProtocolEngine {
   // Outstanding requests: tag -> own-clock send time.
   struct Pending {
     core::ClockTime sent_local;
-    bool recovery;  // reply triggers an unconditional recovery reset
+    bool recovery;   // reply triggers an unconditional recovery reset
+    ServerId to;     // destination (peer-health miss attribution)
+    std::uint32_t age = 0;  // round closes survived (recovery timeout)
   };
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_tag_;
+
+  // Peer-health layer (null unless spec.health.enabled).
+  std::unique_ptr<PeerHealth> health_;
+  bool degraded_ = false;
+
+  // Third-server recovery retry state: attempts this burst, rounds left of
+  // backoff before the next attempt, and the peer the burst excludes.
+  std::uint32_t recovery_attempts_ = 0;
+  std::uint32_t recovery_wait_rounds_ = 0;
+  ServerId recovery_exclude_ = core::kInvalidServer;
 
   // Broadcast-mode round state: one shared tag, one send timestamp, and the
   // set of neighbours whose reply is still awaited.

@@ -100,6 +100,14 @@ ServerSpec parse_server_spec(const std::vector<std::string>& tokens,
       }
     } else if (key == "monitor") {
       spec.monitor_rates = value != "0" && value != "false";
+    } else if (key == "health") {
+      spec.health.enabled = value != "0" && value != "false";
+    } else if (key == "quarantine") {
+      // Consecutive inconsistencies before quarantine; implies health=1.
+      const double n = parse_double(value, line);
+      if (n < 0) fail(line, "quarantine must be >= 0");
+      spec.health.quarantine_after = static_cast<std::uint32_t>(n);
+      if (spec.health.quarantine_after > 0) spec.health.enabled = true;
     } else {
       fail(line, "unknown server attribute: " + key);
     }
@@ -198,6 +206,20 @@ Scenario parse_scenario(const std::string& text) {
         if (tokens.size() != 4) fail(line, "usage: at <t> leave <server>");
         action.kind = ScenarioAction::Kind::kLeave;
         action.a = parse_server_id(tokens[3], line, 0);
+      } else if (what == "loss") {
+        if (tokens.size() != 4) fail(line, "usage: at <t> loss <p>");
+        action.kind = ScenarioAction::Kind::kLoss;
+        action.value = parse_double(tokens[3], line);
+        if (action.value < 0 || action.value >= 1) {
+          fail(line, "loss probability must be in [0, 1)");
+        }
+      } else if (what == "crash" || what == "restart") {
+        if (tokens.size() != 4) {
+          fail(line, "usage: at <t> " + what + " <server>");
+        }
+        action.kind = what == "crash" ? ScenarioAction::Kind::kCrash
+                                      : ScenarioAction::Kind::kRestart;
+        action.a = parse_server_id(tokens[3], line, 0);
       } else {
         fail(line, "unknown action: " + what);
       }
@@ -248,6 +270,15 @@ TimeService& ScenarioRunner::run(core::RealTime override_horizon) {
         break;
       case ScenarioAction::Kind::kLeave:
         service_->remove_server(action.a);
+        break;
+      case ScenarioAction::Kind::kLoss:
+        service_->network().set_loss_probability(action.value);
+        break;
+      case ScenarioAction::Kind::kCrash:
+        service_->crash_server(action.a);
+        break;
+      case ScenarioAction::Kind::kRestart:
+        service_->restart_server(action.a);
         break;
     }
     ++next_action_;

@@ -18,7 +18,14 @@
 //   at 250 heal 0 1
 //   at 300 join algo=IM delta=1e-4 error=1.0 tau=10
 //   at 400 leave 1
+//   at 420 loss 0.2          # network-wide loss probability becomes 0.2
+//   at 450 crash 0           # server 0 crash-stops (peers are not told)
+//   at 500 restart 0         # ... and restarts with its old neighbours
 //   run 600                  # horizon
+//
+// Server specs also accept health=1 (peer-health layer on) and
+// quarantine=N (consecutive inconsistencies before quarantine; implies
+// health=1).
 //
 // parse_scenario() validates aggressively and reports the offending line;
 // ScenarioRunner executes the timeline against a TimeService.
@@ -33,10 +40,12 @@
 namespace mtds::service {
 
 struct ScenarioAction {
-  enum class Kind { kPartition, kHeal, kJoin, kLeave };
+  enum class Kind { kPartition, kHeal, kJoin, kLeave, kLoss, kCrash, kRestart };
   core::RealTime at = 0.0;
   Kind kind = Kind::kPartition;
-  core::ServerId a = 0, b = 0;  // partition/heal endpoints; `a` for leave
+  core::ServerId a = 0, b = 0;  // partition/heal endpoints; `a` for
+                                // leave/crash/restart
+  double value = 0.0;           // loss probability payload
   ServerSpec spec;              // join payload
 };
 

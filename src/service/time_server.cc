@@ -6,9 +6,19 @@ TimeServer::TimeServer(ServerId id, std::unique_ptr<core::Clock> clock,
                        const ServerSpec& spec, sim::EventQueue& queue,
                        ServiceNetwork& network, sim::Trace* trace, sim::Rng rng)
     : runtime_(queue, network),
+      chaos_(spec.chaos.active()
+                 ? std::make_unique<runtime::FaultInjector>(
+                       runtime_.transport(), runtime_.timers(),
+                       runtime_.wall(), spec.chaos)
+                 : nullptr),
       observer_(trace),
-      engine_(id, std::move(clock), spec, runtime_.runtime(), &observer_,
-              rng) {}
+      engine_(id, std::move(clock), spec,
+              runtime::Runtime{chaos_ != nullptr
+                                   ? static_cast<runtime::Transport*>(
+                                         chaos_.get())
+                                   : &runtime_.transport(),
+                               &runtime_.timers(), &runtime_.wall()},
+              &observer_, rng) {}
 
 void TimeServer::TraceObserver::on_join(core::RealTime t, core::ServerId id) {
   if (trace_ != nullptr) {
@@ -41,6 +51,25 @@ void TimeServer::TraceObserver::on_inconsistent(core::RealTime t,
                                                 core::ServerId peer) {
   if (trace_ != nullptr) {
     trace_->record({t, id, sim::TraceEventKind::kInconsistent, peer, 0.0});
+  }
+}
+
+void TimeServer::TraceObserver::on_peer_state(core::RealTime t,
+                                              core::ServerId id,
+                                              core::ServerId peer,
+                                              PeerState /*from*/,
+                                              PeerState to) {
+  if (trace_ != nullptr) {
+    trace_->record({t, id, sim::TraceEventKind::kPeerState, peer,
+                    static_cast<double>(static_cast<int>(to))});
+  }
+}
+
+void TimeServer::TraceObserver::on_degraded(core::RealTime t,
+                                            core::ServerId id, bool entered) {
+  if (trace_ != nullptr) {
+    trace_->record({t, id, sim::TraceEventKind::kDegraded,
+                    core::kInvalidServer, entered ? 1.0 : 0.0});
   }
 }
 

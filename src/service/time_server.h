@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "runtime/fault_injector.h"
 #include "runtime/sim_runtime.h"
 #include "service/config.h"
 #include "service/message.h"
@@ -81,6 +82,16 @@ class TimeServer {
     return engine_.rate_monitor();
   }
 
+  // Chaos plane; non-null only when spec.chaos.active().
+  runtime::FaultInjector* fault_injector() noexcept { return chaos_.get(); }
+  const runtime::FaultInjector* fault_injector() const noexcept {
+    return chaos_.get();
+  }
+
+  // Peer-health passthroughs (kHealthy / false when the layer is off).
+  PeerState peer_state(ServerId peer) const { return engine_.peer_state(peer); }
+  bool degraded() const noexcept { return engine_.degraded(); }
+
   ProtocolEngine& engine() noexcept { return engine_; }
 
  private:
@@ -94,12 +105,17 @@ class TimeServer {
                   core::Duration error, bool is_recovery) override;
     void on_inconsistent(core::RealTime t, core::ServerId id,
                          core::ServerId peer) override;
+    void on_peer_state(core::RealTime t, core::ServerId id, core::ServerId peer,
+                       PeerState from, PeerState to) override;
+    void on_degraded(core::RealTime t, core::ServerId id,
+                     bool entered) override;
 
    private:
     sim::Trace* trace_;
   };
 
   runtime::SimRuntime runtime_;
+  std::unique_ptr<runtime::FaultInjector> chaos_;  // null unless chaos.active()
   TraceObserver observer_;
   ProtocolEngine engine_;
 };

@@ -141,6 +141,18 @@ void TimeService::remove_server(ServerId id) {
   }
 }
 
+void TimeService::crash_server(ServerId id) {
+  if (id < servers_.size() && servers_[id]->running()) {
+    servers_[id]->stop();
+  }
+}
+
+void TimeService::restart_server(ServerId id) {
+  if (id < servers_.size() && !servers_[id]->running()) {
+    servers_[id]->start(adjacency_[id]);
+  }
+}
+
 std::vector<double> TimeService::offsets() {
   const RealTime now = queue_.now();
   std::vector<double> out;

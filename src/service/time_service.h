@@ -48,6 +48,13 @@ class TimeService {
   ServerId add_server(const ServerSpec& spec, bool announce = true);
   void remove_server(ServerId id);
 
+  // Fault-plane lifecycle: crash-stop a server (it silently stops answering;
+  // peers keep polling the corpse and must discover the death themselves)
+  // and later restart it in place with its original neighbour list.  Unlike
+  // remove_server, neighbours are never told.
+  void crash_server(ServerId id);
+  void restart_server(ServerId id);
+
   // Service-wide instantaneous observations at now().
   std::vector<double> offsets();       // C_i - t per running server
   std::vector<Duration> errors();      // E_i per running server

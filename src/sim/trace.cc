@@ -13,6 +13,8 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kRecovery: return "recovery";
     case TraceEventKind::kJoin: return "join";
     case TraceEventKind::kLeave: return "leave";
+    case TraceEventKind::kPeerState: return "peer-state";
+    case TraceEventKind::kDegraded: return "degraded";
   }
   return "?";
 }

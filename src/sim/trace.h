@@ -30,7 +30,10 @@ enum class TraceEventKind : std::uint8_t {
   kInconsistent,   // server saw an inconsistent reply / empty intersection
   kRecovery,       // recovery policy fired (third-server reset)
   kJoin,           // server joined the service
-  kLeave           // server left the service
+  kLeave,          // server left the service
+  kPeerState,      // peer-health transition (peer = subject, detail = new
+                   // service::PeerState as a double)
+  kDegraded        // degraded mode toggled (detail = 1 enter, 0 exit)
 };
 
 struct TraceEvent {

@@ -1,0 +1,291 @@
+// Chaos soak: the whole chaos plane + peer-health stack under sustained
+// fire, on both runtimes.
+//
+// A service of honest MM servers runs under 10% loss, 10% duplication and
+// 10% delay spikes, with one confidently-wrong liar (quarantined as
+// persistently inconsistent, Section 4) and one crash-stopped server
+// (discovered dead, probed on backoff).  The surviving well-behaved servers
+// must stay correct() and inside the Theorem 3 asynchronism bound, and the
+// sim run must replay bit-for-bit: identical seeds, identical fault
+// ledgers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/bounds.h"
+#include "net/udp_server.h"
+#include "service/time_service.h"
+
+namespace mtds {
+namespace {
+
+using core::ServerId;
+
+// --- SimRuntime ----------------------------------------------------------
+
+constexpr int kHonest = 5;       // ids 0..4
+constexpr ServerId kLiar = 5;    // NONE responder, 40 s off, tiny claimed E
+constexpr ServerId kCrashed = 6; // honest but crash-stopped at t=60
+constexpr double kHorizon = 300.0;
+
+service::ServiceConfig soak_config() {
+  service::ServiceConfig cfg;
+  cfg.seed = 1234;
+  cfg.delay_hi = 0.005;
+  cfg.sample_interval = 0.0;
+  for (int i = 0; i < kHonest + 2; ++i) {
+    service::ServerSpec s;
+    s.algo = core::SyncAlgorithm::kMM;
+    s.claimed_delta = 2e-5;
+    s.actual_drift = (i % kHonest - 2) * 6e-6;
+    s.initial_error = 0.01;
+    s.poll_period = 5.0;
+    s.health.enabled = true;
+    s.health.quarantine_after = 3;
+    s.chaos.drop = 0.1;
+    s.chaos.duplicate = 0.1;
+    s.chaos.delay = 0.1;
+    s.chaos.delay_hi = 0.05;
+    s.chaos.seed = 0x50AC + static_cast<std::uint64_t>(i);
+    cfg.servers.push_back(s);
+  }
+  // The liar: answers every poll 40 s off while claiming near-zero error -
+  // never in any honest consistency group.
+  cfg.servers[kLiar].algo = core::SyncAlgorithm::kNone;
+  cfg.servers[kLiar].claimed_delta = 1e-6;
+  cfg.servers[kLiar].actual_drift = 0.0;
+  cfg.servers[kLiar].initial_offset = -40.0;
+  cfg.servers[kLiar].initial_error = 0.001;
+  return cfg;
+}
+
+std::vector<runtime::FaultStats> run_soak(service::TimeService& service) {
+  service.run_until(60.0);
+  service.crash_server(kCrashed);
+  service.run_until(kHorizon);
+  std::vector<runtime::FaultStats> ledgers;
+  for (std::size_t i = 0; i < service.size(); ++i) {
+    ledgers.push_back(service.server(i).fault_injector()->stats());
+  }
+  return ledgers;
+}
+
+TEST(ChaosSoak, SimSurvivorsStayCorrectAndBounded) {
+  service::TimeService service(soak_config());
+  run_soak(service);
+  const double now = service.now();
+
+  // Every live well-behaved server is correct despite the chaos.
+  for (int i = 0; i < kHonest; ++i) {
+    EXPECT_TRUE(service.server(i).correct(now)) << "S" << i;
+  }
+  EXPECT_FALSE(service.server(kCrashed).running());
+
+  // Theorem 3 pairwise asynchronism bound among the honest servers.  xi is
+  // the round-trip bound including the injector's worst delay spike.
+  const double xi = 2.0 * (0.005 + 0.05);
+  double e_min = 1e9;
+  for (int i = 0; i < kHonest; ++i) {
+    e_min = std::min(e_min, service.server(i).current_error(now));
+  }
+  for (int i = 0; i < kHonest; ++i) {
+    for (int j = i + 1; j < kHonest; ++j) {
+      const double asym = std::abs(service.server(i).read_clock(now) -
+                                   service.server(j).read_clock(now));
+      EXPECT_LT(asym, core::mm_asynchronism_bound(e_min, xi, 2e-5, 2e-5, 5.0))
+          << "S" << i << " vs S" << j;
+    }
+  }
+
+  std::uint64_t deaths = 0, probes = 0, suppressed = 0, quarantines = 0;
+  for (int i = 0; i < kHonest; ++i) {
+    const auto& c = service.server(i).counters();
+    deaths += c.peer_deaths;
+    probes += c.probes_sent;
+    suppressed += c.polls_suppressed;
+    quarantines += c.quarantines;
+    // Section 4: every honest server expelled the liar from its group...
+    EXPECT_EQ(service.server(i).peer_state(kLiar),
+              service::PeerState::kQuarantined)
+        << "S" << i;
+    // ... and wrote off the crashed server.
+    EXPECT_EQ(service.server(i).peer_state(kCrashed),
+              service::PeerState::kDead)
+        << "S" << i;
+    // Nobody with live peers degraded.
+    EXPECT_FALSE(service.server(i).degraded()) << "S" << i;
+  }
+  EXPECT_GT(deaths, 0u);
+  EXPECT_GT(quarantines, 0u);
+  // Dead peers are provably not polled at full rate: the backoff suppressed
+  // far more round slots than it probed.
+  EXPECT_GT(probes, 0u);
+  EXPECT_GT(suppressed, 0u);
+  EXPECT_LT(probes, suppressed);
+
+  // The chaos actually happened, and the ledger invariant holds once the
+  // (drained) sim run finished.
+  for (std::size_t i = 0; i < service.size(); ++i) {
+    const auto s = service.server(i).fault_injector()->stats();
+    if (i != kCrashed) {
+      EXPECT_GT(s.dropped_loss, 0u) << "S" << i;
+      EXPECT_GT(s.duplicated, 0u) << "S" << i;
+      EXPECT_GT(s.delayed, 0u) << "S" << i;
+    }
+    EXPECT_EQ(s.outbound + s.inbound + s.duplicated,
+              s.forwarded + s.dropped_loss + s.dropped_partition +
+                  s.dropped_crash)
+        << "S" << i;
+  }
+}
+
+TEST(ChaosSoak, SimIdenticalSeedsReplayIdenticalLedgers) {
+  service::TimeService a(soak_config());
+  service::TimeService b(soak_config());
+  EXPECT_EQ(run_soak(a), run_soak(b));
+}
+
+// --- UdpRuntime ----------------------------------------------------------
+//
+// The same story over loopback sockets: four MM learners under chaos, a
+// liar that gets quarantined, and a responder crash-stopped via its
+// injector, discovered dead, then healed after restart.
+
+TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
+  constexpr int kLearners = 4;
+  constexpr double kPoll = 0.05;
+  constexpr double kReplyWindow = 0.02;
+  constexpr double kSpike = 0.005;
+
+  // A liar and an honest crash-target responder.
+  net::UdpServerConfig liar_cfg;
+  liar_cfg.id = 100;
+  liar_cfg.algo = core::SyncAlgorithm::kNone;
+  liar_cfg.claimed_delta = 1e-6;
+  liar_cfg.initial_error = 0.0005;
+  liar_cfg.initial_offset = -5.0;
+  net::UdpTimeServer liar(liar_cfg);
+  liar.start();
+
+  net::UdpServerConfig victim_cfg;
+  victim_cfg.id = 101;
+  victim_cfg.algo = core::SyncAlgorithm::kNone;
+  victim_cfg.claimed_delta = 1e-6;
+  victim_cfg.initial_error = 0.0005;
+  victim_cfg.chaos.enabled = true;  // armed purely for crash control
+  net::UdpTimeServer victim(victim_cfg);
+  victim.start();
+
+  std::vector<std::unique_ptr<net::UdpTimeServer>> learners;
+  for (int i = 0; i < kLearners; ++i) {
+    net::UdpServerConfig cfg;
+    cfg.id = static_cast<std::uint32_t>(i);
+    cfg.algo = core::SyncAlgorithm::kMM;
+    cfg.claimed_delta = 1e-4;
+    cfg.initial_error = 0.02;
+    cfg.initial_offset = 0.002 * (i - 1);
+    cfg.poll_period = kPoll;
+    cfg.reply_timeout = kReplyWindow;
+    cfg.health.enabled = true;
+    cfg.health.quarantine_after = 3;
+    cfg.chaos.drop = 0.1;
+    cfg.chaos.duplicate = 0.1;
+    cfg.chaos.delay = 0.1;
+    cfg.chaos.delay_hi = kSpike;
+    cfg.chaos.seed = 0x0DD + static_cast<std::uint64_t>(i);
+    learners.push_back(std::make_unique<net::UdpTimeServer>(cfg));
+  }
+  // Full mesh among the learners, everyone also polling liar and victim.
+  for (int i = 0; i < kLearners; ++i) {
+    std::vector<std::uint16_t> peers;
+    for (int j = 0; j < kLearners; ++j) {
+      if (j != i) peers.push_back(learners[j]->port());
+    }
+    peers.push_back(liar.port());
+    peers.push_back(victim.port());
+    learners[i]->set_peers(peers);
+  }
+  for (auto& l : learners) l->start();
+
+  // Converge under chaos; long enough for 3 consecutive liar rounds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+
+  // Peer engine ids: learner i's peer list is [other learners..., liar,
+  // victim], so liar/victim sit at indices kLearners-1 and kLearners.
+  const ServerId liar_id = net::UdpTimeServer::peer_engine_id(kLearners - 1);
+  const ServerId victim_id = net::UdpTimeServer::peer_engine_id(kLearners);
+
+  for (int i = 0; i < kLearners; ++i) {
+    EXPECT_EQ(learners[i]->peer_state(liar_id),
+              service::PeerState::kQuarantined)
+        << "learner " << i;
+  }
+
+  // Crash-stop the victim; learners must walk it to dead and back off.
+  victim.set_crashed(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  std::uint64_t probes = 0, suppressed = 0, deaths = 0;
+  for (int i = 0; i < kLearners; ++i) {
+    EXPECT_EQ(learners[i]->peer_state(victim_id), service::PeerState::kDead)
+        << "learner " << i;
+    const auto c = learners[i]->counters();
+    probes += c.probes_sent;
+    suppressed += c.polls_suppressed;
+    deaths += c.peer_deaths;
+  }
+  EXPECT_GT(deaths, 0u);
+  EXPECT_GT(probes, 0u);
+  EXPECT_GT(suppressed, 0u);
+  EXPECT_LT(probes, suppressed);
+
+  // Restart: a probe reply must heal the victim back to healthy.
+  victim.set_crashed(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  for (int i = 0; i < kLearners; ++i) {
+    EXPECT_EQ(learners[i]->peer_state(victim_id),
+              service::PeerState::kHealthy)
+        << "learner " << i;
+  }
+
+  // Correctness and the Theorem 3 bound on the live well-behaved servers.
+  const double xi = 2.0 * (kReplyWindow / 3.0 + kSpike);
+  double e_min = 1e9;
+  for (auto& l : learners) e_min = std::min(e_min, l->current_error());
+  for (int i = 0; i < kLearners; ++i) {
+    EXPECT_LE(std::abs(learners[i]->true_offset()),
+              learners[i]->current_error() + 1e-9)
+        << "learner " << i;
+    for (int j = i + 1; j < kLearners; ++j) {
+      const double asym =
+          std::abs(learners[i]->true_offset() - learners[j]->true_offset());
+      EXPECT_LT(asym,
+                core::mm_asynchronism_bound(e_min, xi, 1e-4, 1e-4, kPoll))
+          << i << " vs " << j;
+    }
+  }
+
+  // Ledger sanity: thread timing perturbs sequencing, but every copy is
+  // accounted for - anything not yet forwarded/dropped is a delayed copy
+  // still in flight.
+  for (int i = 0; i < kLearners; ++i) {
+    const auto s = learners[i]->fault_stats();
+    EXPECT_GT(s.dropped_loss, 0u) << "learner " << i;
+    EXPECT_GT(s.duplicated, 0u) << "learner " << i;
+    EXPECT_GT(s.delayed, 0u) << "learner " << i;
+    const auto entered = s.outbound + s.inbound + s.duplicated;
+    const auto settled = s.forwarded + s.dropped_loss + s.dropped_partition +
+                         s.dropped_crash;
+    EXPECT_GE(entered, settled) << "learner " << i;
+    EXPECT_LE(entered - settled, s.delayed) << "learner " << i;
+  }
+
+  for (auto& l : learners) l->stop();
+  liar.stop();
+  victim.stop();
+}
+
+}  // namespace
+}  // namespace mtds

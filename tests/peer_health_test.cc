@@ -1,0 +1,223 @@
+// PeerHealth: the reachability state machine in isolation, plus the
+// engine-level degraded mode it drives.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "service/peer_health.h"
+#include "service/time_service.h"
+
+namespace mtds::service {
+namespace {
+
+PeerHealthPolicy policy(std::uint32_t suspect_after = 2,
+                        std::uint32_t dead_after = 4,
+                        std::uint32_t backoff_start = 2,
+                        std::uint32_t backoff_max = 8, double jitter = 0.0,
+                        std::uint32_t quarantine_after = 0) {
+  PeerHealthPolicy p;
+  p.enabled = true;
+  p.suspect_after = suspect_after;
+  p.dead_after = dead_after;
+  p.backoff_start = backoff_start;
+  p.backoff_max = backoff_max;
+  p.jitter = jitter;
+  p.quarantine_after = quarantine_after;
+  return p;
+}
+
+TEST(PeerHealth, MissStreakWalksHealthySuspectDead) {
+  sim::Rng rng{1};
+  PeerHealth health(policy(), &rng);
+  std::vector<std::pair<PeerState, PeerState>> transitions;
+  health.set_transition_hook(
+      [&](core::ServerId, PeerState from, PeerState to) {
+        transitions.emplace_back(from, to);
+      });
+
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kSuspect);
+  health.note_missed(7);
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kDead);
+
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(PeerState::kHealthy,
+                                           PeerState::kSuspect));
+  EXPECT_EQ(transitions[1], std::make_pair(PeerState::kSuspect,
+                                           PeerState::kDead));
+}
+
+TEST(PeerHealth, OneReplyHealsSuspectAndDead) {
+  sim::Rng rng{1};
+  PeerHealth health(policy(), &rng);
+  for (int i = 0; i < 10; ++i) health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kDead);
+  health.note_reply(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  // ... and the miss streak restarted from zero.
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+}
+
+TEST(PeerHealth, DeadPeerIsProbedOnExponentialBackoff) {
+  sim::Rng rng{1};
+  // jitter = 0 so the probe schedule is exact: intervals 2, 4, 8, 8, ...
+  PeerHealth health(policy(2, 4, 2, 8, 0.0), &rng);
+  for (int i = 0; i < 4; ++i) health.note_missed(7);
+  ASSERT_EQ(health.state(7), PeerState::kDead);
+
+  std::vector<int> probe_rounds;
+  for (int round = 0; round < 40; ++round) {
+    if (health.should_poll(7)) probe_rounds.push_back(round);
+  }
+  // Probe immediately, then after 2, 4, 8, 8, ... suppressed rounds.
+  ASSERT_GE(probe_rounds.size(), 5u);
+  EXPECT_EQ(probe_rounds[0], 0);
+  EXPECT_EQ(probe_rounds[1], 2);
+  EXPECT_EQ(probe_rounds[2], 6);
+  EXPECT_EQ(probe_rounds[3], 14);
+  EXPECT_EQ(probe_rounds[4], 22);
+  // Far below full rate: the acceptance criterion for "provably not polled
+  // at full rate".
+  EXPECT_LT(probe_rounds.size(), 8u);
+}
+
+TEST(PeerHealth, JitterSpreadsProbeSchedule) {
+  // With jitter, two trackers that declared the same peer dead in the same
+  // round need not probe in lockstep (they draw from different streams).
+  sim::Rng rng_a{1}, rng_b{2};
+  PeerHealth a(policy(2, 4, 4, 32, 1.0), &rng_a);
+  PeerHealth b(policy(2, 4, 4, 32, 1.0), &rng_b);
+  for (int i = 0; i < 4; ++i) {
+    a.note_missed(7);
+    b.note_missed(7);
+  }
+  std::vector<int> rounds_a, rounds_b;
+  for (int round = 0; round < 200; ++round) {
+    if (a.should_poll(7)) rounds_a.push_back(round);
+    if (b.should_poll(7)) rounds_b.push_back(round);
+  }
+  EXPECT_NE(rounds_a, rounds_b);
+}
+
+TEST(PeerHealth, HealedPeerReturnsToFullRatePolling) {
+  sim::Rng rng{1};
+  // backoff_max = 2: a revived peer is probed within two rounds, so it
+  // heals within two poll periods of coming back.
+  PeerHealth health(policy(2, 4, 2, 2, 0.0), &rng);
+  for (int i = 0; i < 4; ++i) health.note_missed(7);
+  ASSERT_EQ(health.state(7), PeerState::kDead);
+
+  // Drain the schedule to an arbitrary point, then "revive" the peer: the
+  // next probe is at most 2 rounds away.
+  health.should_poll(7);
+  int rounds_until_probe = 0;
+  while (!health.should_poll(7)) ++rounds_until_probe;
+  EXPECT_LE(rounds_until_probe, 2);
+  // The probe got a reply: healthy again, polled every round.
+  health.note_reply(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  EXPECT_TRUE(health.should_poll(7));
+  EXPECT_TRUE(health.should_poll(7));
+}
+
+TEST(PeerHealth, QuarantineIsStickyAndStopsPolling) {
+  sim::Rng rng{1};
+  PeerHealth health(policy(2, 4, 2, 8, 0.0, 3), &rng);
+
+  health.note_inconsistent(7);
+  health.note_inconsistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  // A consistent round resets the streak (Section 4: still in the group).
+  health.note_consistent(7);
+  health.note_inconsistent(7);
+  health.note_inconsistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+  health.note_inconsistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+
+  // Alive but untrusted: replies do not heal it, polls stop, misses don't
+  // demote it to dead.
+  health.note_reply(7);
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+  EXPECT_FALSE(health.should_poll(7));
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+}
+
+TEST(PeerHealth, ReachableCountExcludesDeadAndQuarantined) {
+  sim::Rng rng{1};
+  PeerHealth health(policy(2, 4, 2, 8, 0.0, 1), &rng);
+  const std::vector<core::ServerId> peers{1, 2, 3, 4};
+
+  EXPECT_EQ(health.reachable_count(peers), 4u);
+  for (int i = 0; i < 4; ++i) health.note_missed(1);  // dead
+  health.note_missed(2);
+  health.note_missed(2);                              // suspect: reachable
+  health.note_inconsistent(3);                        // quarantined
+  EXPECT_EQ(health.reachable_count(peers), 2u);
+}
+
+TEST(PeerHealth, ForgetDropsState) {
+  sim::Rng rng{1};
+  PeerHealth health(policy(), &rng);
+  for (int i = 0; i < 4; ++i) health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kDead);
+  health.forget(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+}
+
+// --- Engine-level degraded mode ------------------------------------------
+
+TEST(PeerHealthEngine, DegradedModeEntersAndExitsWithReachability) {
+  ServiceConfig cfg;
+  cfg.seed = 5;
+  cfg.delay_hi = 0.005;
+  cfg.sample_interval = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    ServerSpec s;
+    s.algo = core::SyncAlgorithm::kMM;
+    s.claimed_delta = 2e-5;
+    s.actual_drift = (i - 1) * 5e-6;
+    s.initial_error = 0.01;
+    s.poll_period = 5.0;
+    s.health.enabled = true;
+    // Arm an (otherwise quiet) injector so the test can crash servers.
+    s.chaos.enabled = true;
+    cfg.servers.push_back(s);
+  }
+  TimeService service(cfg);
+  service.run_until(50.0);
+  EXPECT_FALSE(service.server(0).degraded());
+
+  // Both of S0's peers crash-stop: S0 walks them to dead and must announce
+  // degraded mode.
+  service.server(1).fault_injector()->set_crashed(true);
+  service.server(2).fault_injector()->set_crashed(true);
+  service.run_until(150.0);
+  EXPECT_TRUE(service.server(0).degraded());
+  EXPECT_EQ(service.server(0).peer_state(1), PeerState::kDead);
+  EXPECT_EQ(service.server(0).peer_state(2), PeerState::kDead);
+  EXPECT_GE(service.server(0).counters().degraded_entries, 1u);
+  EXPECT_GT(service.server(0).counters().polls_suppressed, 0u);
+  EXPECT_GT(service.server(0).counters().probes_sent, 0u);
+  // The trace recorded the entry.
+  EXPECT_GT(service.trace().count_events(0, sim::TraceEventKind::kDegraded),
+            0u);
+
+  // One peer returns: the next successful probe reply must clear the flag.
+  service.server(1).fault_injector()->set_crashed(false);
+  service.run_until(300.0);
+  EXPECT_FALSE(service.server(0).degraded());
+  EXPECT_EQ(service.server(0).peer_state(1), PeerState::kHealthy);
+  // Correctness held throughout (all drift bounds are valid).
+  EXPECT_TRUE(service.all_correct());
+}
+
+}  // namespace
+}  // namespace mtds::service

@@ -310,6 +310,111 @@ TEST(RuntimeParity, IMScenarioConvergesOnBothRuntimes) {
 // sim-only.  The shared engine makes them available to the daemon; this
 // exercises them end-to-end over real sockets.
 
+// --- Chaos plane on both runtimes ----------------------------------------
+//
+// The same learner scenario wrapped in a runtime::FaultInjector: duplicated
+// replies must not double-count (the first copy pairs and erases the
+// pending entry; the second is stale) and delay spikes must not break
+// convergence.  Runs on both runtimes since the decorator claims to be
+// runtime-agnostic.
+
+TEST(RuntimeParity, ChaosWrappedLearnerConvergesInSim) {
+  sim::EventQueue queue;
+  sim::Rng rng{31};
+  sim::FixedDelay delay{0.01};
+  service::ServiceNetwork network{queue, delay, rng};
+  sim::Trace trace;
+
+  auto make = [&](ServerId id, const service::ServerSpec& spec,
+                  double offset) {
+    auto clock = std::make_unique<core::DriftingClock>(
+        0.0, queue.now() + offset, queue.now());
+    return std::make_unique<service::TimeServer>(
+        id, std::move(clock), spec, queue, network, &trace, rng.fork());
+  };
+
+  service::ServerSpec responder;
+  responder.algo = core::SyncAlgorithm::kNone;
+  responder.claimed_delta = 0.0;
+  responder.initial_error = 0.001;
+  auto ref = make(1, responder, /*offset=*/0.0);
+  ref->start({});
+
+  service::ServerSpec spec;
+  spec.algo = core::SyncAlgorithm::kMM;
+  spec.claimed_delta = 0.0;
+  spec.initial_error = 0.5;
+  spec.poll_period = 1.0;
+  spec.chaos.drop = 0.1;
+  spec.chaos.duplicate = 0.4;
+  spec.chaos.delay = 0.3;
+  spec.chaos.delay_hi = 0.05;
+  spec.chaos.seed = 71;
+  auto learner = make(0, spec, /*offset=*/0.02);
+  learner->start({1});
+
+  queue.run_until(30.0);
+
+  const auto& c = learner->counters();
+  EXPECT_GT(c.rounds, 0u);
+  EXPECT_GT(c.resets, 0u);
+  // Duplicate/stale copies never pair twice.
+  EXPECT_LE(c.replies_received, c.requests_sent);
+  EXPECT_LT(std::abs(learner->true_offset(queue.now())), 0.05);
+  EXPECT_TRUE(learner->correct(queue.now()));
+
+  const auto stats = learner->fault_injector()->stats();
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.delayed, 0u);
+  EXPECT_GT(stats.dropped_loss, 0u);
+}
+
+TEST(RuntimeParity, ChaosWrappedLearnerConvergesOverUdp) {
+  net::UdpServerConfig ref;
+  ref.id = 1;
+  ref.claimed_delta = 1e-6;
+  ref.initial_error = 0.0005;
+  ref.algo = core::SyncAlgorithm::kNone;
+  net::UdpTimeServer reference(ref);
+  reference.start();
+
+  net::UdpServerConfig cfg;
+  cfg.id = 0;
+  cfg.claimed_delta = 1e-4;
+  cfg.initial_error = 0.25;
+  cfg.initial_offset = 0.01;
+  cfg.algo = core::SyncAlgorithm::kMM;
+  cfg.poll_period = 0.02;
+  cfg.reply_timeout = 0.01;
+  cfg.chaos.drop = 0.1;
+  cfg.chaos.duplicate = 0.4;
+  cfg.chaos.delay = 0.3;
+  cfg.chaos.delay_hi = 0.003;
+  cfg.chaos.seed = 71;
+  net::UdpTimeServer learner(cfg);
+  learner.set_peers({reference.port()});
+  learner.start();
+
+  for (int i = 0; i < 200 && learner.resets() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto c = learner.counters();
+  EXPECT_GT(c.rounds, 0u);
+  EXPECT_GT(c.resets, 0u);
+  EXPECT_LE(c.replies_received, c.requests_sent);
+  EXPECT_LT(std::abs(learner.true_offset()), 0.05);
+
+  const auto stats = learner.fault_stats();
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.delayed, 0u);
+  EXPECT_GT(stats.dropped_loss, 0u);
+
+  learner.stop();
+  reference.stop();
+}
+
 TEST(RuntimeParity, EngineExtensionsRunOverUdp) {
   net::UdpServerConfig ref;
   ref.id = 1;

@@ -79,6 +79,45 @@ TEST(ScenarioCorpus, IMFTSurvivesTwoLiars) {
   EXPECT_FALSE(report.servers[6].correct);
 }
 
+TEST(ScenarioCorpus, ChaosCrashLossAndHealing) {
+  ScenarioRunner runner(parse_scenario(read_scenario("chaos.mtds")));
+  TimeService& service = runner.run();
+  const auto report = build_report(service);
+
+  // The loss spike actually dropped traffic.
+  EXPECT_GT(report.network.dropped_loss, 0u);
+
+  // Everyone survived (server 4 restarted at t=250) and is correct.
+  for (const auto& s : report.servers) {
+    EXPECT_TRUE(s.running) << "S" << s.id;
+    EXPECT_TRUE(s.correct) << "S" << s.id;
+  }
+
+  // The peers discovered the crash: deaths recorded, dead-peer backoff
+  // suppressed full-rate polls, and probes went out at the reduced rate.
+  std::uint64_t deaths = 0, probes = 0, suppressed = 0, heals = 0;
+  for (const auto& s : report.servers) {
+    deaths += s.counters.peer_deaths;
+    probes += s.counters.probes_sent;
+    suppressed += s.counters.polls_suppressed;
+    heals += s.counters.peer_recoveries;
+  }
+  EXPECT_GT(deaths, 0u);
+  EXPECT_GT(probes, 0u);
+  EXPECT_GT(suppressed, 0u);
+  // Backoff means far fewer probes than suppressed slots.
+  EXPECT_LT(probes, suppressed);
+  EXPECT_GT(heals, 0u);
+
+  // After the restart every peer trusts server 4 again.
+  for (std::size_t i = 0; i + 1 < service.size(); ++i) {
+    EXPECT_EQ(service.server(i).peer_state(4), PeerState::kHealthy)
+        << "S" << i;
+  }
+  // The trace recorded the transitions.
+  EXPECT_GT(service.trace().count_events(sim::TraceEventKind::kPeerState), 0u);
+}
+
 TEST(ScenarioCorpus, ChurnEndsHealthyForSurvivors) {
   const auto report = run_file("churn.mtds");
   EXPECT_EQ(report.joins, 5u);   // 3 initial + 2 timeline joins
