@@ -51,7 +51,7 @@ inline service::ServerSpec basic_server(core::SyncAlgorithm algo,
   s.claimed_delta = claimed_delta;
   s.actual_drift = actual_drift;
   s.initial_error = initial_error;
-  s.initial_offset = initial_offset;
+  s.initial_offset = core::Offset{initial_offset};
   s.poll_period = poll_period;
   return s;
 }

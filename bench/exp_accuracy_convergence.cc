@@ -51,7 +51,9 @@ Result run(double accurate_initial_error, std::uint64_t seed) {
     const auto errors = service.errors();
     const bool minimal =
         std::all_of(errors.begin() + 1, errors.end(),
-                    [&](double e) { return errors[0] <= e + 1e-12; });
+                    [&](core::Duration e) {
+                      return errors[0].seconds() <= e.seconds() + 1e-12;
+                    });
     if (minimal && t_converged < 0) t_converged = t;
     if (!minimal && t_converged >= 0) stayed = false;
   }

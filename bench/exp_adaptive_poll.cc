@@ -55,7 +55,7 @@ Outcome run(bool adaptive, double fixed_tau) {
   for (const auto& s : service.trace().samples()) {
     if (s.server == 0) continue;  // the reference has no budget to manage
     ++total;
-    out.worst_error = std::max(out.worst_error, s.error);
+    out.worst_error = std::max(out.worst_error, s.error.seconds());
     if (s.error > target) ++over;
   }
   out.over_target_fraction =

@@ -43,24 +43,28 @@ Outcome run(core::SyncAlgorithm algo, bool inject_racer, std::uint64_t seed) {
   service.run_until(1000.0);
 
   Outcome out;
-  const double now = service.now();
+  const core::RealTime now = service.now();
   // Evaluate over the healthy servers only (0..3); server 4 is the racer.
   double lo = 1e300, hi = -1e300;
   out.worst_offset = 0.0;
   const std::size_t healthy = inject_racer ? 4 : 5;
   for (std::size_t i = 0; i < healthy; ++i) {
-    const double c = service.server(i).read_clock(now);
+    const double c = service.server(i).read_clock(now).seconds();
     lo = std::min(lo, c);
     hi = std::max(hi, c);
     out.worst_offset =
-        std::max(out.worst_offset, std::abs(service.server(i).true_offset(now)));
+        std::max(out.worst_offset,
+                 std::abs(service.server(i).true_offset(now).seconds()));
   }
   out.asynchronism = hi - lo;
   // Soundness check over the same healthy subset.
   bool sound = true;
   for (const auto& s : service.trace().samples()) {
     if (s.server >= healthy) continue;
-    if (std::abs(s.clock - s.t) > s.error + 1e-9) sound = false;
+    if (abs(core::offset_from_true(s.clock, s.t)).seconds() >
+        s.error.seconds() + 1e-9) {
+      sound = false;
+    }
   }
   out.intervals_sound = sound;
   return out;

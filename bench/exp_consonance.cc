@@ -64,14 +64,17 @@ int main() {
     }
     if (intervals_inconsistent_at < 0) {
       // Would any pairwise interval check have caught it yet?
-      const double now = service.now();
+      const core::RealTime now = service.now();
       for (std::size_t i = 0; i < service.size() && intervals_inconsistent_at < 0;
            ++i) {
         for (std::size_t j = i + 1; j < service.size(); ++j) {
-          const double sep = std::abs(service.server(i).read_clock(now) -
-                                      service.server(j).read_clock(now));
-          if (sep > service.server(i).current_error(now) +
-                        service.server(j).current_error(now)) {
+          const double sep =
+              std::abs((service.server(i).read_clock(now) -
+                        service.server(j).read_clock(now))
+                           .seconds());
+          if (sep > (service.server(i).current_error(now) +
+                     service.server(j).current_error(now))
+                        .seconds()) {
             intervals_inconsistent_at = t;
             break;
           }
@@ -83,12 +86,14 @@ int main() {
   if (intervals_inconsistent_at < 0) {
     service.run_until(1200.0);
     // 4% drift against a 20 s budget: inconsistent around (20+20)/0.04 = 1000 s.
-    const double now = service.now();
-    const double sep = std::abs(service.server(0).read_clock(now) -
-                                service.server(3).read_clock(now));
-    if (sep > service.server(0).current_error(now) +
-                  service.server(3).current_error(now)) {
-      intervals_inconsistent_at = now;
+    const core::RealTime now = service.now();
+    const double sep = std::abs((service.server(0).read_clock(now) -
+                                 service.server(3).read_clock(now))
+                                    .seconds());
+    if (sep > (service.server(0).current_error(now) +
+               service.server(3).current_error(now))
+                  .seconds()) {
+      intervals_inconsistent_at = now.seconds();
     }
   }
 

@@ -33,7 +33,9 @@ double measured_asynchronism(core::SyncAlgorithm algo, std::size_t n,
   const auto report = service::measure_asynchronism(service.trace());
   double worst = 0.0;
   for (std::size_t k = 0; k < report.times.size(); ++k) {
-    if (report.times[k] >= 2.0 * tau) worst = std::max(worst, report.spread[k]);
+    if (report.times[k] >= 2.0 * tau) {
+      worst = std::max(worst, report.spread[k].seconds());
+    }
   }
   return worst;
 }
@@ -56,7 +58,7 @@ int main() {
         const double measured = measured_asynchronism(
             core::SyncAlgorithm::kIM, n, delta, delay, tau, 7 + n);
         const double bound =
-            core::im_asynchronism_bound(xi, delta, delta, tau);
+            core::im_asynchronism_bound(xi, delta, delta, tau).seconds();
         std::printf("%4zu %10.1e %10.3g %8.1f | %12.4g %12.4g %8.3f\n", n,
                     delta, xi, tau, measured, bound, measured / bound);
         all_ok = all_ok && measured <= bound;

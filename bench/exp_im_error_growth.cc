@@ -51,8 +51,14 @@ double growth_slope(core::SyncAlgorithm algo, std::size_t n,
   service::TimeService service(cfg);
   service.run_until(horizon);
   const auto growth = service::measure_error_growth(service.trace());
-  if (times != nullptr) *times = growth.times;
-  if (errors != nullptr) *errors = growth.max_error;
+  if (times != nullptr) {
+    times->clear();
+    for (const auto t : growth.times) times->push_back(t.seconds());
+  }
+  if (errors != nullptr) {
+    errors->clear();
+    for (const auto e : growth.max_error) errors->push_back(e.seconds());
+  }
   return growth.max_fit.slope;
 }
 

@@ -40,7 +40,7 @@ Outcome run(core::SyncAlgorithm algo, int liars, std::uint64_t seed) {
     liar.algo = core::SyncAlgorithm::kNone;  // they do not even try to sync
     liar.claimed_delta = 1e-6;
     liar.initial_error = 0.001;
-    liar.initial_offset = 1.0 + 0.5 * k;
+    liar.initial_offset = core::Offset{1.0 + 0.5 * k};
   }
 
   service::TimeService service(cfg);
@@ -55,7 +55,8 @@ Outcome run(core::SyncAlgorithm algo, int liars, std::uint64_t seed) {
     resets += service.server(static_cast<std::size_t>(i)).counters().resets;
     rounds += service.server(static_cast<std::size_t>(i)).counters().rounds;
     err += service.server(static_cast<std::size_t>(i))
-               .current_error(service.now());
+               .current_error(service.now())
+               .seconds();
     correct = correct &&
               service.server(static_cast<std::size_t>(i)).correct(service.now());
   }

@@ -41,22 +41,24 @@ Row run(std::size_t n, double delta, double delay_hi, double tau,
   service::TimeService service(cfg);
   service.run_until(100.0 * tau);
 
-  const double xi = service.xi();
+  const core::Duration xi = service.xi();
   const auto& trace = service.trace();
-  Row row{n, delta, xi, tau, 0.0, 0.0};
-  for (const double t : trace.sample_times()) {
+  Row row{n, delta, xi.seconds(), tau, 0.0, 0.0};
+  for (const core::RealTime t : trace.sample_times()) {
     if (t < 2.0 * tau) continue;  // warm-up: every server polled at least once
     const auto at = trace.samples_at(t);
-    double e_min = at.front().error;
-    for (const auto& s : at) e_min = std::min(e_min, s.error);
-    const double e_bound = core::mm_error_bound(e_min, xi, delta, tau);
+    core::Duration e_min = at.front().error;
+    for (const auto& s : at) e_min = std::min<core::Duration>(e_min, s.error);
+    const double e_bound =
+        core::mm_error_bound(e_min, xi, delta, tau).seconds();
     const double a_bound =
-        core::mm_asynchronism_bound(e_min, xi, delta, delta, tau);
+        core::mm_asynchronism_bound(e_min, xi, delta, delta, tau).seconds();
     for (std::size_t i = 0; i < at.size(); ++i) {
-      row.err_ratio = std::max(row.err_ratio, at[i].error / e_bound);
+      row.err_ratio = std::max(row.err_ratio, at[i].error.seconds() / e_bound);
       for (std::size_t j = i + 1; j < at.size(); ++j) {
         row.async_ratio = std::max(
-            row.async_ratio, std::abs(at[i].clock - at[j].clock) / a_bound);
+            row.async_ratio,
+            std::abs(at[i].clock.seconds() - at[j].clock.seconds()) / a_bound);
       }
     }
   }

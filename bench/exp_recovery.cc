@@ -71,7 +71,8 @@ int main() {
     service::TimeService service(
         experiment_config(10.0, service::RecoveryPolicy::kThirdServer, 3));
     service.run_until(horizon);
-    final_offset_with = std::abs(service.server(0).true_offset(service.now()));
+    final_offset_with =
+        std::abs(service.server(0).true_offset(service.now()).seconds());
     recoveries = service.server(0).counters().recoveries;
     inconsistencies = service.trace().count_events(
         sim::TraceEventKind::kInconsistent);
@@ -81,7 +82,7 @@ int main() {
         experiment_config(10.0, service::RecoveryPolicy::kIgnore, 3));
     service.run_until(horizon);
     final_offset_without =
-        std::abs(service.server(0).true_offset(service.now()));
+        std::abs(service.server(0).true_offset(service.now()).seconds());
   }
   std::printf("  inconsistencies detected: %llu, recoveries: %llu\n",
               static_cast<unsigned long long>(inconsistencies),
@@ -106,8 +107,8 @@ int main() {
     double worst = 0.0;
     for (double t = tau; t <= horizon; t += tau / 2.0) {
       service.run_until(t);
-      worst = std::max(worst,
-                       std::abs(service.server(0).true_offset(service.now())));
+      worst = std::max(
+          worst, std::abs(service.server(0).true_offset(service.now()).seconds()));
     }
     std::printf("%8.0f %16.3f %16.3f\n", tau, worst, 0.04 * tau);
     if (worst < prev_worst) monotone = false;

@@ -38,8 +38,8 @@ int main() {
     std::printf("\nat real time t = %.0f:\n", t);
     std::vector<util::IntervalRow> rows;
     for (std::size_t i = 0; i < servers.size(); ++i) {
-      const double c = servers[i].clock.read(t);
-      const double e = servers[i].tracker.error_at(c);
+      const double c = servers[i].clock.read(t).seconds();
+      const double e = servers[i].tracker.error_at(c).seconds();
       rows.push_back({"S" + std::to_string(i + 1), c - e, c + e});
       if (!(c - e <= t && t <= c + e)) all_correct = false;
       const double len = 2 * e;

@@ -34,9 +34,11 @@ void static_state_comparison() {
 
   std::printf("\nthe Figure-3 state (dashed line = correct time):\n");
   std::fputs(util::plot_intervals(
-                 {{"S1 (self)", s1.clock - s1.error, s1.clock + s1.error},
-                  {"S2 (wrong)", s2.c - s2.e, s2.c + s2.e},
-                  {"S3", s3.c - s3.e, s3.c + s3.e}},
+                 {{"S1 (self)", (s1.clock - s1.error).seconds(),
+                   (s1.clock + s1.error).seconds()},
+                  {"S2 (wrong)", (s2.c - s2.e).seconds(),
+                   (s2.c + s2.e).seconds()},
+                  {"S3", (s3.c - s3.e).seconds(), (s3.c + s3.e).seconds()}},
                  t, 60)
                  .c_str(),
              stdout);
@@ -50,10 +52,12 @@ void static_state_comparison() {
       state.error = out.reset->error;
     }
   }
-  std::printf("MM result: C=%.3f E=%.3f -> %s\n", state.clock, state.error,
-              std::abs(state.clock - t) <= state.error ? "CORRECT"
-                                                       : "incorrect");
-  bench::check(std::abs(state.clock - t) <= state.error,
+  std::printf("MM result: C=%.3f E=%.3f -> %s\n", state.clock.seconds(),
+              state.error.seconds(),
+              std::abs(state.clock.seconds() - t) <= state.error.seconds()
+                  ? "CORRECT"
+                  : "incorrect");
+  bench::check(std::abs(state.clock.seconds() - t) <= state.error.seconds(),
                "MM ends on a correct interval (chose S3)");
 
   // IM intersects everything.
@@ -61,16 +65,18 @@ void static_state_comparison() {
   const std::vector<TimeReading> replies = {s2, s3};
   const auto out = im.on_round(s1, replies);
   if (out.reset) {
-    std::printf("IM result: C=%.3f E=%.3f -> %s\n", out.reset->clock,
-                out.reset->error,
-                std::abs(out.reset->clock - t) <= out.reset->error
+    std::printf("IM result: C=%.3f E=%.3f -> %s\n", out.reset->clock.seconds(),
+                out.reset->error.seconds(),
+                std::abs(out.reset->clock.seconds() - t) <=
+                        out.reset->error.seconds()
                     ? "correct"
                     : "INCORRECT");
   }
   bench::check(out.reset.has_value() && !out.round_inconsistent,
                "IM sees the state as consistent");
   bench::check(out.reset.has_value() &&
-                   std::abs(out.reset->clock - t) > out.reset->error,
+                   std::abs(out.reset->clock.seconds() - t) >
+                       out.reset->error.seconds(),
                "IM adopts the incorrect intersection S2 /\\ S3");
 }
 

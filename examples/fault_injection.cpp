@@ -50,12 +50,13 @@ ScenarioResult run(const std::string& name, core::ClockFault fault,
   service.run_until(horizon);
 
   ScenarioResult r{};
-  const double now = service.now();
+  const core::RealTime now = service.now();
   for (int i = 0; i < 4; ++i) {
     r.healthy_worst_offset = std::max(
-        r.healthy_worst_offset, std::abs(service.server(i).true_offset(now)));
+        r.healthy_worst_offset,
+        std::abs(service.server(i).true_offset(now).seconds()));
   }
-  r.faulty_offset = std::abs(service.server(4).true_offset(now));
+  r.faulty_offset = std::abs(service.server(4).true_offset(now).seconds());
   r.inconsistencies =
       service.trace().count_events(sim::TraceEventKind::kInconsistent);
   r.recoveries = service.trace().count_events(sim::TraceEventKind::kRecovery);
@@ -105,7 +106,7 @@ bool run_chaos(double horizon) {
   service.server(4).fault_injector()->set_crashed(false);
   service.run_until(horizon);
 
-  const double now = service.now();
+  const core::RealTime now = service.now();
   std::uint64_t deaths = 0, heals = 0, probes = 0, suppressed = 0;
   std::uint64_t loss = 0, dup = 0, delayed = 0;
   bool correct = true, healed = true;

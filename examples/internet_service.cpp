@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     s.claimed_delta = tier < 0.1 ? 1e-6 : tier < 0.8 ? 2e-5 : 2e-4;
     s.actual_drift = rng.uniform(-0.9, 0.9) * s.claimed_delta;
     s.initial_error = rng.uniform(0.005, 0.1);
-    s.initial_offset = rng.uniform(-0.004, 0.004);
+    s.initial_offset = core::Offset{rng.uniform(-0.004, 0.004)};
     s.poll_period = 30.0;
     cfg.servers.push_back(s);
   }
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       s.claimed_delta = 1e-4;
       s.actual_drift = rng.uniform(-0.9, 0.9) * s.claimed_delta;
       s.initial_error = 1.0;  // fresh, poorly-set clock
-      s.initial_offset = rng.uniform(-0.5, 0.5);
+      s.initial_offset = core::Offset{rng.uniform(-0.5, 0.5)};
       s.poll_period = 30.0;
       service.add_server(s);
       ++joins;
@@ -89,12 +89,12 @@ int main(int argc, char** argv) {
 
   // Report the service's health.
   util::Sampler errors, offsets;
-  const double now = service.now();
+  const core::RealTime now = service.now();
   for (std::size_t i = 0; i < service.size(); ++i) {
     auto& server = service.server(i);
     if (!server.running()) continue;
-    errors.add(server.current_error(now));
-    offsets.add(std::abs(server.true_offset(now)));
+    errors.add(server.current_error(now).seconds());
+    offsets.add(std::abs(server.true_offset(now).seconds()));
   }
   std::printf("errors  : %s\n", errors.summary().c_str());
   std::printf("|offset|: %s\n", offsets.summary().c_str());

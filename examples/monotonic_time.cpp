@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   // actually goes backward).
   for (double t = 0.01; t <= horizon; t += 0.01) {
     service.run_until(t);
-    const double raw = service.server(0).read_clock(t);
-    const double mono = adapter.read(raw);
+    const double raw = service.server(0).read_clock(t).seconds();
+    const double mono = adapter.read(raw).seconds();
     if (prev_raw >= 0 && raw < prev_raw) ++backward_steps;
     if (prev_mono >= 0 && mono < prev_mono) monotone = false;
     prev_raw = raw;

@@ -37,17 +37,19 @@ int main(int argc, char** argv) {
   for (const auto& r : readings) {
     std::printf("  S%-4u C=%14.6f E=%10.6f rtt=%8.3f ms  -> true time in "
                 "[%.6f, %.6f]\n",
-                r.from, r.c, r.e, r.rtt_own * 1e3, r.c - r.e,
-                r.c + r.e + r.rtt_own);
+                r.from, r.c.seconds(), r.e.seconds(),
+                r.rtt_own.seconds() * 1e3, (r.c - r.e).seconds(),
+                (r.c + r.e + r.rtt_own).seconds());
   }
   if (readings.empty()) return 1;
 
   const auto result = client.query(ports, strategy, timeout);
   std::printf("\nstrategy %s: estimate %.6f +/- %.6f (%zu replies%s)\n",
-              strat.c_str(), result.estimate, result.error, result.replies,
+              strat.c_str(), result.estimate.seconds(), result.error.seconds(),
+              result.replies,
               result.consistent ? "" : ", INCONSISTENT replies");
   std::printf("host clock now: %.6f (estimate - host = %+.3f ms)\n",
               net::host_seconds(),
-              (result.estimate - net::host_seconds()) * 1e3);
+              (result.estimate.seconds() - net::host_seconds()) * 1e3);
   return 0;
 }

@@ -72,10 +72,10 @@ int main(int argc, char** argv) {
   cfg.id = static_cast<std::uint32_t>(flags.get_int("id", 0));
   cfg.claimed_delta = flags.get_double("delta", 1e-4);
   cfg.initial_error = flags.get_double("error", 1e-3);
-  cfg.initial_offset = flags.get_double("offset", 0.0);
+  cfg.initial_offset = core::Offset{flags.get_double("offset", 0.0)};
   cfg.simulated_drift = flags.get_double("drift", 0.0);
   cfg.poll_period = flags.get_double("poll", 0.5);
-  cfg.reply_timeout = std::min(0.2, cfg.poll_period / 2);
+  cfg.reply_timeout = std::min<core::Duration>(0.2, cfg.poll_period / 2.0);
   const std::string algo = flags.get("algo", "MM");
   cfg.algo = algo == "IM"     ? core::SyncAlgorithm::kIM
              : algo == "IMFT" ? core::SyncAlgorithm::kIMFT
@@ -131,9 +131,10 @@ int main(int argc, char** argv) {
         next_status += status_every;
         std::printf("  t=%6.1f C=%12.6f E=%9.6f offset=%+9.6f tau=%6.3f "
                     "served=%llu resets=%llu%s\n",
-                    now - t_start, server.read_clock(),
-                    server.current_error(), server.true_offset(),
-                    server.poll_period(),
+                    now - t_start, server.read_clock().seconds(),
+                    server.current_error().seconds(),
+                    server.true_offset().seconds(),
+                    server.poll_period().seconds(),
                     static_cast<unsigned long long>(server.requests_served()),
                     static_cast<unsigned long long>(server.resets()),
                     server.degraded() ? " DEGRADED" : "");

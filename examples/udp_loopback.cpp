@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     cfg.id = static_cast<std::uint32_t>(i);
     cfg.claimed_delta = 1e-5;
     cfg.initial_error = 0.002;
-    cfg.initial_offset = (static_cast<double>(i) - 1.0) * 0.001;
+    cfg.initial_offset = core::Offset{(static_cast<double>(i) - 1.0) * 0.001};
     cfg.algo = core::SyncAlgorithm::kNone;  // stable references
     servers.push_back(std::make_unique<net::UdpTimeServer>(cfg));
     servers.back()->start();
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   straggler.id = static_cast<std::uint32_t>(n - 1);
   straggler.claimed_delta = 1e-4;
   straggler.initial_error = 0.5;
-  straggler.initial_offset = 0.08;
+  straggler.initial_offset = core::Offset{0.08};
   straggler.algo = core::SyncAlgorithm::kMM;
   straggler.poll_period = 0.05;
   straggler.reply_timeout = 0.02;
@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   std::printf("%zu UDP servers on 127.0.0.1 ports:", n);
   for (auto p : ports) std::printf(" %u", p);
   std::printf("\nstraggler S%zu starts %.0f ms off with E = %.0f ms\n\n",
-              n - 1, straggler.initial_offset * 1e3,
-              straggler.initial_error * 1e3);
+              n - 1, straggler.initial_offset.seconds() * 1e3,
+              straggler.initial_error.seconds() * 1e3);
 
   auto& learner = *servers.back();
   const auto t_end = std::chrono::steady_clock::now() +
@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   while (std::chrono::steady_clock::now() < t_end) {
     std::this_thread::sleep_for(std::chrono::milliseconds(250));
     std::printf("  straggler: offset %+8.3f ms, E %8.3f ms, resets %llu\n",
-                learner.true_offset() * 1e3, learner.current_error() * 1e3,
+                learner.true_offset().seconds() * 1e3,
+                learner.current_error().seconds() * 1e3,
                 static_cast<unsigned long long>(learner.resets()));
   }
 
@@ -76,21 +77,22 @@ int main(int argc, char** argv) {
   const auto first =
       client.query(ports, service::ClientStrategy::kFirstReply, 0.2);
   std::printf("  first-reply   : estimate-host %+.4f ms, E %.3f ms (S%u)\n",
-              (first.estimate - net::host_seconds()) * 1e3, first.error * 1e3,
-              first.source);
+              (first.estimate.seconds() - net::host_seconds()) * 1e3,
+              first.error.seconds() * 1e3, first.source);
   const auto smallest =
       client.query(ports, service::ClientStrategy::kSmallestError, 0.2);
   std::printf("  smallest-error: estimate-host %+.4f ms, E %.3f ms (S%u)\n",
-              (smallest.estimate - net::host_seconds()) * 1e3,
-              smallest.error * 1e3, smallest.source);
+              (smallest.estimate.seconds() - net::host_seconds()) * 1e3,
+              smallest.error.seconds() * 1e3, smallest.source);
   const auto inter =
       client.query(ports, service::ClientStrategy::kIntersect, 0.2);
   std::printf("  intersect     : estimate-host %+.4f ms, E %.3f ms, "
               "consistent=%s\n",
-              (inter.estimate - net::host_seconds()) * 1e3, inter.error * 1e3,
+              (inter.estimate.seconds() - net::host_seconds()) * 1e3,
+              inter.error.seconds() * 1e3,
               inter.consistent ? "yes" : "no");
 
-  const bool pulled_in = std::abs(learner.true_offset()) < 0.02;
+  const bool pulled_in = std::abs(learner.true_offset().seconds()) < 0.02;
   std::printf("\nstraggler pulled within 20 ms of host time: %s\n",
               pulled_in ? "yes" : "NO");
   for (auto& s : servers) s->stop();

@@ -8,13 +8,13 @@ namespace {
 
 // Midpoint estimate of reply j's clock as of its receipt: the reply was
 // generated somewhere in the round trip, so credit half of it.
-double adjusted_clock(const TimeReading& r) { return r.c + 0.5 * r.rtt_own; }
+ClockTime adjusted_clock(const TimeReading& r) { return r.c + 0.5 * r.rtt_own; }
 
 // Offset of reply j relative to the local clock at its receipt, aged to the
 // local clock "now" (offsets are stable under local drift to first order,
 // so aging is a no-op here; kept for clarity).
-double offset_of(const TimeReading& r) {
-  return adjusted_clock(r) - r.local_receive;
+Offset offset_of(const TimeReading& r) {
+  return offset_between(adjusted_clock(r), r.local_receive);
 }
 
 Duration inherited_error(const LocalState& local, const TimeReading& r) {
@@ -27,9 +27,9 @@ SyncOutcome MaxSync::on_round(const LocalState& local,
                               std::span<const TimeReading> replies) const {
   SyncOutcome out;
   const TimeReading* best = nullptr;
-  double best_clock = local.clock;  // never step backward
+  ClockTime best_clock = local.clock;  // never step backward
   for (const TimeReading& r : replies) {
-    const double candidate = local.clock + offset_of(r);
+    const ClockTime candidate = local.clock + offset_of(r);
     if (candidate > best_clock) {
       best_clock = candidate;
       best = &r;
@@ -48,9 +48,9 @@ SyncOutcome MedianSync::on_round(const LocalState& local,
                                  std::span<const TimeReading> replies) const {
   SyncOutcome out;
   if (replies.empty()) return out;
-  std::vector<double> offsets;
+  std::vector<Offset> offsets;
   offsets.reserve(replies.size() + 1);
-  offsets.push_back(0.0);  // own clock participates
+  offsets.push_back(Offset{0.0});  // own clock participates
   Duration worst_error = local.error;
   for (const TimeReading& r : replies) {
     offsets.push_back(offset_of(r));
@@ -58,11 +58,11 @@ SyncOutcome MedianSync::on_round(const LocalState& local,
   }
   const auto mid = offsets.begin() + static_cast<std::ptrdiff_t>(offsets.size() / 2);
   std::nth_element(offsets.begin(), mid, offsets.end());
-  double median = *mid;
+  Offset median = *mid;
   if (offsets.size() % 2 == 0) {
     // Even count: average the two middle elements.
-    const double upper = *mid;
-    const double lower = *std::max_element(offsets.begin(), mid);
+    const Offset upper = *mid;
+    const Offset lower = *std::max_element(offsets.begin(), mid);
     median = 0.5 * (lower + upper);
   }
   ClockReset reset;
@@ -77,13 +77,13 @@ SyncOutcome MeanSync::on_round(const LocalState& local,
                                std::span<const TimeReading> replies) const {
   SyncOutcome out;
   if (replies.empty()) return out;
-  double sum = 0.0;
+  Offset sum;
   Duration worst_error = local.error;
   for (const TimeReading& r : replies) {
     sum += offset_of(r);
     worst_error = std::max(worst_error, inherited_error(local, r));
   }
-  const double mean = sum / static_cast<double>(replies.size() + 1);
+  const Offset mean = sum / static_cast<double>(replies.size() + 1);
   ClockReset reset;
   reset.clock = local.clock + mean;
   reset.error = worst_error;

@@ -22,10 +22,10 @@ class ErrorTracker {
   // delta >= 0: claimed upper bound on |1 - dC/dt|.
   // initial_error >= 0: epsilon at creation.
   // initial_clock: r at creation (the clock's value "when last reset").
-  ErrorTracker(double delta, Duration initial_error, ClockTime initial_clock)
+  ErrorTracker(double delta, ErrorBound initial_error, ClockTime initial_clock)
       : delta_(delta), epsilon_(initial_error), reset_clock_(initial_clock) {
     if (delta < 0) throw std::invalid_argument("ErrorTracker: delta must be >= 0");
-    if (initial_error < 0) {
+    if (initial_error < Duration{0.0}) {
       throw std::invalid_argument("ErrorTracker: initial error must be >= 0");
     }
   }
@@ -33,16 +33,16 @@ class ErrorTracker {
   // E_i(t) given the current clock reading C_i(t).  The elapsed term is
   // clamped at zero: a clock that was (faultily) set backward must not
   // *shrink* its reported error.
-  Duration error_at(ClockTime c) const noexcept {
+  ErrorBound error_at(ClockTime c) const noexcept {
     const Duration elapsed = c - reset_clock_;
-    return epsilon_ + (elapsed > 0 ? elapsed : 0) * delta_;
+    return epsilon_ + (elapsed > Duration{0.0} ? elapsed : Duration{0.0}) * delta_;
   }
 
   // Applies a reset: the server adopted clock value `new_clock` with
   // inherited error `new_epsilon` (rule MM-2: eps <- E_j + (1+delta)xi,
   // r <- C_j; rule IM-2: eps <- (b-a)/2, r <- midpoint).
-  void reset(ClockTime new_clock, Duration new_epsilon) {
-    if (new_epsilon < 0) {
+  void reset(ClockTime new_clock, ErrorBound new_epsilon) {
+    if (new_epsilon < Duration{0.0}) {
       throw std::invalid_argument("ErrorTracker: negative inherited error");
     }
     epsilon_ = new_epsilon;
@@ -50,12 +50,12 @@ class ErrorTracker {
   }
 
   double delta() const noexcept { return delta_; }
-  Duration inherited_error() const noexcept { return epsilon_; }
+  ErrorBound inherited_error() const noexcept { return epsilon_; }
   ClockTime last_reset_clock() const noexcept { return reset_clock_; }
 
  private:
   double delta_;
-  Duration epsilon_;
+  ErrorBound epsilon_;
   ClockTime reset_clock_;
 };
 

@@ -10,8 +10,8 @@ SyncOutcome IntersectionSync::on_round(const LocalState& local,
   if (replies.empty()) return out;
 
   // Self-reply: the local interval [-E_i, +E_i] in offset space.
-  double a = -local.error;
-  double b = local.error;
+  Offset a = to_offset(-Duration{local.error});
+  Offset b = to_offset(Duration{local.error});
   // Track, for diagnosis, who defined the surviving edges.
   ServerId lo_owner = kInvalidServer;  // kInvalid = self
   ServerId hi_owner = kInvalidServer;
@@ -19,11 +19,13 @@ SyncOutcome IntersectionSync::on_round(const LocalState& local,
   for (const TimeReading& r : replies) {
     // Age the reply from its receipt to now: the offset interval widens by
     // delta_i per local second on each side.
-    const Duration age = std::max(0.0, local.clock - r.local_receive);
-    const Duration pad = local.delta * age;
-    const double t_j = (r.c - r.e - r.local_receive) - pad;
-    const double l_j = (r.c + r.e + (1.0 + local.delta) * r.rtt_own -
-                        r.local_receive) + pad;
+    const Duration age = std::max(Duration{0.0}, local.clock - r.local_receive);
+    const Offset pad = to_offset(local.delta * age);
+    const Offset t_j = offset_between(r.c - r.e, r.local_receive) - pad;
+    const Offset l_j =
+        offset_between(r.c + r.e + (1.0 + local.delta) * r.rtt_own,
+                       r.local_receive) +
+        pad;
     if (t_j > a) {
       a = t_j;
       lo_owner = r.from;
@@ -47,7 +49,7 @@ SyncOutcome IntersectionSync::on_round(const LocalState& local,
 
   ClockReset reset;
   reset.clock = local.clock + 0.5 * (a + b);
-  reset.error = 0.5 * (b - a);
+  reset.error = (0.5 * (b - a)).as_duration();
   if (lo_owner != kInvalidServer) reset.sources.push_back(lo_owner);
   if (hi_owner != kInvalidServer && hi_owner != lo_owner) {
     reset.sources.push_back(hi_owner);

@@ -18,15 +18,17 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
   std::vector<ServerId> owners;
   intervals.reserve(replies.size() + 1);
   owners.reserve(replies.size() + 1);
-  intervals.push_back(TimeInterval::from_center_error(0.0, local.error));
+  intervals.push_back(TimeInterval::from_center_error(0.0, local.error.seconds()));
   owners.push_back(kInvalidServer);  // self
   for (const TimeReading& r : replies) {
-    const Duration age = std::max(0.0, local.clock - r.local_receive);
-    const Duration pad = local.delta * age;
-    const double t_j = (r.c - r.e - r.local_receive) - pad;
-    const double l_j = (r.c + r.e + (1.0 + local.delta) * r.rtt_own -
-                        r.local_receive) + pad;
-    intervals.push_back(TimeInterval::from_edges(t_j, l_j));
+    const Duration age = std::max(Duration{0.0}, local.clock - r.local_receive);
+    const Offset pad = to_offset(local.delta * age);
+    const Offset t_j = offset_between(r.c - r.e, r.local_receive) - pad;
+    const Offset l_j =
+        offset_between(r.c + r.e + (1.0 + local.delta) * r.rtt_own,
+                       r.local_receive) +
+        pad;
+    intervals.push_back(TimeInterval::from_edges(t_j.seconds(), l_j.seconds()));
     owners.push_back(r.from);
   }
 
@@ -54,7 +56,7 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
   }
 
   ClockReset reset;
-  reset.clock = local.clock + best->interval.midpoint();
+  reset.clock = local.clock + Offset{best->interval.midpoint()};
   reset.error = best->interval.radius();
   for (std::size_t idx : best->members) {
     if (owners[idx] != kInvalidServer) reset.sources.push_back(owners[idx]);

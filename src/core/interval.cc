@@ -14,15 +14,15 @@ TimeInterval TimeInterval::from_edges(double lo, double hi) {
   return TimeInterval(lo, hi);
 }
 
-TimeInterval TimeInterval::from_center_error(ClockTime c, Duration e) {
+TimeInterval TimeInterval::from_center_error(double c, double e) {
   if (!(e >= 0)) {
     throw std::invalid_argument("TimeInterval: error must be >= 0");
   }
   return TimeInterval(c - e, c + e);
 }
 
-TimeInterval TimeInterval::from_center_errors(ClockTime c, Duration e_lo,
-                                              Duration e_hi) {
+TimeInterval TimeInterval::from_center_errors(double c, double e_lo,
+                                              double e_hi) {
   if (!(e_lo >= 0) || !(e_hi >= 0)) {
     throw std::invalid_argument("TimeInterval: errors must be >= 0");
   }
@@ -45,7 +45,7 @@ TimeInterval TimeInterval::shifted(double d) const noexcept {
   return TimeInterval(lo_ + d, hi_ + d);
 }
 
-TimeInterval TimeInterval::inflated(Duration pad) const noexcept {
+TimeInterval TimeInterval::inflated(double pad) const noexcept {
   const double p = std::max(pad, 0.0);
   return TimeInterval(lo_ - p, hi_ + p);
 }
@@ -57,8 +57,9 @@ std::string TimeInterval::str() const {
   return buf;
 }
 
-bool consistent(ClockTime ci, Duration ei, ClockTime cj, Duration ej) noexcept {
-  return std::abs(ci - cj) <= ei + ej;
+bool consistent(ClockTime ci, ErrorBound ei, ClockTime cj,
+                ErrorBound ej) noexcept {
+  return abs(ci - cj) <= ei + ej;
 }
 
 }  // namespace mtds::core

@@ -4,6 +4,15 @@
 // interval [C - E, C + E] that is guaranteed - if the server's drift bound
 // is valid - to contain true time (Section 2.2).  Consistency of two servers
 // (Section 2.3) is non-empty intersection:  |C_i - C_j| <= E_i + E_j.
+//
+// Axis-agnostic by design: the same interval algebra runs over absolute
+// clock time (client combination), rule IM-2's clock-relative *offsets*
+// (im_sync/imft_sync), and dimensionless relative *rates* (Section 5's
+// consonance machinery).  Its edges are therefore plain numbers; callers
+// in the typed world convert explicitly with .seconds() on the way in and
+// tag the result (ClockTime + Offset{...}, ErrorBound{...}) on the way
+// out, which keeps the one deliberately untyped component small and
+// auditable.
 #pragma once
 
 #include <optional>
@@ -21,19 +30,19 @@ class TimeInterval {
   // From edges.  Requires lo <= hi (checked, throws std::invalid_argument).
   static TimeInterval from_edges(double lo, double hi);
 
-  // From a clock reading C and maximum error E >= 0 (rule MM-1's reply
-  // format <C_i(t), E_i(t)>).
-  static TimeInterval from_center_error(ClockTime c, Duration e);
+  // From a center C and maximum error E >= 0 (rule MM-1's reply format
+  // <C_i(t), E_i(t)>, but equally an offset or rate center).
+  static TimeInterval from_center_error(double c, double e);
 
   // Asymmetric interval [c - e_lo, c + e_hi]; IM-2's transformed replies are
   // asymmetric because only the leading edge absorbs the round-trip delay.
-  static TimeInterval from_center_errors(ClockTime c, Duration e_lo, Duration e_hi);
+  static TimeInterval from_center_errors(double c, double e_lo, double e_hi);
 
   double lo() const noexcept { return lo_; }          // trailing edge C - E
   double hi() const noexcept { return hi_; }          // leading edge  C + E
   double midpoint() const noexcept { return 0.5 * (lo_ + hi_); }
-  Duration length() const noexcept { return hi_ - lo_; }
-  Duration radius() const noexcept { return 0.5 * (hi_ - lo_); }  // the "error"
+  double length() const noexcept { return hi_ - lo_; }
+  double radius() const noexcept { return 0.5 * (hi_ - lo_); }  // the "error"
 
   bool contains(double t) const noexcept { return lo_ <= t && t <= hi_; }
   bool contains(const TimeInterval& other) const noexcept {
@@ -57,7 +66,7 @@ class TimeInterval {
   TimeInterval shifted(double d) const noexcept;
 
   // Both edges pushed outward by pad >= 0 (drift aging an interval).
-  TimeInterval inflated(Duration pad) const noexcept;
+  TimeInterval inflated(double pad) const noexcept;
 
   bool operator==(const TimeInterval& other) const noexcept = default;
 
@@ -71,6 +80,7 @@ class TimeInterval {
 
 // Consistency predicate straight from Section 2.3:
 //   |C_i - C_j| <= E_i + E_j
-bool consistent(ClockTime ci, Duration ei, ClockTime cj, Duration ej) noexcept;
+bool consistent(ClockTime ci, ErrorBound ei, ClockTime cj,
+                ErrorBound ej) noexcept;
 
 }  // namespace mtds::core

@@ -16,7 +16,7 @@ namespace mtds::core {
 struct TimeReading {
   ServerId from = kInvalidServer;
   ClockTime c = 0.0;
-  Duration e = 0.0;
+  ErrorBound e = 0.0;
   Duration rtt_own = 0.0;
   ClockTime local_receive = 0.0;
 };

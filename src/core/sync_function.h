@@ -30,15 +30,15 @@ enum class SyncMode { kPerReply, kPerRound };
 
 // The deciding server's state at evaluation time.
 struct LocalState {
-  ClockTime clock = 0.0;   // C_i now
-  Duration error = 0.0;    // E_i now
-  double delta = 0.0;      // claimed drift bound delta_i
+  ClockTime clock = 0.0;    // C_i now
+  ErrorBound error = 0.0;   // E_i now
+  double delta = 0.0;       // claimed drift bound delta_i
 };
 
 // A decision to reset the local clock.
 struct ClockReset {
   ClockTime clock = 0.0;            // new C_i
-  Duration error = 0.0;             // new inherited error epsilon_i
+  ErrorBound error = 0.0;           // new inherited error epsilon_i
   std::vector<ServerId> sources;    // replies that drove the decision
 };
 

@@ -41,8 +41,10 @@ core::Readings UdpTimeClient::collect(const std::vector<std::uint16_t>& ports,
     reading.from = resp->server_id;
     reading.c = ns_to_seconds(resp->clock_ns);
     reading.e = ns_to_seconds(resp->error_ns);
-    reading.local_receive = host_seconds();
-    reading.rtt_own = std::max(0.0, reading.local_receive - it->second);
+    reading.local_receive = host_seconds();  // client clock = host time axis
+    reading.rtt_own = std::max(core::Duration{0.0},
+                               reading.local_receive -
+                                   core::ClockTime{it->second});
     sent_at.erase(it);
     readings.push_back(reading);
   }
@@ -58,7 +60,7 @@ service::ClientResult UdpTimeClient::query(
       strategy == service::ClientStrategy::kFirstReply ? 1 : 0;
   core::Readings readings = collect(ports, timeout_seconds, cap);
   // Age replies to a common instant, exactly as the simulated client does.
-  const double now = host_seconds();
+  const core::ClockTime now{host_seconds()};
   for (auto& r : readings) {
     r.c += now - r.local_receive;
     r.local_receive = now;

@@ -1,7 +1,5 @@
 #include "net/udp_server.h"
 
-#include <mutex>
-
 #include "core/clock.h"
 #include "sim/rng.h"
 
@@ -39,20 +37,27 @@ service::ServerSpec make_spec(const UdpServerConfig& config) {
   return spec;
 }
 
+std::unique_ptr<runtime::UdpRuntime> make_runtime(
+    const UdpServerConfig& config) {
+  runtime::UdpRuntimeConfig rt;
+  rt.port = config.port;
+  rt.reply_window = config.reply_timeout;
+  return std::make_unique<runtime::UdpRuntime>(rt);
+}
+
 }  // namespace
 
 UdpTimeServer::UdpTimeServer(UdpServerConfig config)
-    : config_(std::move(config)) {
-  runtime::UdpRuntimeConfig rt;
-  rt.port = config_.port;
-  rt.reply_window = config_.reply_timeout;
-  runtime_ = std::make_unique<runtime::UdpRuntime>(rt);
+    : config_(std::move(config)),
+      runtime_(make_runtime(config_)),
+      state_mu_(runtime_->state_mutex()) {
   for (std::size_t j = 0; j < config_.recovery_ports.size(); ++j) {
     runtime_->add_peer({kRecoveryIdBase + static_cast<core::ServerId>(j),
                         config_.recovery_ports[j]});
   }
   auto clock = std::make_unique<core::DriftingClock>(
-      config_.simulated_drift, host_seconds() + config_.initial_offset,
+      config_.simulated_drift,
+      core::ClockTime{host_seconds()} + config_.initial_offset,
       host_seconds());
   if (config_.chaos.active()) {
     // The injector lives in the runtime's serialization domain: every
@@ -86,7 +91,7 @@ void UdpTimeServer::start() {
       neighbors.push_back(id);
     }
   }
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   engine_->start(neighbors);
 }
 
@@ -94,34 +99,34 @@ void UdpTimeServer::stop() {
   if (!running_.exchange(false)) return;
   stopped_ = true;
   {
-    std::lock_guard lock(runtime_->state_mutex());
+    util::MutexLock lock(state_mu_);
     engine_->stop();
   }
   runtime_->shutdown();
 }
 
-double UdpTimeServer::read_clock() const {
-  std::lock_guard lock(runtime_->state_mutex());
+core::ClockTime UdpTimeServer::read_clock() const {
+  util::MutexLock lock(state_mu_);
   return engine_->read_clock(host_seconds());
 }
 
-double UdpTimeServer::current_error() const {
-  std::lock_guard lock(runtime_->state_mutex());
+core::Duration UdpTimeServer::current_error() const {
+  util::MutexLock lock(state_mu_);
   return engine_->current_error(host_seconds());
 }
 
-double UdpTimeServer::true_offset() const {
-  std::lock_guard lock(runtime_->state_mutex());
+core::Offset UdpTimeServer::true_offset() const {
+  util::MutexLock lock(state_mu_);
   return engine_->true_offset(host_seconds());
 }
 
-double UdpTimeServer::poll_period() const {
-  std::lock_guard lock(runtime_->state_mutex());
+core::Duration UdpTimeServer::poll_period() const {
+  util::MutexLock lock(state_mu_);
   return engine_->current_poll_period();
 }
 
 service::ServerCounters UdpTimeServer::counters() const {
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   return engine_->counters();
 }
 
@@ -130,22 +135,22 @@ core::ServerId UdpTimeServer::peer_engine_id(std::size_t k) noexcept {
 }
 
 service::PeerState UdpTimeServer::peer_state(core::ServerId peer) const {
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   return engine_->peer_state(peer);
 }
 
 bool UdpTimeServer::degraded() const {
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   return engine_->degraded();
 }
 
 runtime::FaultStats UdpTimeServer::fault_stats() const {
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   return chaos_ != nullptr ? chaos_->stats() : runtime::FaultStats{};
 }
 
 void UdpTimeServer::set_crashed(bool crashed) {
-  std::lock_guard lock(runtime_->state_mutex());
+  util::MutexLock lock(state_mu_);
   if (chaos_ != nullptr) chaos_->set_crashed(crashed);
 }
 

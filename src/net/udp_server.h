@@ -20,6 +20,8 @@
 #include "runtime/udp_runtime.h"
 #include "service/config.h"
 #include "service/protocol_engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mtds::net {
 
@@ -30,12 +32,13 @@ struct UdpServerConfig {
   std::uint32_t id = 0;
   double claimed_delta = 1e-4;   // delta_i the server reports with
   double simulated_drift = 0.0;  // injected actual drift of the virtual clock
-  double initial_error = 1e-3;   // epsilon at start (seconds)
-  double initial_offset = 0.0;   // virtual clock offset at start (seconds)
+  core::ErrorBound initial_error = 1e-3;  // epsilon at start
+  core::Offset initial_offset{0.0};       // virtual clock offset at start
 
   core::SyncAlgorithm algo = core::SyncAlgorithm::kMM;
-  double poll_period = 0.05;     // seconds between sync rounds; 0 = respond only
-  double reply_timeout = 0.02;   // seconds to wait for replies in a round
+  // tau between sync rounds; 0 = respond only.
+  core::Duration poll_period = 0.05;
+  core::Duration reply_timeout = 0.02;  // wait for replies in a round
   std::uint16_t port = 0;        // 0 = ephemeral
 
   // Third-server recovery (Section 3): ports of servers on "another
@@ -77,10 +80,11 @@ class UdpTimeServer {
   bool running() const noexcept { return running_.load(); }
 
   // Introspection (thread-safe).
-  double read_clock() const;      // C_i now (virtual seconds)
-  double current_error() const;   // E_i now
-  double true_offset() const;     // C_i - host time (ground truth)
-  double poll_period() const;     // current tau (moves under adaptive polling)
+  core::ClockTime read_clock() const;    // C_i now (virtual seconds)
+  core::Duration current_error() const;  // E_i now
+  core::Offset true_offset() const;      // C_i - host time (ground truth)
+  // Current tau (moves under adaptive polling).
+  core::Duration poll_period() const;
   service::ServerCounters counters() const;  // snapshot of engine counters
   std::uint64_t resets() const { return counters().resets; }
   std::uint64_t recoveries() const { return counters().recoveries; }
@@ -103,8 +107,16 @@ class UdpTimeServer {
   UdpServerConfig config_;
   std::vector<std::uint16_t> peer_ports_;
   std::unique_ptr<runtime::UdpRuntime> runtime_;
-  std::unique_ptr<runtime::FaultInjector> chaos_;  // null unless chaos.active()
-  std::unique_ptr<service::ProtocolEngine> engine_;
+  // The runtime's serialization mutex, bound once at construction so the
+  // engine/injector pointees below can be declared PT_GUARDED_BY it and
+  // every introspection method is statically checked to lock it.
+  util::Mutex& state_mu_;
+  // Null unless chaos.active().  The injector itself is unsynchronized by
+  // design - it lives entirely inside the runtime's serialization domain -
+  // so its pointee may only be touched under state_mu_ (the locked wrappers
+  // below; the bare pointer from fault_injector() may be read freely).
+  std::unique_ptr<runtime::FaultInjector> chaos_ PT_GUARDED_BY(state_mu_);
+  std::unique_ptr<service::ProtocolEngine> engine_ PT_GUARDED_BY(state_mu_);
   std::atomic<bool> running_{false};
   bool stopped_ = false;  // shutdown is one-way (the socket is closed)
 };

@@ -125,7 +125,8 @@ void FaultInjector::process(Dir dir, ServerId peer, ServiceMessage msg,
     // copy re-enters the engine exactly like a slow network would deliver
     // it - possibly after the requesting round closed (a stale reply).
     ++stats_.delayed;
-    const Duration spike = rng_.uniform(plan_.delay_lo, plan_.delay_hi);
+    const Duration spike =
+        rng_.uniform(plan_.delay_lo.seconds(), plan_.delay_hi.seconds());
     timers_->after(spike, [this, dir, peer, msg] {
       if (crashed_) {
         ++stats_.dropped_crash;

@@ -32,7 +32,7 @@ UdpRuntime::UdpRuntime(UdpRuntimeConfig config)
 }
 
 void UdpRuntime::add_peer(const UdpPeer& peer) {
-  std::lock_guard lock(state_mutex_);
+  util::MutexLock lock(state_mutex_);
   const sockaddr_in addr = net::UdpSocket::loopback(peer.port);
   addr_by_id_[peer.id] = addr;
   id_by_addr_[addr_key(addr)] = peer.id;
@@ -51,12 +51,13 @@ void UdpRuntime::shutdown() {
   timer_cv_.notify_all();
   if (receiver_.joinable()) receiver_.join();
   if (timer_thread_.joinable()) timer_thread_.join();
-  std::lock_guard lock(timer_mutex_);
+  util::MutexLock lock(timer_mutex_);
   timer_queue_.clear();
 }
 
 void UdpRuntime::open(ServerId self, Handler handler) {
-  std::lock_guard lock(state_mutex_);
+  // REQUIRES(state_mutex_): the engine calls this from inside the
+  // serialization domain, so the caller already holds the lock.
   self_ = self;
   handler_ = std::move(handler);
   open_ = true;
@@ -67,7 +68,7 @@ void UdpRuntime::open(ServerId self, Handler handler) {
 }
 
 void UdpRuntime::close() {
-  std::lock_guard lock(state_mutex_);
+  // REQUIRES(state_mutex_), same as open().
   open_ = false;
 }
 
@@ -82,7 +83,6 @@ ServerId UdpRuntime::id_for_addr(const sockaddr_in& addr) {
 }
 
 void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
-  // Called with state_mutex_ held (engine callbacks run under it).
   const auto addr = addr_by_id_.find(to);
   if (addr == addr_by_id_.end()) return;  // unknown destination: best effort
   if (msg.type == ServiceMessage::Type::kTimeRequest) {
@@ -95,8 +95,8 @@ void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
   net::TimeResponsePacket resp;
   resp.tag = msg.tag;
   resp.server_id = self_;
-  resp.clock_ns = net::seconds_to_ns(msg.c);
-  resp.error_ns = net::seconds_to_ns(msg.e);
+  resp.clock_ns = net::seconds_to_ns(msg.c.seconds());
+  resp.error_ns = net::seconds_to_ns(msg.e.seconds());
   if (const auto echo = echo_ns_.find({to, msg.tag}); echo != echo_ns_.end()) {
     resp.client_send_ns = echo->second;
     echo_ns_.erase(echo);
@@ -123,16 +123,17 @@ Duration UdpRuntime::max_one_way_delay() const {
 }
 
 TimerId UdpRuntime::after(Duration delay, std::function<void()> cb) {
-  std::lock_guard lock(timer_mutex_);
+  util::MutexLock lock(timer_mutex_);
   const TimerId id = next_timer_id_++;
-  const double deadline = host_seconds() + std::max(0.0, delay);
+  const double deadline =
+      host_seconds() + std::max(Duration{0.0}, delay).seconds();
   timer_queue_.emplace(deadline, TimerEntry{deadline, id, std::move(cb)});
   timer_cv_.notify_all();
   return id;
 }
 
 bool UdpRuntime::cancel(TimerId id) {
-  std::lock_guard lock(timer_mutex_);
+  util::MutexLock lock(timer_mutex_);
   for (auto it = timer_queue_.begin(); it != timer_queue_.end(); ++it) {
     if (it->second.id == id) {
       timer_queue_.erase(it);
@@ -143,26 +144,26 @@ bool UdpRuntime::cancel(TimerId id) {
 }
 
 void UdpRuntime::timer_loop() {
-  using namespace std::chrono_literals;
   while (threads_running_.load()) {
     std::function<void()> cb;
     {
-      std::unique_lock lock(timer_mutex_);
+      util::MutexLock lock(timer_mutex_);
       if (timer_queue_.empty()) {
-        timer_cv_.wait_for(lock, 50ms);
+        timer_cv_.wait_for(timer_mutex_, 0.05);
         continue;
       }
       const double now = host_seconds();
       const double next = timer_queue_.begin()->first;
       if (next > now) {
-        timer_cv_.wait_for(lock, std::chrono::duration<double>(
-                                     std::min(next - now, 0.05)));
+        timer_cv_.wait_for(timer_mutex_, std::min(next - now, 0.05));
         continue;
       }
       cb = std::move(timer_queue_.begin()->second.cb);
       timer_queue_.erase(timer_queue_.begin());
     }
-    std::lock_guard lock(state_mutex_);
+    // timer_mutex_ is released before the callback (and before taking the
+    // outer state_mutex_), preserving the state -> timer lock order.
+    util::MutexLock lock(state_mutex_);
     if (open_) cb();
   }
 }
@@ -177,7 +178,7 @@ void UdpRuntime::receive_loop() {
     const auto* data = dgram->payload.data();
     const auto size = dgram->payload.size();
     if (const auto req = net::decode_request(data, size)) {
-      std::lock_guard lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       if (!open_ || !handler_) continue;
       const ServerId from = id_for_addr(dgram->from);
       if (echo_ns_.size() >= kMaxEchoEntries) {
@@ -191,7 +192,7 @@ void UdpRuntime::receive_loop() {
       msg.tag = req->tag;
       handler_(host_seconds(), msg);
     } else if (const auto resp = net::decode_response(data, size)) {
-      std::lock_guard lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       if (!open_ || !handler_) continue;
       // Attribute by source address when it is a configured peer; fall back
       // to the wire id for unlisted responders (informational only).

@@ -19,19 +19,25 @@
 // Threading: both delivery threads take the state mutex around every
 // handler/timer callback, giving the engine the same serialized world the
 // event queue provides.  Embedders lock the same mutex for introspection.
+//
+// The locking contract is annotated for clang -Wthread-safety (see
+// util/thread_annotations.h): state_mutex_ guards the engine-facing state,
+// timer_mutex_ guards the timer queue, and the only legal nesting is
+// state_mutex_ -> timer_mutex_ (the engine schedules timers from inside a
+// locked callback; the timer thread never takes them in the other order).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "net/udp_socket.h"
 #include "runtime/runtime.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mtds::runtime {
 
@@ -40,7 +46,7 @@ namespace mtds::runtime {
 // DIFFERENT processes share the same timeline and cross-process offsets are
 // meaningful.  Doubles carry ~0.1 us precision even at months of uptime -
 // far below loopback round trips.
-double host_seconds() noexcept;
+double host_seconds() noexcept;  // lint-allow: bare-double (raw-clock boundary)
 
 // A configured remote server: the engine-side id and its loopback port.
 struct UdpPeer {
@@ -50,9 +56,9 @@ struct UdpPeer {
 
 struct UdpRuntimeConfig {
   std::uint16_t port = 0;     // bind port; 0 = ephemeral
-  double reply_window = 0.02; // seconds a round waits for replies; the
-                              // advertised one-way bound is window / 3 so
-                              // the engine's 2 * bound * 1.5 wait equals it
+  Duration reply_window = 0.02;  // how long a round waits for replies; the
+                                 // advertised one-way bound is window / 3 so
+                                 // the engine's 2 * bound * 1.5 wait equals it
   std::vector<UdpPeer> peers;
 };
 
@@ -68,29 +74,46 @@ class UdpRuntime final : public Transport, public Timers, public WallSource {
   std::uint16_t port() const noexcept { return socket_.port(); }
 
   // Serializes engine callbacks; embedders hold it around engine calls.
-  // Recursive because engine calls made under it re-enter the transport
-  // (start -> open, stop -> close, handle -> send).
-  std::recursive_mutex& state_mutex() noexcept { return state_mutex_; }
+  //
+  // A plain (non-recursive) mutex: engine calls made under it re-enter the
+  // transport (start -> open, stop -> close, handle -> send), so those
+  // re-entrant overrides are REQUIRES(state_mutex_) - they assume the
+  // caller's lock instead of re-acquiring.  The annotations make clang
+  // reject any path that would have needed the old recursive_mutex.
+  util::Mutex& state_mutex() noexcept RETURN_CAPABILITY(state_mutex_) {
+    return state_mutex_;
+  }
 
   // Stops and joins the delivery threads.  Idempotent; called by the dtor.
-  // The engine must only be destroyed after shutdown() returns.
-  void shutdown();
+  // The engine must only be destroyed after shutdown() returns.  Must not
+  // be called under state_mutex_: it joins threads that take that lock.
+  void shutdown() EXCLUDES(state_mutex_, timer_mutex_);
 
   // Registers another configured peer (id -> port).  Embedders call this
   // between construction and open() as the peer set becomes known.
-  void add_peer(const UdpPeer& peer);
+  void add_peer(const UdpPeer& peer) EXCLUDES(state_mutex_);
 
-  // Transport.  open() starts the receiver and timer threads.
-  void open(ServerId self, Handler handler) override;
-  void close() override;
-  void send(ServerId to, const ServiceMessage& msg) override;
+  // Transport.  open() starts the receiver and timer threads.  All four are
+  // called by the engine from inside the serialization domain, i.e. with
+  // state_mutex_ already held:
+  //   open  <- ProtocolEngine::start  <- UdpTimeServer::start  (locked)
+  //   close <- ProtocolEngine::stop   <- UdpTimeServer::stop   (locked)
+  //   send / broadcast <- engine handlers and timer callbacks dispatched by
+  //                       receive_loop/timer_loop, which hold the lock
+  void open(ServerId self, Handler handler) override REQUIRES(state_mutex_);
+  void close() override REQUIRES(state_mutex_);
+  void send(ServerId to, const ServiceMessage& msg) override
+      REQUIRES(state_mutex_);
   std::size_t broadcast(const std::vector<ServerId>& targets,
-                        const ServiceMessage& msg) override;
+                        const ServiceMessage& msg) override
+      REQUIRES(state_mutex_);
   Duration max_one_way_delay() const override;
 
-  // Timers.
-  TimerId after(Duration delay, std::function<void()> cb) override;
-  bool cancel(TimerId id) override;
+  // Timers.  Callable from engine callbacks (under state_mutex_) or not;
+  // they only ever take timer_mutex_, the inner lock in the ordering.
+  TimerId after(Duration delay, std::function<void()> cb) override
+      EXCLUDES(timer_mutex_);
+  bool cancel(TimerId id) override EXCLUDES(timer_mutex_);
 
   // WallSource.
   RealTime now() override { return host_seconds(); }
@@ -100,37 +123,38 @@ class UdpRuntime final : public Transport, public Timers, public WallSource {
 
   static AddrKey addr_key(const sockaddr_in& addr) noexcept;
 
-  void receive_loop();
-  void timer_loop();
+  void receive_loop() EXCLUDES(state_mutex_);
+  void timer_loop() EXCLUDES(state_mutex_, timer_mutex_);
   // Maps a source address to an engine-side id, allocating a pseudo id for
-  // first-time correspondents.  Requires state_mutex_.
-  ServerId id_for_addr(const sockaddr_in& addr);
+  // first-time correspondents.
+  ServerId id_for_addr(const sockaddr_in& addr) REQUIRES(state_mutex_);
 
   UdpRuntimeConfig config_;
   net::UdpSocket socket_;
 
-  std::recursive_mutex state_mutex_;       // engine serialization domain
-  Transport::Handler handler_;             // guarded by state_mutex_
-  ServerId self_ = core::kInvalidServer;   // guarded by state_mutex_
-  bool open_ = false;                      // guarded by state_mutex_
+  util::Mutex state_mutex_;  // engine serialization domain (outer lock)
+  Transport::Handler handler_ GUARDED_BY(state_mutex_);
+  ServerId self_ GUARDED_BY(state_mutex_) = core::kInvalidServer;
+  bool open_ GUARDED_BY(state_mutex_) = false;
 
-  // Address book (guarded by state_mutex_).
-  std::map<ServerId, sockaddr_in> addr_by_id_;
-  std::map<AddrKey, ServerId> id_by_addr_;
-  ServerId next_pseudo_id_;
+  // Address book.
+  std::map<ServerId, sockaddr_in> addr_by_id_ GUARDED_BY(state_mutex_);
+  std::map<AddrKey, ServerId> id_by_addr_ GUARDED_BY(state_mutex_);
+  ServerId next_pseudo_id_ GUARDED_BY(state_mutex_);
   // client_send_ns echo payloads for replies we owe: (to, tag) -> ns.
-  std::map<std::pair<ServerId, std::uint64_t>, std::int64_t> echo_ns_;
+  std::map<std::pair<ServerId, std::uint64_t>, std::int64_t> echo_ns_
+      GUARDED_BY(state_mutex_);
 
-  // Timer queue (guarded by timer_mutex_; never held across callbacks).
+  // Timer queue (never held across callbacks; inner lock in the ordering).
   struct TimerEntry {
     double deadline;  // host_seconds()
     TimerId id;
     std::function<void()> cb;
   };
-  std::mutex timer_mutex_;
-  std::condition_variable timer_cv_;
-  std::multimap<double, TimerEntry> timer_queue_;
-  TimerId next_timer_id_ = 1;
+  util::Mutex timer_mutex_ ACQUIRED_AFTER(state_mutex_);
+  util::CondVar timer_cv_;
+  std::multimap<double, TimerEntry> timer_queue_ GUARDED_BY(timer_mutex_);
+  TimerId next_timer_id_ GUARDED_BY(timer_mutex_) = 1;
 
   std::atomic<bool> threads_running_{false};
   std::thread receiver_;

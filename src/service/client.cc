@@ -64,7 +64,7 @@ void TimeClient::handle(core::RealTime t, const ServiceMessage& msg) {
   reading.c = msg.c;
   reading.e = msg.e;
   reading.rtt_own = t - it->second;  // the client clock is real time here
-  reading.local_receive = t;
+  reading.local_receive = core::ClockTime{t.seconds()};
   pending_.erase(it);
   replies_.push_back(reading);
 
@@ -78,7 +78,8 @@ void TimeClient::finish() {
   if (!callback_) return;
   // Age every reply to "now": a reply received d seconds ago tells us the
   // current time is its value plus d.
-  const core::RealTime now = queue_->now();
+  // Clients are driftless: their clock axis coincides with real time.
+  const core::ClockTime now{queue_->now().seconds()};
   for (auto& r : replies_) {
     r.c += now - r.local_receive;
     r.local_receive = now;
@@ -101,7 +102,8 @@ ClientResult combine_replies(const Readings& replies, ClientStrategy strategy) {
   // generated within the round trip, so as of receipt the true time lies in
   // [c - e, c + e + rtt].
   auto to_interval = [](const TimeReading& r) {
-    return TimeInterval::from_edges(r.c - r.e, r.c + r.e + r.rtt_own);
+    return TimeInterval::from_edges((r.c - r.e).seconds(),
+                                    (r.c + r.e + r.rtt_own).seconds());
   };
   auto fill_from = [&](const TimeReading& r) {
     const auto iv = to_interval(r);

@@ -40,8 +40,8 @@ struct ServerSpec {
   // and follows these (sorted) change points.
   std::vector<core::PiecewiseDriftClock::RateChange> drift_changes;
 
-  Duration initial_error = 0.01;   // epsilon at t = 0
-  double initial_offset = 0.0;     // C(0) - 0
+  core::ErrorBound initial_error = 0.01;  // epsilon at t = 0
+  core::Offset initial_offset{0.0};       // C(0) - 0
 
   Duration poll_period = 10.0;     // tau, measured on the server's own clock
 

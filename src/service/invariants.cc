@@ -30,14 +30,15 @@ CorrectnessReport check_correctness(const sim::Trace& trace, double tol) {
   CorrectnessReport report;
   for (const auto& s : trace.samples()) {
     ++report.samples_checked;
-    const double offset = std::abs(s.clock - s.t);
+    const Duration offset = abs(core::offset_from_true(s.clock, s.t));
     if (s.error > 0) {
       report.worst_ratio = std::max(report.worst_ratio, offset / s.error);
     }
     if (offset > s.error + tol) {
       report.violations.push_back(
           {s.t, s.server, core::kInvalidServer, offset - s.error,
-           fmt("|C - t| = %.6g > E = %.6g", offset, s.error)});
+           fmt("|C - t| = %.6g > E = %.6g", offset.seconds(),
+               s.error.seconds())});
     }
   }
   return report;
@@ -50,12 +51,13 @@ ConsistencyReport check_pairwise_consistency(const sim::Trace& trace,
     for (std::size_t i = 0; i < samples.size(); ++i) {
       for (std::size_t j = i + 1; j < samples.size(); ++j) {
         ++report.pairs_checked;
-        const double sep = std::abs(samples[i].clock - samples[j].clock);
-        const double budget = samples[i].error + samples[j].error;
+        const Duration sep = abs(samples[i].clock - samples[j].clock);
+        const Duration budget = samples[i].error + samples[j].error;
         if (sep > budget + tol) {
           report.violations.push_back(
               {t, samples[i].server, samples[j].server, sep - budget,
-               fmt("|C_i - C_j| = %.6g > E_i + E_j = %.6g", sep, budget)});
+               fmt("|C_i - C_j| = %.6g > E_i + E_j = %.6g", sep.seconds(),
+                   budget.seconds())});
         }
       }
     }
@@ -67,11 +69,11 @@ AsynchronismReport measure_asynchronism(const sim::Trace& trace) {
   AsynchronismReport report;
   for (const auto& [t, samples] : by_time(trace)) {
     if (samples.size() < 2) continue;
-    double spread = 0.0;
+    Duration spread{0.0};
     ServerId wi = core::kInvalidServer, wj = core::kInvalidServer;
     for (std::size_t i = 0; i < samples.size(); ++i) {
       for (std::size_t j = i + 1; j < samples.size(); ++j) {
-        const double d = std::abs(samples[i].clock - samples[j].clock);
+        const Duration d = abs(samples[i].clock - samples[j].clock);
         if (d > spread) {
           spread = d;
           wi = samples[i].server;
@@ -95,17 +97,25 @@ ErrorGrowthReport measure_error_growth(const sim::Trace& trace) {
   ErrorGrowthReport report;
   for (const auto& [t, samples] : by_time(trace)) {
     if (samples.empty()) continue;
-    double lo = samples.front().error, hi = samples.front().error;
+    Duration lo = samples.front().error, hi = samples.front().error;
     for (const auto& s : samples) {
-      lo = std::min(lo, s.error);
-      hi = std::max(hi, s.error);
+      lo = std::min<Duration>(lo, s.error);
+      hi = std::max<Duration>(hi, s.error);
     }
     report.times.push_back(t);
     report.min_error.push_back(lo);
     report.max_error.push_back(hi);
   }
-  report.min_fit = util::fit_line(report.times, report.min_error);
-  report.max_fit = util::fit_line(report.times, report.max_error);
+  // The fits run over raw seconds; slopes are dimensionless rates.
+  std::vector<double> xs, ylo, yhi;
+  xs.reserve(report.times.size());
+  ylo.reserve(report.min_error.size());
+  yhi.reserve(report.max_error.size());
+  for (const auto& t : report.times) xs.push_back(t.seconds());
+  for (const auto& d : report.min_error) ylo.push_back(d.seconds());
+  for (const auto& d : report.max_error) yhi.push_back(d.seconds());
+  report.min_fit = util::fit_line(xs, ylo);
+  report.max_fit = util::fit_line(xs, yhi);
   for (std::size_t i = 1; i < report.min_error.size(); ++i) {
     // Allow a hair of float noise; Lemma 3 is about real decreases.
     if (report.min_error[i] < report.min_error[i - 1] - 1e-9) {

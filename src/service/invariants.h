@@ -25,7 +25,7 @@ struct Violation {
   RealTime t;
   ServerId server;        // second party in pairwise checks: `peer`
   ServerId peer;
-  double magnitude;       // how badly the invariant failed
+  Duration magnitude;     // how badly the invariant failed
   std::string what;
 };
 
@@ -50,13 +50,13 @@ ConsistencyReport check_pairwise_consistency(const sim::Trace& trace,
                                              double tol = 1e-9);
 
 struct AsynchronismReport {
-  double max_observed = 0.0;
+  Duration max_observed = 0.0;
   RealTime worst_time = 0.0;
   ServerId worst_i = core::kInvalidServer;
   ServerId worst_j = core::kInvalidServer;
   // Per-sample-time maximum spread, for plotting.
   std::vector<RealTime> times;
-  std::vector<double> spread;
+  std::vector<Duration> spread;
 };
 
 // max over sample times of max_ij |C_i - C_j|.

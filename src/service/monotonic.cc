@@ -22,7 +22,7 @@ core::ClockTime MonotonicAdapter::read(core::ClockTime raw) {
 
   // Raw forward progress since the last reading; a backward set contributes
   // zero progress (time did not actually pass backwards).
-  const double progress = std::max(0.0, raw - last_raw_);
+  const core::Duration progress = std::max(core::Duration{0.0}, raw - last_raw_);
   last_raw_ = raw;
 
   if (out_ > raw) {

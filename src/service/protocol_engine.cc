@@ -64,8 +64,8 @@ ProtocolEngine::ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
           if (observer_ != nullptr) {
             observer_->on_peer_state(now, id_, peer, from, to);
           }
-          util::logt(LogLevel::kDebug, now, "S%u peer S%u: %s -> %s", id_,
-                     peer, to_string(from), to_string(to));
+          util::logt(LogLevel::kDebug, now.seconds(), "S%u peer S%u: %s -> %s",
+                     id_, peer, to_string(from), to_string(to));
         });
   }
 }
@@ -83,7 +83,7 @@ void ProtocolEngine::start(const std::vector<ServerId>& neighbors) {
   if (observer_ != nullptr) observer_->on_join(wall_->now(), id_);
   if (sync_ != nullptr && !neighbors_.empty()) {
     // Jitter the first round so the service's rounds don't run in lockstep.
-    schedule_next_poll(rng_.uniform(0.0, spec_.poll_period));
+    schedule_next_poll(rng_.uniform(0.0, spec_.poll_period.seconds()));
   }
 }
 
@@ -105,7 +105,7 @@ void ProtocolEngine::add_neighbor(ServerId peer) {
     neighbors_.push_back(peer);
     // A previously isolated server starts polling once it has a neighbour.
     if (running_ && sync_ != nullptr && neighbors_.size() == 1) {
-      schedule_next_poll(rng_.uniform(0.0, spec_.poll_period));
+      schedule_next_poll(rng_.uniform(0.0, spec_.poll_period.seconds()));
     }
   }
 }
@@ -122,10 +122,12 @@ core::Duration ProtocolEngine::current_error(RealTime t) {
   return tracker_.error_at(clock_->read(t));
 }
 
-double ProtocolEngine::true_offset(RealTime t) { return clock_->read(t) - t; }
+core::Offset ProtocolEngine::true_offset(RealTime t) {
+  return core::offset_from_true(clock_->read(t), t);
+}
 
 bool ProtocolEngine::correct(RealTime t) {
-  return std::abs(true_offset(t)) <= current_error(t) + 1e-12;
+  return abs(true_offset(t)) <= current_error(t) + Duration{1e-12};
 }
 
 void ProtocolEngine::schedule_next_poll(Duration own_clock_delay) {
@@ -325,7 +327,7 @@ void ProtocolEngine::set_degraded(bool degraded) {
   if (degraded) ++counters_.degraded_entries;
   const RealTime now = wall_->now();
   if (observer_ != nullptr) observer_->on_degraded(now, id_, degraded);
-  util::logt(LogLevel::kInfo, now, "S%u %s degraded mode", id_,
+  util::logt(LogLevel::kInfo, now.seconds(), "S%u %s degraded mode", id_,
              degraded ? "entered" : "left");
 }
 
@@ -383,7 +385,7 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
       reading.from = msg.from;
       reading.c = msg.c;
       reading.e = msg.e;
-      reading.rtt_own = std::max(0.0, local - pend.sent_local);
+      reading.rtt_own = std::max(Duration{0.0}, local - pend.sent_local);
       reading.local_receive = local;
 
       if (rate_monitor_ != nullptr) rate_monitor_->observe(reading);
@@ -444,7 +446,7 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   // backward reset makes later replies in the same round look instantaneous
   // and their inherited error underestimates the delay - a genuine
   // correctness leak.
-  const double jump = reset.clock - clock_->read(now);
+  const Duration jump = reset.clock - clock_->read(now);
   for (auto& [tag, pend] : pending_) {
     pend.sent_local += jump;
   }
@@ -464,8 +466,9 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
                                               : reset.sources.front(),
                         reset.error, is_recovery);
   }
-  util::logt(LogLevel::kDebug, now, "S%u reset: C=%.6f eps=%.6g%s", id_,
-             reset.clock, reset.error, is_recovery ? " (recovery)" : "");
+  util::logt(LogLevel::kDebug, now.seconds(), "S%u reset: C=%.6f eps=%.6g%s",
+             id_, reset.clock.seconds(), reset.error.seconds(),
+             is_recovery ? " (recovery)" : "");
 }
 
 void ProtocolEngine::note_inconsistency(const std::vector<ServerId>& peers) {
@@ -474,8 +477,8 @@ void ProtocolEngine::note_inconsistency(const std::vector<ServerId>& peers) {
     observer_->on_inconsistent(
         now, id_, peers.empty() ? core::kInvalidServer : peers.front());
   }
-  util::logt(LogLevel::kDebug, now, "S%u inconsistent with %zu peer(s)", id_,
-             peers.size());
+  util::logt(LogLevel::kDebug, now.seconds(), "S%u inconsistent with %zu peer(s)",
+             id_, peers.size());
   if (health_ != nullptr) {
     // Section 4: persistent disagreement eventually quarantines the peer -
     // the local model of "not in my consistency group".

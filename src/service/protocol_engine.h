@@ -122,7 +122,7 @@ class ProtocolEngine {
 
   // Offset from the runtime's real-time axis; positive means the clock is
   // fast.  (Ground truth in the simulator; host-monotonic offset over UDP.)
-  double true_offset(RealTime t);
+  core::Offset true_offset(RealTime t);
 
   // Whether the interval currently contains true time.
   bool correct(RealTime t);

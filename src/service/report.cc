@@ -49,14 +49,14 @@ std::string format_report(const ServiceReport& report) {
     out += buf;
   };
 
-  add("service report at t = %.3f\n", report.at);
+  add("service report at t = %.3f\n", report.at.seconds());
   add("%-4s %-6s %-8s %10s %12s %12s %8s %7s %7s %6s %5s\n", "id", "algo",
       "state", "delta", "offset", "error", "correct", "rounds", "resets",
       "incons", "recov");
   for (const auto& s : report.servers) {
     add("S%-3u %-6s %-8s %10.2e %12.6f %12.6f %8s %7llu %7llu %6llu %5llu",
         s.id, s.algo.c_str(), s.running ? "running" : "left", s.claimed_delta,
-        s.offset, s.error, s.correct ? "yes" : "NO",
+        s.offset.seconds(), s.error.seconds(), s.correct ? "yes" : "NO",
         static_cast<unsigned long long>(s.counters.rounds),
         static_cast<unsigned long long>(s.counters.resets),
         static_cast<unsigned long long>(s.counters.inconsistencies),
@@ -85,8 +85,9 @@ std::string format_report(const ServiceReport& report) {
   add("consistency: %zu pairs, %zu violations\n",
       report.consistency.pairs_checked, report.consistency.violations.size());
   add("asynchronism: max %.6f s at t=%.3f (S%u vs S%u)\n",
-      report.asynchronism.max_observed, report.asynchronism.worst_time,
-      report.asynchronism.worst_i, report.asynchronism.worst_j);
+      report.asynchronism.max_observed.seconds(),
+      report.asynchronism.worst_time.seconds(), report.asynchronism.worst_i,
+      report.asynchronism.worst_j);
   add("error growth: min slope %.3e (r2 %.3f), max slope %.3e (r2 %.3f)%s\n",
       report.growth.min_fit.slope, report.growth.min_fit.r2,
       report.growth.max_fit.slope, report.growth.max_fit.r2,

@@ -20,7 +20,7 @@ struct ServerReport {
   std::string algo;
   bool running = false;
   double claimed_delta = 0.0;
-  double offset = 0.0;        // C - t at report time (ground truth)
+  core::Offset offset{0.0};   // C - t at report time (ground truth)
   core::Duration error = 0.0; // E at report time
   bool correct = false;
   ServerCounters counters;

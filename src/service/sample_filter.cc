@@ -20,12 +20,12 @@ std::optional<core::TimeReading> SampleFilter::best(core::ServerId from,
   if (it == samples_.end()) return std::nullopt;
 
   std::optional<core::TimeReading> best_reading;
-  double best_width = 0.0;
+  core::Duration best_width = 0.0;
   for (const auto& r : it->second) {
     const core::Duration age = local_now - r.local_receive;
     if (age < 0 || age > max_age_) continue;
     // Effective half-width of the aged interval this reading defines.
-    const double width =
+    const core::Duration width =
         r.e + 0.5 * (1.0 + delta) * r.rtt_own + delta * age;
     if (!best_reading || width < best_width) {
       // Age the reading: same offset relative to the local clock, error
@@ -50,7 +50,7 @@ core::Readings SampleFilter::best_all(core::ClockTime local_now,
   return out;
 }
 
-void SampleFilter::on_local_reset(double jump) {
+void SampleFilter::on_local_reset(core::Duration jump) {
   // A recorded sample's local_receive is on the old timescale; shifting it
   // by the jump keeps (c - local_receive) - the offset the algorithms
   // consume - meaningful on the new one.

@@ -49,7 +49,7 @@ class SampleFilter {
   // Local clock was reset: recorded offsets are in the old timescale.
   // `jump` = new_clock - old_clock; samples are rebased rather than
   // discarded (offsets relative to the local clock shift by -jump).
-  void on_local_reset(double jump);
+  void on_local_reset(core::Duration jump);
 
   void clear() noexcept { samples_.clear(); }
   std::size_t size(core::ServerId from) const;

@@ -75,7 +75,7 @@ ServerSpec parse_server_spec(const std::vector<std::string>& tokens,
     } else if (key == "error") {
       spec.initial_error = parse_double(value, line);
     } else if (key == "offset") {
-      spec.initial_offset = parse_double(value, line);
+      spec.initial_offset = core::Offset{parse_double(value, line)};
     } else if (key == "tau") {
       spec.poll_period = parse_double(value, line);
     } else if (key == "recovery") {

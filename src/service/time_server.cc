@@ -42,7 +42,7 @@ void TimeServer::TraceObserver::on_reset(core::RealTime t, core::ServerId id,
     trace_->record({t, id,
                     is_recovery ? sim::TraceEventKind::kRecovery
                                 : sim::TraceEventKind::kReset,
-                    source, error});
+                    source, error.seconds()});
   }
 }
 

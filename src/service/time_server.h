@@ -68,7 +68,7 @@ class TimeServer {
 
   // Offset from true time; positive means the clock is fast.  (Simulator
   // ground truth - a real server cannot compute this.)
-  double true_offset(RealTime t) { return engine_.true_offset(t); }
+  core::Offset true_offset(RealTime t) { return engine_.true_offset(t); }
 
   // Whether the interval currently contains true time.
   bool correct(RealTime t) { return engine_.correct(t); }

@@ -63,11 +63,15 @@ std::unique_ptr<core::Clock> TimeService::make_clock(const ServerSpec& spec) {
   std::unique_ptr<core::Clock> clock;
   if (!spec.drift_changes.empty()) {
     clock = std::make_unique<core::PiecewiseDriftClock>(
-        spec.actual_drift, spec.drift_changes, spec.initial_offset,
-        queue_.now());
+        spec.actual_drift, spec.drift_changes,
+        core::ClockTime{0.0} + spec.initial_offset, queue_.now());
   } else {
+    // The one sanctioned axis crossing: seed the clock at true time plus
+    // the configured offset.
     clock = std::make_unique<core::DriftingClock>(
-        spec.actual_drift, queue_.now() + spec.initial_offset, queue_.now());
+        spec.actual_drift,
+        core::ClockTime{queue_.now().seconds()} + spec.initial_offset,
+        queue_.now());
   }
   if (spec.fault.kind != core::ClockFaultKind::kNone) {
     clock = std::make_unique<core::FaultyClock>(std::move(clock), spec.fault);
@@ -153,9 +157,9 @@ void TimeService::restart_server(ServerId id) {
   }
 }
 
-std::vector<double> TimeService::offsets() {
+std::vector<core::Offset> TimeService::offsets() {
   const RealTime now = queue_.now();
-  std::vector<double> out;
+  std::vector<core::Offset> out;
   out.reserve(servers_.size());
   for (const auto& s : servers_) {
     if (s->running()) out.push_back(s->true_offset(now));
@@ -183,13 +187,13 @@ Duration TimeService::max_error() {
   return e.empty() ? 0.0 : *std::max_element(e.begin(), e.end());
 }
 
-double TimeService::max_asynchronism() {
+Duration TimeService::max_asynchronism() {
   const RealTime now = queue_.now();
-  std::vector<double> clocks;
+  std::vector<core::ClockTime> clocks;
   for (const auto& s : servers_) {
     if (s->running()) clocks.push_back(s->read_clock(now));
   }
-  if (clocks.size() < 2) return 0.0;
+  if (clocks.size() < 2) return Duration{0.0};
   const auto [lo, hi] = std::minmax_element(clocks.begin(), clocks.end());
   return *hi - *lo;
 }

@@ -56,11 +56,11 @@ class TimeService {
   void restart_server(ServerId id);
 
   // Service-wide instantaneous observations at now().
-  std::vector<double> offsets();       // C_i - t per running server
-  std::vector<Duration> errors();      // E_i per running server
+  std::vector<core::Offset> offsets();  // C_i - t per running server
+  std::vector<Duration> errors();       // E_i per running server
   Duration min_error();
   Duration max_error();
-  double max_asynchronism();           // max |C_i - C_j| over running pairs
+  Duration max_asynchronism();          // max |C_i - C_j| over running pairs
   bool all_correct();                  // every running interval contains t
   std::size_t running_count() const;
 

@@ -34,7 +34,10 @@ std::vector<core::PiecewiseDriftClock::RateChange> random_walk_schedule(
   validate(horizon, params.step, params.clamp);
   std::vector<core::PiecewiseDriftClock::RateChange> schedule;
   double drift = reflect(params.initial_drift, params.clamp);
-  for (core::RealTime t = params.step; t <= horizon; t += params.step) {
+  // Schedules are anchored at the run's epoch: horizon is a span from t = 0.
+  const core::RealTime end = core::RealTime{0.0} + horizon;
+  for (core::RealTime t = core::RealTime{0.0} + params.step; t <= end;
+       t += params.step) {
     drift = reflect(drift + rng.normal(0.0, params.sigma_step), params.clamp);
     schedule.push_back({t, drift});
   }
@@ -49,7 +52,10 @@ std::vector<core::PiecewiseDriftClock::RateChange> ornstein_uhlenbeck_schedule(
   }
   std::vector<core::PiecewiseDriftClock::RateChange> schedule;
   double drift = reflect(params.initial_drift, params.clamp);
-  for (core::RealTime t = params.step; t <= horizon; t += params.step) {
+  // Schedules are anchored at the run's epoch: horizon is a span from t = 0.
+  const core::RealTime end = core::RealTime{0.0} + horizon;
+  for (core::RealTime t = core::RealTime{0.0} + params.step; t <= end;
+       t += params.step) {
     drift += params.reversion * (params.bias - drift) +
              rng.normal(0.0, params.sigma_step);
     drift = reflect(drift, params.clamp);

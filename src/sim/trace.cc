@@ -60,7 +60,7 @@ std::vector<RealTime> Trace::sample_times() const {
 std::vector<Sample> Trace::samples_at(RealTime t, double tol) const {
   std::vector<Sample> out;
   for (const auto& s : samples_) {
-    if (std::abs(s.t - t) <= tol) out.push_back(s);
+    if (abs(s.t - t) <= Duration{tol}) out.push_back(s);
   }
   return out;
 }
@@ -74,8 +74,9 @@ std::string Trace::samples_csv() const {
   std::string out = "t,server,clock,error,offset\n";
   char buf[160];
   for (const auto& s : samples_) {
-    std::snprintf(buf, sizeof(buf), "%.9g,%u,%.9g,%.9g,%.9g\n", s.t, s.server,
-                  s.clock, s.error, s.clock - s.t);
+    std::snprintf(buf, sizeof(buf), "%.9g,%u,%.9g,%.9g,%.9g\n", s.t.seconds(),
+                  s.server, s.clock.seconds(), s.error.seconds(),
+                  core::offset_from_true(s.clock, s.t).seconds());
     out += buf;
   }
   return out;

@@ -15,14 +15,15 @@ namespace mtds::sim {
 
 using core::ClockTime;
 using core::Duration;
+using core::ErrorBound;
 using core::RealTime;
 using core::ServerId;
 
 struct Sample {
-  RealTime t;        // true time of the sample
+  RealTime t;         // true time of the sample
   ServerId server;
-  ClockTime clock;   // C_i(t)
-  Duration error;    // E_i(t)
+  ClockTime clock;    // C_i(t)
+  ErrorBound error;   // E_i(t)
 };
 
 enum class TraceEventKind : std::uint8_t {

@@ -35,7 +35,7 @@ TEST(AdaptivePoll, PeriodShrinksUnderTightBudget) {
   // reference error + round trip): the period must shrink.
   TimeService service(config_with(true, 0.008));
   service.run_until(400.0);
-  EXPECT_LT(service.server(1).current_poll_period(), 10.0);
+  EXPECT_LT(service.server(1).current_poll_period().seconds(), 10.0);
   // And the budget is (mostly) held.
   std::size_t over = 0, total = 0;
   for (const auto& s : service.trace().samples()) {
@@ -51,25 +51,25 @@ TEST(AdaptivePoll, PeriodGrowsUnderSlackBudget) {
   // Target far above what tau=10 produces: the period must relax upward.
   TimeService service(config_with(true, 0.5));
   service.run_until(800.0);
-  EXPECT_GT(service.server(1).current_poll_period(), 10.0);
+  EXPECT_GT(service.server(1).current_poll_period().seconds(), 10.0);
 }
 
 TEST(AdaptivePoll, DisabledKeepsFixedPeriod) {
   TimeService service(config_with(false, 0.008));
   service.run_until(400.0);
-  EXPECT_DOUBLE_EQ(service.server(1).current_poll_period(), 10.0);
+  EXPECT_DOUBLE_EQ(service.server(1).current_poll_period().seconds(), 10.0);
 }
 
 TEST(AdaptivePoll, RespectsMinAndMaxClamps) {
   auto cfg = config_with(true, 1e-9);  // impossible target: slams to min
   TimeService service(cfg);
   service.run_until(400.0);
-  EXPECT_DOUBLE_EQ(service.server(1).current_poll_period(), 1.0);
+  EXPECT_DOUBLE_EQ(service.server(1).current_poll_period().seconds(), 1.0);
 
   auto cfg2 = config_with(true, 1e9);  // absurdly loose: relaxes to max
   TimeService service2(cfg2);
   service2.run_until(3000.0);
-  EXPECT_DOUBLE_EQ(service2.server(1).current_poll_period(), 80.0);
+  EXPECT_DOUBLE_EQ(service2.server(1).current_poll_period().seconds(), 80.0);
 }
 
 TEST(AdaptivePoll, StaysCorrectThroughPeriodChanges) {

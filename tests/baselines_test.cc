@@ -26,7 +26,7 @@ TEST(MaxSync, AdoptsFastestClock) {
   };
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->clock, 105.0, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 105.0, 1e-12);
   EXPECT_EQ(out.reset->sources, (std::vector<ServerId>{1}));
 }
 
@@ -47,7 +47,7 @@ TEST(MaxSync, CreditsHalfRoundTrip) {
   std::vector<TimeReading> replies = {reading(1, 100.0, 0.1, 0.4, 100.0)};
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->clock, 100.2, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.2, 1e-12);
 }
 
 TEST(MaxSync, EmptyRoundNoReset) {
@@ -66,7 +66,7 @@ TEST(MedianSync, PicksMiddleOffset) {
   };
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->clock, 101.5, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 101.5, 1e-12);
 }
 
 TEST(MedianSync, OddTotalUsesExactMiddle) {
@@ -78,7 +78,7 @@ TEST(MedianSync, OddTotalUsesExactMiddle) {
   };
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 1e-12);
 }
 
 TEST(MedianSync, OutlierRobustness) {
@@ -93,7 +93,7 @@ TEST(MedianSync, OutlierRobustness) {
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
   // Offsets {0, +0.1, -0.1, +0.05, +4900}: median is +0.05.
-  EXPECT_NEAR(out.reset->clock, 100.05, 1e-9);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.05, 1e-9);
 }
 
 TEST(MeanSync, AveragesOffsetsIncludingSelf) {
@@ -105,7 +105,7 @@ TEST(MeanSync, AveragesOffsetsIncludingSelf) {
   };
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->clock, 100.0 + 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0 + 2.0 / 3.0, 1e-12);
 }
 
 TEST(MeanSync, OutlierDragsMean) {
@@ -118,7 +118,7 @@ TEST(MeanSync, OutlierDragsMean) {
   };
   const auto out = sync.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_GT(out.reset->clock, 150.0);
+  EXPECT_GT(out.reset->clock.seconds(), 150.0);
 }
 
 TEST(Baselines, ErrorBookkeepingInheritsWorstCase) {
@@ -133,8 +133,8 @@ TEST(Baselines, ErrorBookkeepingInheritsWorstCase) {
   const auto m2 = mean.on_round(state, replies);
   ASSERT_TRUE(m1.reset && m2.reset);
   // Worst inherited error: 0.3 + 0.1 = 0.4.
-  EXPECT_NEAR(m1.reset->error, 0.4, 1e-12);
-  EXPECT_NEAR(m2.reset->error, 0.4, 1e-12);
+  EXPECT_NEAR(m1.reset->error.seconds(), 0.4, 1e-12);
+  EXPECT_NEAR(m2.reset->error.seconds(), 0.4, 1e-12);
 }
 
 TEST(SyncFactory, CreatesEveryAlgorithm) {

@@ -7,19 +7,19 @@ namespace {
 
 TEST(Bounds, MMErrorBoundFormula) {
   // Theorem 2: E_i < E_M + xi + delta_i (tau + 2 xi).
-  EXPECT_DOUBLE_EQ(mm_error_bound(0.5, 0.02, 1e-4, 10.0),
+  EXPECT_DOUBLE_EQ(mm_error_bound(0.5, 0.02, 1e-4, 10.0).seconds(),
                    0.5 + 0.02 + 1e-4 * (10.0 + 0.04));
 }
 
 TEST(Bounds, MMAsynchronismBoundFormula) {
   // Theorem 3: |C_i - C_j| < 2 E_M + 2 xi + (d_i + d_j)(tau + 2 xi).
-  EXPECT_DOUBLE_EQ(mm_asynchronism_bound(0.5, 0.02, 1e-4, 2e-4, 10.0),
+  EXPECT_DOUBLE_EQ(mm_asynchronism_bound(0.5, 0.02, 1e-4, 2e-4, 10.0).seconds(),
                    1.0 + 0.04 + 3e-4 * 10.04);
 }
 
 TEST(Bounds, IMAsynchronismBoundFormula) {
   // Theorem 7: |C_i - C_j| <= xi + (d_i + d_j) tau.
-  EXPECT_DOUBLE_EQ(im_asynchronism_bound(0.02, 1e-4, 2e-4, 10.0),
+  EXPECT_DOUBLE_EQ(im_asynchronism_bound(0.02, 1e-4, 2e-4, 10.0).seconds(),
                    0.02 + 3e-4 * 10.0);
 }
 
@@ -32,12 +32,12 @@ TEST(Bounds, IMTighterThanMMUnderSameParameters) {
 }
 
 TEST(Bounds, ErrorAfterLemma1) {
-  EXPECT_DOUBLE_EQ(error_after(0.25, 1e-5, 3600.0), 0.25 + 0.036);
-  EXPECT_DOUBLE_EQ(error_after(0.25, 0.0, 1e9), 0.25);
+  EXPECT_DOUBLE_EQ(error_after(0.25, 1e-5, 3600.0).seconds(), 0.25 + 0.036);
+  EXPECT_DOUBLE_EQ(error_after(0.25, 0.0, 1e9).seconds(), 0.25);
 }
 
 TEST(Bounds, MonotoneInEachParameter) {
-  const double base = mm_error_bound(0.1, 0.01, 1e-4, 10.0);
+  const Duration base = mm_error_bound(0.1, 0.01, 1e-4, 10.0);
   EXPECT_GT(mm_error_bound(0.2, 0.01, 1e-4, 10.0), base);
   EXPECT_GT(mm_error_bound(0.1, 0.02, 1e-4, 10.0), base);
   EXPECT_GT(mm_error_bound(0.1, 0.01, 2e-4, 10.0), base);

@@ -57,7 +57,7 @@ service::ServiceConfig soak_config() {
   cfg.servers[kLiar].algo = core::SyncAlgorithm::kNone;
   cfg.servers[kLiar].claimed_delta = 1e-6;
   cfg.servers[kLiar].actual_drift = 0.0;
-  cfg.servers[kLiar].initial_offset = -40.0;
+  cfg.servers[kLiar].initial_offset = core::Offset{-40.0};
   cfg.servers[kLiar].initial_error = 0.001;
   return cfg;
 }
@@ -76,7 +76,7 @@ std::vector<runtime::FaultStats> run_soak(service::TimeService& service) {
 TEST(ChaosSoak, SimSurvivorsStayCorrectAndBounded) {
   service::TimeService service(soak_config());
   run_soak(service);
-  const double now = service.now();
+  const core::RealTime now = service.now();
 
   // Every live well-behaved server is correct despite the chaos.
   for (int i = 0; i < kHonest; ++i) {
@@ -87,15 +87,18 @@ TEST(ChaosSoak, SimSurvivorsStayCorrectAndBounded) {
   // Theorem 3 pairwise asynchronism bound among the honest servers.  xi is
   // the round-trip bound including the injector's worst delay spike.
   const double xi = 2.0 * (0.005 + 0.05);
-  double e_min = 1e9;
+  core::Duration e_min{1e9};
   for (int i = 0; i < kHonest; ++i) {
-    e_min = std::min(e_min, service.server(i).current_error(now));
+    e_min = std::min<core::Duration>(e_min, service.server(i).current_error(now));
   }
   for (int i = 0; i < kHonest; ++i) {
     for (int j = i + 1; j < kHonest; ++j) {
-      const double asym = std::abs(service.server(i).read_clock(now) -
-                                   service.server(j).read_clock(now));
-      EXPECT_LT(asym, core::mm_asynchronism_bound(e_min, xi, 2e-5, 2e-5, 5.0))
+      const double asym = std::abs((service.server(i).read_clock(now) -
+                                    service.server(j).read_clock(now))
+                                       .seconds());
+      EXPECT_LT(asym,
+                core::mm_asynchronism_bound(e_min, xi, 2e-5, 2e-5, 5.0)
+                    .seconds())
           << "S" << i << " vs S" << j;
     }
   }
@@ -166,7 +169,7 @@ TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
   liar_cfg.algo = core::SyncAlgorithm::kNone;
   liar_cfg.claimed_delta = 1e-6;
   liar_cfg.initial_error = 0.0005;
-  liar_cfg.initial_offset = -5.0;
+  liar_cfg.initial_offset = core::Offset{-5.0};
   net::UdpTimeServer liar(liar_cfg);
   liar.start();
 
@@ -186,7 +189,7 @@ TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
     cfg.algo = core::SyncAlgorithm::kMM;
     cfg.claimed_delta = 1e-4;
     cfg.initial_error = 0.02;
-    cfg.initial_offset = 0.002 * (i - 1);
+    cfg.initial_offset = core::Offset{0.002 * (i - 1)};
     cfg.poll_period = kPoll;
     cfg.reply_timeout = kReplyWindow;
     cfg.health.enabled = true;
@@ -252,17 +255,20 @@ TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
 
   // Correctness and the Theorem 3 bound on the live well-behaved servers.
   const double xi = 2.0 * (kReplyWindow / 3.0 + kSpike);
-  double e_min = 1e9;
-  for (auto& l : learners) e_min = std::min(e_min, l->current_error());
+  core::Duration e_min{1e9};
+  for (auto& l : learners) {
+    e_min = std::min<core::Duration>(e_min, l->current_error());
+  }
   for (int i = 0; i < kLearners; ++i) {
-    EXPECT_LE(std::abs(learners[i]->true_offset()),
-              learners[i]->current_error() + 1e-9)
+    EXPECT_LE(std::abs(learners[i]->true_offset().seconds()),
+              learners[i]->current_error().seconds() + 1e-9)
         << "learner " << i;
     for (int j = i + 1; j < kLearners; ++j) {
-      const double asym =
-          std::abs(learners[i]->true_offset() - learners[j]->true_offset());
+      const double asym = std::abs(learners[i]->true_offset().seconds() -
+                                   learners[j]->true_offset().seconds());
       EXPECT_LT(asym,
-                core::mm_asynchronism_bound(e_min, xi, 1e-4, 1e-4, kPoll))
+                core::mm_asynchronism_bound(e_min, xi, 1e-4, 1e-4, kPoll)
+                    .seconds())
           << i << " vs " << j;
     }
   }

@@ -25,8 +25,8 @@ TEST(CombineReplies, FirstReplyUsesArrivalOrder) {
   const auto r = combine_replies(replies, ClientStrategy::kFirstReply);
   EXPECT_EQ(r.source, 3u);
   // Interval [c - e, c + e + rtt] -> midpoint c + rtt/2, radius e + rtt/2.
-  EXPECT_NEAR(r.estimate, 100.01, 1e-12);
-  EXPECT_NEAR(r.error, 0.51, 1e-12);
+  EXPECT_NEAR(r.estimate.seconds(), 100.01, 1e-12);
+  EXPECT_NEAR(r.error.seconds(), 0.51, 1e-12);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -36,7 +36,7 @@ TEST(CombineReplies, SmallestErrorPicksTightestInterval) {
                                   reading(3, 100.2, 0.2, 0.0)};
   const auto r = combine_replies(replies, ClientStrategy::kSmallestError);
   EXPECT_EQ(r.source, 2u);
-  EXPECT_NEAR(r.error, 0.05 + 0.01, 1e-12);
+  EXPECT_NEAR(r.error.seconds(), 0.05 + 0.01, 1e-12);
 }
 
 TEST(CombineReplies, IntersectShrinksBelowBestReply) {
@@ -45,8 +45,8 @@ TEST(CombineReplies, IntersectShrinksBelowBestReply) {
   const auto r = combine_replies(replies, ClientStrategy::kIntersect);
   EXPECT_TRUE(r.consistent);
   // Intervals [99.9, 100.9] and [99.1, 100.1]: intersection [99.9, 100.1].
-  EXPECT_NEAR(r.estimate, 100.0, 1e-12);
-  EXPECT_NEAR(r.error, 0.1, 1e-12);
+  EXPECT_NEAR(r.estimate.seconds(), 100.0, 1e-12);
+  EXPECT_NEAR(r.error.seconds(), 0.1, 1e-12);
 }
 
 TEST(CombineReplies, IntersectFallsBackToMajorityOnInconsistency) {
@@ -56,7 +56,7 @@ TEST(CombineReplies, IntersectFallsBackToMajorityOnInconsistency) {
   const auto r = combine_replies(replies, ClientStrategy::kIntersect);
   EXPECT_FALSE(r.consistent);
   EXPECT_EQ(r.replies, 2u);  // coverage of the best region
-  EXPECT_NEAR(r.estimate, 100.025, 1e-9);
+  EXPECT_NEAR(r.estimate.seconds(), 100.025, 1e-9);
 }
 
 class ClientIntegrationTest : public ::testing::Test {
@@ -73,7 +73,7 @@ class ClientIntegrationTest : public ::testing::Test {
       s.claimed_delta = 1e-5;
       s.actual_drift = (i - 1) * 5e-6;
       s.initial_error = 0.01 + 0.005 * i;
-      s.initial_offset = (i - 1) * 0.002;
+      s.initial_offset = core::Offset{(i - 1) * 0.002};
       s.poll_period = 5.0;
       cfg.servers.push_back(s);
     }
@@ -90,8 +90,9 @@ TEST_F(ClientIntegrationTest, FirstReplyReturnsPromptly) {
   EXPECT_EQ(result.replies, 1u);
   EXPECT_TRUE(result.consistent);
   // The estimate is close to true time and within its own error bound.
-  EXPECT_NEAR(result.estimate, service.now(), 0.05);
-  EXPECT_LE(std::abs(result.estimate - service.now()), result.error + 1e-9);
+  EXPECT_NEAR(result.estimate.seconds(), service.now().seconds(), 0.05);
+  EXPECT_LE(std::abs(result.estimate.seconds() - service.now().seconds()),
+            result.error.seconds() + 1e-9);
 }
 
 TEST_F(ClientIntegrationTest, SmallestErrorWaitsForAllReplies) {
@@ -101,7 +102,8 @@ TEST_F(ClientIntegrationTest, SmallestErrorWaitsForAllReplies) {
   const auto result =
       client.query_blocking({0, 1, 2}, ClientStrategy::kSmallestError, 1.0);
   EXPECT_EQ(result.replies, 3u);
-  EXPECT_LE(std::abs(result.estimate - service.now()), result.error + 1e-9);
+  EXPECT_LE(std::abs(result.estimate.seconds() - service.now().seconds()),
+            result.error.seconds() + 1e-9);
 }
 
 TEST_F(ClientIntegrationTest, IntersectBeatsOrMatchesSmallestError) {
@@ -115,7 +117,8 @@ TEST_F(ClientIntegrationTest, IntersectBeatsOrMatchesSmallestError) {
       combine_replies(client.last_replies(), ClientStrategy::kSmallestError);
   EXPECT_TRUE(inter.consistent);
   EXPECT_LE(inter.error, small.error + 1e-9);  // Theorem 6 at the client
-  EXPECT_LE(std::abs(inter.estimate - service.now()), inter.error + 1e-9);
+  EXPECT_LE(std::abs(inter.estimate.seconds() - service.now().seconds()),
+            inter.error.seconds() + 1e-9);
 }
 
 TEST_F(ClientIntegrationTest, QueryingDeadServersTimesOut) {

@@ -1,0 +1,21 @@
+// Compile-fail: adding two absolute clock readings has no physical meaning.
+//
+// Registered in ctest as a WILL_FAIL build (tests/CMakeLists.txt): if this
+// translation unit ever COMPILES, the test fails, meaning the strong-type
+// algebra in core/time_types.h has regressed.  The legal operations above
+// the illegal line prove the failure is the sum itself, not the harness
+// (time_algebra_test.cc runs the same legal forms as a positive control).
+#include "core/time_types.h"
+
+int main() {
+  using mtds::core::ClockTime;
+  using mtds::core::Duration;
+
+  const ClockTime a{1.0};
+  const ClockTime b{2.0};
+  const Duration sep = b - a;       // legal: difference of absolutes
+  const ClockTime c = a + sep;      // legal: absolute advanced by a duration
+
+  const auto nonsense = a + b;      // ILLEGAL: ClockTime + ClockTime
+  return (c.seconds() + nonsense.seconds()) > 0 ? 0 : 1;
+}

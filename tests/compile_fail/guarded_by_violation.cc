@@ -1,0 +1,35 @@
+// Compile-fail (clang only): touching a GUARDED_BY member without the lock.
+//
+// Built with -Wthread-safety -Werror and registered as a WILL_FAIL build, so
+// the test passes only while clang rejects the unlocked write below.  This
+// is the live demonstration that the annotations in util/mutex.h are not
+// decorative: the same pattern guards every UdpRuntime member.  Off clang
+// the annotations are no-ops, so the target is only registered for clang
+// builds (tests/CMakeLists.txt).
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  mtds::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  void locked_bump() {
+    mtds::util::MutexLock lock(mu);
+    ++value;                        // legal: lock held via scoped capability
+  }
+
+  void unlocked_bump() {
+    ++value;                        // ILLEGAL: guarded member, no lock
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.locked_bump();
+  c.unlocked_bump();
+  return c.value == 2 ? 0 : 1;
+}

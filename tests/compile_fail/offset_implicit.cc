@@ -1,0 +1,15 @@
+// Compile-fail: core::Offset never converts implicitly from double.
+//
+// Offset is the one axis-crossing quantity (clock minus true time), so every
+// construction must be spelled out - an untyped literal silently becoming an
+// offset is exactly the bug class the taxonomy exists to kill.  WILL_FAIL
+// build: compiling successfully fails the test.
+#include "core/time_types.h"
+
+int main() {
+  using mtds::core::Offset;
+
+  const Offset spelled{0.5};        // legal: explicit construction
+  const Offset implicit = 0.5;      // ILLEGAL: copy-init from bare double
+  return (spelled.seconds() + implicit.seconds()) > 0 ? 0 : 1;
+}

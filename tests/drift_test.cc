@@ -16,10 +16,10 @@ TEST(RandomWalkSchedule, CoversHorizonAtStepSpacing) {
   params.step = 10.0;
   const auto schedule = random_walk_schedule(rng, 100.0, params);
   ASSERT_EQ(schedule.size(), 10u);
-  EXPECT_DOUBLE_EQ(schedule.front().at, 10.0);
-  EXPECT_DOUBLE_EQ(schedule.back().at, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.front().at.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.back().at.seconds(), 100.0);
   for (std::size_t i = 1; i < schedule.size(); ++i) {
-    EXPECT_DOUBLE_EQ(schedule[i].at - schedule[i - 1].at, 10.0);
+    EXPECT_DOUBLE_EQ((schedule[i].at - schedule[i - 1].at).seconds(), 10.0);
   }
 }
 

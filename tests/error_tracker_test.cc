@@ -8,32 +8,32 @@ namespace {
 TEST(ErrorTracker, ReportsInheritedErrorAtResetPoint) {
   ErrorTracker tracker(/*delta=*/1e-4, /*initial_error=*/0.5,
                        /*initial_clock=*/100.0);
-  EXPECT_DOUBLE_EQ(tracker.error_at(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.error_at(100.0).seconds(), 0.5);
 }
 
 TEST(ErrorTracker, ErrorGrowsLinearlyWithClockTime) {
   // Rule MM-1: E(t) = eps + (C(t) - r) * delta.
   ErrorTracker tracker(1e-4, 0.5, 100.0);
-  EXPECT_DOUBLE_EQ(tracker.error_at(100.0 + 1000.0), 0.5 + 1000.0 * 1e-4);
+  EXPECT_DOUBLE_EQ(tracker.error_at(100.0 + 1000.0).seconds(), 0.5 + 1000.0 * 1e-4);
 }
 
 TEST(ErrorTracker, BackwardClockDoesNotShrinkError) {
   ErrorTracker tracker(1e-4, 0.5, 100.0);
-  EXPECT_DOUBLE_EQ(tracker.error_at(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.error_at(50.0).seconds(), 0.5);
 }
 
 TEST(ErrorTracker, ResetAdoptsNewState) {
   ErrorTracker tracker(1e-4, 0.5, 100.0);
   tracker.reset(/*new_clock=*/200.0, /*new_epsilon=*/0.01);
-  EXPECT_DOUBLE_EQ(tracker.inherited_error(), 0.01);
-  EXPECT_DOUBLE_EQ(tracker.last_reset_clock(), 200.0);
-  EXPECT_DOUBLE_EQ(tracker.error_at(200.0), 0.01);
-  EXPECT_DOUBLE_EQ(tracker.error_at(300.0), 0.01 + 100.0 * 1e-4);
+  EXPECT_DOUBLE_EQ(tracker.inherited_error().seconds(), 0.01);
+  EXPECT_DOUBLE_EQ(tracker.last_reset_clock().seconds(), 200.0);
+  EXPECT_DOUBLE_EQ(tracker.error_at(200.0).seconds(), 0.01);
+  EXPECT_DOUBLE_EQ(tracker.error_at(300.0).seconds(), 0.01 + 100.0 * 1e-4);
 }
 
 TEST(ErrorTracker, ZeroDeltaNeverGrows) {
   ErrorTracker tracker(0.0, 0.25, 0.0);
-  EXPECT_DOUBLE_EQ(tracker.error_at(1e9), 0.25);
+  EXPECT_DOUBLE_EQ(tracker.error_at(1e9).seconds(), 0.25);
 }
 
 TEST(ErrorTracker, RejectsInvalidArguments) {
@@ -47,8 +47,8 @@ TEST(ErrorTracker, Lemma1GrowthBetweenResets) {
   // Lemma 1: E(t0 + D) = E(t0) + delta * D (in clock time, first order).
   const double delta = 2e-5;
   ErrorTracker tracker(delta, 1.0, 0.0);
-  const double e0 = tracker.error_at(10.0);
-  const double e1 = tracker.error_at(10.0 + 500.0);
+  const double e0 = tracker.error_at(10.0).seconds();
+  const double e1 = tracker.error_at(10.0 + 500.0).seconds();
   EXPECT_NEAR(e1 - e0, delta * 500.0, 1e-12);
 }
 

@@ -10,7 +10,7 @@ namespace {
 TEST(EventQueue, StartsEmptyAtZero) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
-  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 0.0);
   EXPECT_FALSE(q.step());
 }
 
@@ -22,7 +22,7 @@ TEST(EventQueue, RunsEventsInTimeOrder) {
   q.at(2.0, [&] { order.push_back(2); });
   q.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
 }
 
 TEST(EventQueue, TiesBreakFifo) {
@@ -39,7 +39,7 @@ TEST(EventQueue, AfterSchedulesRelative) {
   EventQueue q;
   double fired_at = -1.0;
   q.at(10.0, [&] {
-    q.after(5.0, [&] { fired_at = q.now(); });
+    q.after(5.0, [&] { fired_at = q.now().seconds(); });
   });
   q.run_all();
   EXPECT_DOUBLE_EQ(fired_at, 15.0);
@@ -57,21 +57,21 @@ TEST(EventQueue, RunUntilStopsAtBoundary) {
   EventQueue q;
   std::vector<double> fired;
   for (double t : {1.0, 2.0, 3.0, 4.0}) {
-    q.at(t, [&fired, &q] { fired.push_back(q.now()); });
+    q.at(t, [&fired, &q] { fired.push_back(q.now().seconds()); });
   }
   EXPECT_EQ(q.run_until(2.5), 2u);
   EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
-  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 2.5);
   EXPECT_EQ(q.pending(), 2u);
   // Inclusive boundary.
   EXPECT_EQ(q.run_until(3.0), 1u);
-  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
 }
 
 TEST(EventQueue, RunUntilAdvancesNowEvenWithoutEvents) {
   EventQueue q;
   EXPECT_EQ(q.run_until(100.0), 0u);
-  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 100.0);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
@@ -95,7 +95,7 @@ TEST(EventQueue, CancelledTopDoesNotLeakLaterEvents) {
   q.cancel(id);
   q.run_until(5.0);
   EXPECT_FALSE(late_fired);
-  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 5.0);
 }
 
 TEST(EventQueue, CancelUnknownIdIsFalse) {

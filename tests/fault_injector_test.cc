@@ -138,7 +138,7 @@ TEST(FaultInjector, DelaySpikeHoldsCopyUntilTimerFires) {
   ASSERT_EQ(h.received.size(), 1u);
   // The late inbound copy carries the fire-time timestamp, exactly like a
   // slow network delivery.
-  EXPECT_NEAR(h.receive_times[0], 0.5, 1e-9);
+  EXPECT_NEAR(h.receive_times[0].seconds(), 0.5, 1e-9);
 }
 
 TEST(FaultInjector, DelayInflatesAdvertisedOneWayBound) {
@@ -146,12 +146,12 @@ TEST(FaultInjector, DelayInflatesAdvertisedOneWayBound) {
   plan.delay = 0.5;
   plan.delay_hi = 0.2;
   Harness h(plan);
-  EXPECT_DOUBLE_EQ(h.injector.max_one_way_delay(), 0.01 + 0.2);
+  EXPECT_DOUBLE_EQ(h.injector.max_one_way_delay().seconds(), 0.01 + 0.2);
 
   FaultPlan quiet;
   quiet.enabled = true;
   Harness h2(quiet);
-  EXPECT_DOUBLE_EQ(h2.injector.max_one_way_delay(), 0.01);
+  EXPECT_DOUBLE_EQ(h2.injector.max_one_way_delay().seconds(), 0.01);
 }
 
 TEST(FaultInjector, AsymmetricPartitionBlocksOneDirectionOnly) {

@@ -38,8 +38,8 @@ TEST(IMSync, SingleTighterReplyShrinksError) {
   std::vector<TimeReading> replies = {reading(1, 100.0, 0.1, 0.0, 100.0)};
   const auto out = im.on_round(local(100.0, 1.0), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->error, 0.1, 1e-12);
-  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 1e-12);
 }
 
 TEST(IMSync, TransformUsesAsymmetricDelayPadding) {
@@ -50,8 +50,8 @@ TEST(IMSync, TransformUsesAsymmetricDelayPadding) {
   const auto out = im.on_round(local(100.0, 10.0, /*delta=*/0.0), replies);
   ASSERT_TRUE(out.reset.has_value());
   // a = -0.1, b = 0.1 + 0.2 -> midpoint 0.1, radius 0.2.
-  EXPECT_NEAR(out.reset->clock, 100.0 + 0.1, 1e-12);
-  EXPECT_NEAR(out.reset->error, 0.2, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0 + 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.2, 1e-12);
 }
 
 TEST(IMSync, LocalIntervalParticipates) {
@@ -61,8 +61,8 @@ TEST(IMSync, LocalIntervalParticipates) {
   std::vector<TimeReading> replies = {reading(1, 100.0, 5.0, 0.0, 100.0)};
   const auto out = im.on_round(local(100.0, 0.5), replies);
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_NEAR(out.reset->error, 0.5, 1e-12);
-  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.5, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 1e-12);
 }
 
 TEST(IMSync, OverlappingIntervalsDeriveSmallerError) {
@@ -76,8 +76,8 @@ TEST(IMSync, OverlappingIntervalsDeriveSmallerError) {
   const auto out = im.on_round(local(100.0, 10.0), replies);
   ASSERT_TRUE(out.reset.has_value());
   // a = -0.1, b = 0.1 -> error 0.1 < 0.5.
-  EXPECT_NEAR(out.reset->error, 0.1, 1e-12);
-  EXPECT_NEAR(out.reset->clock, 100.0, 1e-12);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.1, 1e-12);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 1e-12);
 }
 
 TEST(IMSync, DisjointRepliesAreInconsistent) {
@@ -114,7 +114,7 @@ TEST(IMSync, AgingWidensBufferedReplies) {
   ASSERT_TRUE(out.reset.has_value());
   // Un-aged transformed interval (offsets relative to local clock at
   // receipt): [-0.1, 0.1]; aged: [-0.2, 0.2].
-  EXPECT_NEAR(out.reset->error, 0.2, 1e-12);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.2, 1e-12);
 }
 
 TEST(IMSync, Theorem6IntersectionAtMostSmallestInterval) {
@@ -140,8 +140,8 @@ TEST(IMSync, Theorem6IntersectionAtMostSmallestInterval) {
     const auto out = im.on_round(state, replies);
     if (!out.reset) continue;
     ++resets;
-    EXPECT_LE(out.reset->error, ei + 1e-12);
-    EXPECT_LE(out.reset->error, smallest_half_width + 1e-9);
+    EXPECT_LE(out.reset->error.seconds(), ei + 1e-12);
+    EXPECT_LE(out.reset->error.seconds(), smallest_half_width + 1e-9);
   }
   EXPECT_GT(resets, 500);
 }
@@ -169,8 +169,8 @@ TEST(IMSync, CorrectnessPreservedProperty) {
     const auto out = im.on_round(state, replies);
     if (!out.reset) continue;  // replies may be mutually inconsistent here
     ++resets;
-    EXPECT_LE(out.reset->clock - out.reset->error, t + 1e-9);
-    EXPECT_GE(out.reset->clock + out.reset->error, t - 1e-9);
+    EXPECT_LE(out.reset->clock.seconds() - out.reset->error.seconds(), t + 1e-9);
+    EXPECT_GE(out.reset->clock.seconds() + out.reset->error.seconds(), t - 1e-9);
   }
   EXPECT_GT(resets, 500);
 }

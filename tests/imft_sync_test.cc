@@ -40,8 +40,8 @@ TEST(IMFTSync, ReducesToIMWhenAllConsistent) {
   const auto a = imft.on_round(state, replies);
   const auto b = im.on_round(state, replies);
   ASSERT_TRUE(a.reset && b.reset);
-  EXPECT_NEAR(a.reset->clock, b.reset->clock, 1e-12);
-  EXPECT_NEAR(a.reset->error, b.reset->error, 1e-12);
+  EXPECT_NEAR(a.reset->clock.seconds(), b.reset->clock.seconds(), 1e-12);
+  EXPECT_NEAR(a.reset->error.seconds(), b.reset->error.seconds(), 1e-12);
   EXPECT_TRUE(a.inconsistent_with.empty());
 }
 
@@ -65,7 +65,7 @@ TEST(IMFTSync, SurvivesOneLiarWhereIMFails) {
   ASSERT_EQ(out.inconsistent_with.size(), 1u);
   EXPECT_EQ(out.inconsistent_with[0], 3u);
   // The adopted region is near the honest majority.
-  EXPECT_NEAR(out.reset->clock, 100.0, 0.5);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 0.5);
 }
 
 TEST(IMFTSync, QuorumFailureReportsRound) {
@@ -94,7 +94,7 @@ TEST(IMFTSync, ExplicitMaxFaultyOverridesMajority) {
   const auto out = tolerant.on_round(state, replies);
   ASSERT_TRUE(out.reset.has_value());
   // Leftmost maximal region wins: the self+S1 camp around 100.
-  EXPECT_NEAR(out.reset->clock, 100.0, 0.5);
+  EXPECT_NEAR(out.reset->clock.seconds(), 100.0, 0.5);
 }
 
 TEST(IMFTSync, ZeroFaultsBehavesLikeStrictIM) {
@@ -138,8 +138,8 @@ TEST(IMFTSync, CorrectnessPreservedWhenFaultBoundHolds) {
     const auto out = imft.on_round(state, replies);
     if (!out.reset) continue;  // honest camp may itself fail quorum
     ++resets;
-    EXPECT_LE(out.reset->clock - out.reset->error, t + 1e-9);
-    EXPECT_GE(out.reset->clock + out.reset->error, t - 1e-9);
+    EXPECT_LE(out.reset->clock.seconds() - out.reset->error.seconds(), t + 1e-9);
+    EXPECT_GE(out.reset->clock.seconds() + out.reset->error.seconds(), t - 1e-9);
   }
   EXPECT_GT(resets, 500);
 }
@@ -163,7 +163,7 @@ TEST(IMFTService, KeepsSyncingThroughALiarWhereIMStalls) {
     // disjoint from every honest interval from the start.  Plain IM's
     // intersection is empty in every round; IMFT excludes the liar.
     cfg.servers[4].claimed_delta = 1e-6;
-    cfg.servers[4].initial_offset = 1.0;
+    cfg.servers[4].initial_offset = core::Offset{1.0};
     cfg.servers[4].initial_error = 0.001;
     service::TimeService service(cfg);
     service.run_until(400.0);

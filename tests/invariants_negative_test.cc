@@ -1,0 +1,133 @@
+// Negative tests for the invariant checkers: hand-crafted traces that
+// violate the paper's theorems MUST be reported.
+//
+// The positive direction (healthy runs pass the checkers) is exercised all
+// over the suite; nothing so far proved the checkers can FAIL.  A checker
+// that silently passes everything would make every downstream "the service
+// stayed correct" assertion vacuous, so each theorem's checker gets a trace
+// built to violate exactly it - and a control shows the same checker stays
+// quiet on the compliant twin.
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "service/invariants.h"
+#include "sim/trace.h"
+
+namespace mtds::service {
+namespace {
+
+sim::Sample at(double t, core::ServerId id, double clock, double error) {
+  return {t, id, clock, error};
+}
+
+// Theorem 1 (MM correctness): |C_i(t) - t| <= E_i(t).  A clock 5 s fast
+// while claiming E = 1 s violates it by 4 s.
+TEST(NegativeInvariants, Theorem1CorrectnessViolationIsReported) {
+  sim::Trace trace;
+  trace.record(at(100.0, 0, 100.2, 1.0));  // compliant: |0.2| <= 1
+  trace.record(at(200.0, 0, 205.0, 1.0));  // violating: |5| > 1
+  const auto report = check_correctness(trace);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].server, 0u);
+  EXPECT_EQ(report.violations[0].t, core::RealTime{200.0});
+  EXPECT_NEAR(report.violations[0].magnitude.seconds(), 4.0, 1e-9);
+  EXPECT_GT(report.worst_ratio, 1.0);
+  EXPECT_EQ(report.samples_checked, 2u);
+}
+
+// Theorem 5 is Theorem 1's IM twin; the paper's Figure 3 shows its failure
+// shape: a server can be pairwise CONSISTENT with everyone yet incorrect.
+// The checkers must disagree on such a trace - consistency clean,
+// correctness violated - or they could not tell Figure 3's story apart
+// from a healthy run.
+TEST(NegativeInvariants, Theorem5ConsistentButIncorrectIsCaught) {
+  sim::Trace trace;
+  const double t = 100.0;
+  trace.record(at(t, 1, t - 0.5, 2.0));  // [97.5, 101.5]: contains t
+  trace.record(at(t, 2, t + 0.8, 0.5));  // [100.3, 101.3]: misses t
+  const auto consistency = check_pairwise_consistency(trace);
+  EXPECT_TRUE(consistency.ok()) << "Figure 3's state is pairwise consistent";
+  const auto correctness = check_correctness(trace);
+  ASSERT_EQ(correctness.violations.size(), 1u);
+  EXPECT_EQ(correctness.violations[0].server, 2u);
+}
+
+// Theorem 3 (MM asynchronism): co-sampled clocks farther apart than
+// E_i + E_j are inconsistent, and the spread must exceed the theorem's
+// bound for any plausible parameters.
+TEST(NegativeInvariants, Theorem3ConsistencyViolationIsReported) {
+  sim::Trace trace;
+  trace.record(at(50.0, 0, 50.0, 0.01));
+  trace.record(at(50.0, 1, 53.0, 0.01));  // 3 s apart, budget 0.02
+  const auto report = check_pairwise_consistency(trace);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].server, 0u);
+  EXPECT_EQ(report.violations[0].peer, 1u);
+  EXPECT_NEAR(report.violations[0].magnitude.seconds(), 3.0 - 0.02, 1e-9);
+  EXPECT_EQ(report.pairs_checked, 1u);
+
+  // The observed spread dwarfs Theorem 3's bound for generous parameters.
+  const core::Duration bound = core::mm_asynchronism_bound(
+      /*e_min=*/0.01, /*xi=*/0.01, /*delta_i=*/1e-4, /*delta_j=*/1e-4,
+      /*tau=*/10.0);
+  const auto asym = measure_asynchronism(trace);
+  EXPECT_GT(asym.max_observed.seconds(), bound.seconds());
+  EXPECT_EQ(asym.worst_time, core::RealTime{50.0});
+}
+
+// Theorem 7 (IM asynchronism): same shape, IM's tighter bound.  The
+// measurement must attribute the worst spread to the right pair and
+// instant even when several sample times are present.
+TEST(NegativeInvariants, Theorem7SpreadExceedsIMBound) {
+  sim::Trace trace;
+  trace.record(at(10.0, 0, 10.0, 0.01));
+  trace.record(at(10.0, 1, 10.001, 0.01));   // benign spread
+  trace.record(at(20.0, 0, 20.0, 0.01));
+  trace.record(at(20.0, 1, 20.5, 0.01));     // the bad instant
+  const core::Duration bound = core::im_asynchronism_bound(
+      /*xi=*/0.01, /*delta_i=*/1e-4, /*delta_j=*/1e-4, /*tau=*/10.0);
+  const auto asym = measure_asynchronism(trace);
+  EXPECT_GT(asym.max_observed.seconds(), bound.seconds());
+  EXPECT_EQ(asym.worst_time, core::RealTime{20.0});
+  EXPECT_EQ(asym.worst_i, 0u);
+  EXPECT_EQ(asym.worst_j, 1u);
+  ASSERT_EQ(asym.times.size(), 2u);
+  EXPECT_NEAR(asym.spread[0].seconds(), 0.001, 1e-12);
+  EXPECT_NEAR(asym.spread[1].seconds(), 0.5, 1e-12);
+}
+
+// Lemma 3: the service-wide minimum error E_M never decreases (no sync rule
+// can manufacture a better clock than the best one present).  A trace where
+// it does must trip min_monotonic.
+TEST(NegativeInvariants, Lemma3MinimumErrorDecreaseIsCaught) {
+  sim::Trace trace;
+  trace.record(at(0.0, 0, 0.0, 0.010));
+  trace.record(at(0.0, 1, 0.0, 0.020));
+  trace.record(at(10.0, 0, 10.0, 0.005));  // min error DROPPED: impossible
+  trace.record(at(10.0, 1, 10.0, 0.020));
+  const auto report = measure_error_growth(trace);
+  EXPECT_FALSE(report.min_monotonic);
+
+  sim::Trace healthy;
+  healthy.record(at(0.0, 0, 0.0, 0.010));
+  healthy.record(at(10.0, 0, 10.0, 0.011));
+  EXPECT_TRUE(measure_error_growth(healthy).min_monotonic);
+}
+
+// Control: a compliant trace sails through every checker, so the negative
+// results above are attributable to the seeded violations alone.
+TEST(NegativeInvariants, CompliantTracePassesAllCheckers) {
+  sim::Trace trace;
+  for (double t = 0.0; t <= 100.0; t += 10.0) {
+    trace.record(at(t, 0, t + 0.001, 0.01 + 1e-5 * t));
+    trace.record(at(t, 1, t - 0.002, 0.01 + 1e-5 * t));
+  }
+  EXPECT_TRUE(check_correctness(trace).ok());
+  EXPECT_TRUE(check_pairwise_consistency(trace).ok());
+  EXPECT_TRUE(measure_error_growth(trace).min_monotonic);
+}
+
+}  // namespace
+}  // namespace mtds::service

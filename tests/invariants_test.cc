@@ -25,7 +25,7 @@ TEST(CheckCorrectness, FlagsViolationWithMagnitude) {
   const auto report = check_correctness(trace);
   ASSERT_EQ(report.violations.size(), 1u);
   EXPECT_EQ(report.violations[0].server, 3u);
-  EXPECT_NEAR(report.violations[0].magnitude, 0.4, 1e-9);
+  EXPECT_NEAR(report.violations[0].magnitude.seconds(), 0.4, 1e-9);
   EXPECT_NE(report.violations[0].what.find(">"), std::string::npos);
 }
 
@@ -45,7 +45,7 @@ TEST(CheckPairwiseConsistency, DetectsInconsistentPair) {
   ASSERT_EQ(report.violations.size(), 1u);
   EXPECT_EQ(report.violations[0].server, 0u);
   EXPECT_EQ(report.violations[0].peer, 1u);
-  EXPECT_NEAR(report.violations[0].magnitude, 1.0, 1e-9);
+  EXPECT_NEAR(report.violations[0].magnitude.seconds(), 1.0, 1e-9);
 }
 
 TEST(CheckPairwiseConsistency, DifferentTimesNotCompared) {
@@ -64,10 +64,10 @@ TEST(MeasureAsynchronism, FindsWorstPairAndTime) {
   trace.record(sample(2.0, 0, 2.0, 0.1));
   trace.record(sample(2.0, 1, 2.5, 0.1));
   const auto report = measure_asynchronism(trace);
-  EXPECT_NEAR(report.max_observed, 0.5, 1e-12);
-  EXPECT_DOUBLE_EQ(report.worst_time, 2.0);
+  EXPECT_NEAR(report.max_observed.seconds(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(report.worst_time.seconds(), 2.0);
   ASSERT_EQ(report.times.size(), 2u);
-  EXPECT_NEAR(report.spread[0], 0.2, 1e-12);
+  EXPECT_NEAR(report.spread[0].seconds(), 0.2, 1e-12);
 }
 
 TEST(MeasureAsynchronism, SingleServerYieldsNothing) {
@@ -75,7 +75,7 @@ TEST(MeasureAsynchronism, SingleServerYieldsNothing) {
   trace.record(sample(1.0, 0, 1.0, 0.1));
   const auto report = measure_asynchronism(trace);
   EXPECT_TRUE(report.times.empty());
-  EXPECT_DOUBLE_EQ(report.max_observed, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_observed.seconds(), 0.0);
 }
 
 TEST(MeasureErrorGrowth, TracksMinMaxAndSlope) {
@@ -86,8 +86,8 @@ TEST(MeasureErrorGrowth, TracksMinMaxAndSlope) {
   }
   const auto report = measure_error_growth(trace);
   ASSERT_EQ(report.times.size(), 11u);
-  EXPECT_NEAR(report.min_error.front(), 0.1, 1e-12);
-  EXPECT_NEAR(report.max_error.front(), 0.5, 1e-12);
+  EXPECT_NEAR(report.min_error.front().seconds(), 0.1, 1e-12);
+  EXPECT_NEAR(report.max_error.front().seconds(), 0.5, 1e-12);
   EXPECT_NEAR(report.min_fit.slope, 0.01, 1e-9);
   EXPECT_NEAR(report.max_fit.slope, 0.02, 1e-9);
   EXPECT_TRUE(report.min_monotonic);

@@ -31,9 +31,9 @@ TEST(MMSync, AcceptsStrictlySmallerError) {
   MinMaxErrorSync mm;
   const auto out = mm.on_reply(local(100.0, 1.0), reading(2, 100.1, 0.1, 0.01));
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_DOUBLE_EQ(out.reset->clock, 100.1);
+  EXPECT_DOUBLE_EQ(out.reset->clock.seconds(), 100.1);
   // eps <- E_j + (1 + delta) * xi.
-  EXPECT_NEAR(out.reset->error, 0.1 + (1.0 + 1e-4) * 0.01, 1e-15);
+  EXPECT_NEAR(out.reset->error.seconds(), 0.1 + (1.0 + 1e-4) * 0.01, 1e-15);
   ASSERT_EQ(out.reset->sources.size(), 1u);
   EXPECT_EQ(out.reset->sources[0], 2u);
   EXPECT_TRUE(out.inconsistent_with.empty());
@@ -91,8 +91,8 @@ TEST(MMSync, DeltaInflatesRoundTripCost) {
       mm.on_reply(local(0.0, 2.0, /*delta=*/0.5), reading(1, 0.0, 0.5, xi));
   ASSERT_TRUE(out_small.reset.has_value());
   ASSERT_TRUE(out_large.reset.has_value());
-  EXPECT_LT(out_small.reset->error, out_large.reset->error);
-  EXPECT_DOUBLE_EQ(out_large.reset->error, 0.5 + 1.5 * xi);
+  EXPECT_LT(out_small.reset->error.seconds(), out_large.reset->error.seconds());
+  EXPECT_DOUBLE_EQ(out_large.reset->error.seconds(), 0.5 + 1.5 * xi);
 }
 
 TEST(MMSync, SelfReplyIsNoOpFixedPoint) {
@@ -102,8 +102,8 @@ TEST(MMSync, SelfReplyIsNoOpFixedPoint) {
   const auto state = local(123.0, 0.7);
   const auto out = mm.on_reply(state, reading(0, state.clock, state.error, 0.0));
   ASSERT_TRUE(out.reset.has_value());
-  EXPECT_DOUBLE_EQ(out.reset->clock, state.clock);
-  EXPECT_DOUBLE_EQ(out.reset->error, state.error);
+  EXPECT_DOUBLE_EQ(out.reset->clock.seconds(), state.clock.seconds());
+  EXPECT_DOUBLE_EQ(out.reset->error.seconds(), state.error.seconds());
 }
 
 TEST(MMSync, ResetNeverIncreasesErrorProperty) {
@@ -124,7 +124,7 @@ TEST(MMSync, ResetNeverIncreasesErrorProperty) {
     const auto out = mm.on_reply(local(ci, ei, delta), reading(1, cj, ej, xi));
     if (out.reset) {
       ++resets;
-      EXPECT_LE(out.reset->error, ei + 1e-15);
+      EXPECT_LE(out.reset->error.seconds(), ei + 1e-15);
     }
   }
   EXPECT_GT(resets, 100);  // the sweep must actually exercise resets
@@ -152,8 +152,8 @@ TEST(MMSync, CorrectnessPreservedProperty) {
         mm.on_reply(local(ci, ei, 1e-4), reading(1, cj, ej, xi));
     if (!out.reset) continue;
     ++resets;
-    EXPECT_LE(out.reset->clock - out.reset->error, t + 1e-9);
-    EXPECT_GE(out.reset->clock + out.reset->error, t - 1e-9);
+    EXPECT_LE(out.reset->clock.seconds() - out.reset->error.seconds(), t + 1e-9);
+    EXPECT_GE(out.reset->clock.seconds() + out.reset->error.seconds(), t - 1e-9);
   }
   EXPECT_GT(resets, 100);
 }

@@ -26,8 +26,8 @@ class NetworkTest : public ::testing::Test {
 TEST(DelayModels, FixedDelayIsConstant) {
   Rng rng(1);
   FixedDelay d(0.25);
-  EXPECT_DOUBLE_EQ(d.sample(rng), 0.25);
-  EXPECT_DOUBLE_EQ(d.max_delay(), 0.25);
+  EXPECT_DOUBLE_EQ(d.sample(rng).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(d.max_delay().seconds(), 0.25);
   EXPECT_THROW(FixedDelay(-0.1), std::invalid_argument);
 }
 
@@ -35,11 +35,11 @@ TEST(DelayModels, UniformWithinBounds) {
   Rng rng(2);
   UniformDelay d(0.1, 0.4);
   for (int i = 0; i < 10000; ++i) {
-    const double s = d.sample(rng);
+    const double s = d.sample(rng).seconds();
     EXPECT_GE(s, 0.1);
     EXPECT_LE(s, 0.4);
   }
-  EXPECT_DOUBLE_EQ(d.max_delay(), 0.4);
+  EXPECT_DOUBLE_EQ(d.max_delay().seconds(), 0.4);
   EXPECT_THROW(UniformDelay(-0.1, 0.5), std::invalid_argument);
   EXPECT_THROW(UniformDelay(0.5, 0.1), std::invalid_argument);
 }
@@ -49,7 +49,7 @@ TEST(DelayModels, TruncatedExponentialRespectsCap) {
   TruncatedExponentialDelay d(0.1, 0.3);
   double max_seen = 0.0;
   for (int i = 0; i < 50000; ++i) {
-    const double s = d.sample(rng);
+    const double s = d.sample(rng).seconds();
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 0.3);
     max_seen = std::max(max_seen, s);
@@ -61,11 +61,11 @@ TEST(DelayModels, TruncatedExponentialRespectsCap) {
 TEST_F(NetworkTest, DeliversWithModelDelay) {
   std::vector<std::pair<double, int>> received;
   net.register_node(1, [&](core::RealTime t, const TestMsg& m) {
-    received.emplace_back(t, m.value);
+    received.emplace_back(t.seconds(), m.value);
   });
   const auto d = net.send(0, 1, TestMsg{42});
   ASSERT_TRUE(d.has_value());
-  EXPECT_DOUBLE_EQ(*d, 0.5);
+  EXPECT_DOUBLE_EQ(d->seconds(), 0.5);
   queue.run_all();
   ASSERT_EQ(received.size(), 1u);
   EXPECT_DOUBLE_EQ(received[0].first, 0.5);
@@ -125,10 +125,10 @@ TEST_F(NetworkTest, PerLinkDelayOverride) {
   net.set_link_delay(0, 1, &slow);
   std::vector<double> times;
   net.register_node(1, [&](core::RealTime t, const TestMsg&) {
-    times.push_back(t);
+    times.push_back(t.seconds());
   });
   net.register_node(2, [&](core::RealTime t, const TestMsg&) {
-    times.push_back(t);
+    times.push_back(t.seconds());
   });
   net.send(0, 1, TestMsg{});  // overridden: 2.0
   net.send(0, 2, TestMsg{});  // default: 0.5
@@ -140,11 +140,11 @@ TEST_F(NetworkTest, PerLinkDelayOverride) {
   net.set_link_delay(0, 1, nullptr);
   net.send(0, 1, TestMsg{});
   queue.run_all();
-  EXPECT_DOUBLE_EQ(times.back(), queue.now());
+  EXPECT_DOUBLE_EQ(times.back(), queue.now().seconds());
 }
 
 TEST_F(NetworkTest, MaxOneWayDelayReflectsModel) {
-  EXPECT_DOUBLE_EQ(net.max_one_way_delay(), 0.5);
+  EXPECT_DOUBLE_EQ(net.max_one_way_delay().seconds(), 0.5);
 }
 
 TEST_F(NetworkTest, BroadcastStatsStayConsistent) {

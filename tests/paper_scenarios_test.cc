@@ -42,7 +42,7 @@ TEST(Figure3, MMRecoversWhereIMDoesNot) {
     }
   }
   // MM ends on S3's interval, which contains true time: recovered.
-  EXPECT_LE(std::abs(state.clock - t), state.error);
+  EXPECT_LE(std::abs(state.clock.seconds() - t), state.error.seconds());
 
   // Under IM the server intersects everything: S2 AND S3 -> [100.3, 100.5],
   // which does NOT contain t; the service is consistent-but-incorrect.
@@ -51,7 +51,8 @@ TEST(Figure3, MMRecoversWhereIMDoesNot) {
   const auto out = im.on_round(s1, replies);
   ASSERT_TRUE(out.reset.has_value());
   EXPECT_FALSE(out.round_inconsistent);  // consistent...
-  EXPECT_GT(std::abs(out.reset->clock - t), out.reset->error);  // ...incorrect
+  EXPECT_GT(std::abs(out.reset->clock.seconds() - t),
+            out.reset->error.seconds());  // ...incorrect
 }
 
 TEST(Section3Recovery, InvalidDriftBoundRecoversViaThirdNetwork) {
@@ -98,7 +99,8 @@ TEST(Section3Recovery, InvalidDriftBoundRecoversViaThirdNetwork) {
 
   // Despite the invalid bound, recovery keeps the bad clock's offset far
   // below free-running drift (0.04 * 600 = 24 s).
-  EXPECT_LT(std::abs(service.server(0).true_offset(service.now())), 2.0);
+  EXPECT_LT(std::abs(service.server(0).true_offset(service.now()).seconds()),
+            2.0);
 
   // The paper's observed weakness: between recoveries the bad clock can be
   // "very far off" relative to its *claimed* error, i.e. incorrect.
@@ -129,7 +131,8 @@ TEST(Section3Recovery, WithoutRecoveryBadClockDriftsAway) {
   TimeService service(cfg);
   service.run_until(600.0);
   // Free-running at 4%: tens of seconds off.
-  EXPECT_GT(std::abs(service.server(0).true_offset(service.now())), 10.0);
+  EXPECT_GT(std::abs(service.server(0).true_offset(service.now()).seconds()),
+            10.0);
 }
 
 TEST(Theorem4, MostAccurateClockBecomesMostPrecise) {
@@ -163,7 +166,7 @@ TEST(Theorem4, MostAccurateClockBecomesMostPrecise) {
 
   // t_x^0 bound: max (E_i - E_k) / (delta_k - delta_i) ~ 1 / 2e-4 = 5000 s.
   service.run_until(10000.0);
-  const double now = service.now();
+  const core::RealTime now = service.now();
   for (std::size_t i = 1; i < service.size(); ++i) {
     EXPECT_LT(service.server(0).current_error(now),
               service.server(i).current_error(now) + 1e-12)
@@ -197,7 +200,7 @@ TEST(Theorem8Flavor, MoreServersSlowIMErrorGrowth) {
       }
       TimeService service(cfg);
       service.run_until(2000.0);
-      total += service.max_error();
+      total += service.max_error().seconds();
     }
     return total / kSeeds;
   };
@@ -227,7 +230,7 @@ TEST(FaultInjection, StoppedClockServiceDetectsInconsistency) {
   TimeService service(cfg);
   service.run_until(400.0);
   // The stopped server is tens of seconds behind by now.
-  EXPECT_LT(service.server(2).true_offset(service.now()), -100.0);
+  EXPECT_LT(service.server(2).true_offset(service.now()).seconds(), -100.0);
   EXPECT_GT(service.trace().count_events(sim::TraceEventKind::kInconsistent),
             0u);
   // The healthy servers remain correct.
@@ -255,7 +258,7 @@ TEST(FaultInjection, RacingClockPullsServiceUnderMax) {
     cfg.servers[2].fault = {core::ClockFaultKind::kRacing, 10.0, 500.0};
     TimeService service(cfg);
     service.run_until(200.0);
-    return std::abs(service.server(0).true_offset(service.now()));
+    return std::abs(service.server(0).true_offset(service.now()).seconds());
   };
   const double under_max = final_spread_from_truth(core::SyncAlgorithm::kMax);
   const double under_mm = final_spread_from_truth(core::SyncAlgorithm::kMM);

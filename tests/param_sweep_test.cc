@@ -39,7 +39,7 @@ class ServiceSweepTest : public ::testing::TestWithParam<ServiceParams> {
       s.claimed_delta = 1e-5 * (1.0 + static_cast<double>(i % 3));
       s.actual_drift = rng.uniform(-0.9, 0.9) * s.claimed_delta;
       s.initial_error = rng.uniform(0.01, 0.05);
-      s.initial_offset = rng.uniform(-0.008, 0.008);
+      s.initial_offset = core::Offset{rng.uniform(-0.008, 0.008)};
       s.poll_period = 8.0;
       cfg.servers.push_back(s);
     }
@@ -213,7 +213,8 @@ TEST_P(ClientSweepTest, EstimateWithinOwnBound) {
   const auto result =
       client.query_blocking({0, 1, 2, 3}, strategy, 4.0 * delay_hi + 0.05);
   ASSERT_GT(result.replies, 0u);
-  EXPECT_LE(std::abs(result.estimate - service.now()), result.error + 1e-9);
+  EXPECT_LE(std::abs(result.estimate.seconds() - service.now().seconds()),
+            result.error.seconds() + 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -29,7 +29,7 @@ TEST(Report, CollectsPerServerState) {
   auto service = make_service();
   service.run_until(100.0);
   const auto report = build_report(service);
-  EXPECT_DOUBLE_EQ(report.at, 100.0);
+  EXPECT_DOUBLE_EQ(report.at.seconds(), 100.0);
   ASSERT_EQ(report.servers.size(), 3u);
   for (const auto& s : report.servers) {
     EXPECT_TRUE(s.running);

@@ -7,6 +7,9 @@
 // and the same IM scenario through both runtimes and assert that both paths
 // converge and exercise every ServerCounters field - so a protocol feature
 // that regresses on one path but not the other fails here.
+//
+// transport-coverage: SimTransport (exercised through SimRuntime, which owns
+// one per simulated server; every sim-side scenario below routes through it)
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -59,7 +62,7 @@ ScenarioResult run_mm_recovery_sim() {
   auto make = [&](ServerId id, const service::ServerSpec& spec,
                   double offset) {
     auto clock = std::make_unique<core::DriftingClock>(
-        0.0, queue.now() + offset, queue.now());
+        0.0, core::ClockTime{queue.now().seconds() + offset}, queue.now());
     return std::make_unique<service::TimeServer>(
         id, std::move(clock), spec, queue, network, &trace, rng.fork());
   };
@@ -107,8 +110,8 @@ ScenarioResult run_mm_recovery_sim() {
 
   ScenarioResult r;
   r.learner = learner->counters();
-  r.true_offset = learner->true_offset(queue.now());
-  r.error = learner->current_error(queue.now());
+  r.true_offset = learner->true_offset(queue.now()).seconds();
+  r.error = learner->current_error(queue.now()).seconds();
   r.responder_responses = bad->counters().responses_sent +
                           remote->counters().responses_sent;
   return r;
@@ -119,7 +122,7 @@ ScenarioResult run_mm_recovery_udp() {
   liar.id = 1;
   liar.claimed_delta = 1e-6;
   liar.initial_error = 0.0005;
-  liar.initial_offset = -5.0;  // wildly wrong, tiny claimed error
+  liar.initial_offset = core::Offset{-5.0};  // wildly wrong, tiny claimed error
   liar.algo = core::SyncAlgorithm::kNone;
   net::UdpTimeServer bad(liar);
   bad.start();
@@ -136,7 +139,7 @@ ScenarioResult run_mm_recovery_udp() {
   cfg.id = 0;
   cfg.claimed_delta = 1e-4;
   cfg.initial_error = 0.01;
-  cfg.initial_offset = 0.05;
+  cfg.initial_offset = core::Offset{0.05};
   cfg.algo = core::SyncAlgorithm::kMM;
   cfg.poll_period = 0.02;
   cfg.reply_timeout = 0.01;
@@ -155,8 +158,8 @@ ScenarioResult run_mm_recovery_udp() {
 
   ScenarioResult r;
   r.learner = learner.counters();
-  r.true_offset = learner.true_offset();
-  r.error = learner.current_error();
+  r.true_offset = learner.true_offset().seconds();
+  r.error = learner.current_error().seconds();
   r.responder_responses =
       bad.requests_served() + remote.requests_served();
   learner.stop();
@@ -200,7 +203,7 @@ ScenarioResult run_im_sim() {
   auto make = [&](ServerId id, const service::ServerSpec& spec,
                   double offset) {
     auto clock = std::make_unique<core::DriftingClock>(
-        0.0, queue.now() + offset, queue.now());
+        0.0, core::ClockTime{queue.now().seconds() + offset}, queue.now());
     return std::make_unique<service::TimeServer>(
         id, std::move(clock), spec, queue, network, &trace, rng.fork());
   };
@@ -226,8 +229,8 @@ ScenarioResult run_im_sim() {
 
   ScenarioResult r;
   r.learner = learner->counters();
-  r.true_offset = learner->true_offset(queue.now());
-  r.error = learner->current_error(queue.now());
+  r.true_offset = learner->true_offset(queue.now()).seconds();
+  r.error = learner->current_error(queue.now()).seconds();
   r.responder_responses = s1->counters().responses_sent +
                           s2->counters().responses_sent;
   return r;
@@ -238,14 +241,14 @@ ScenarioResult run_im_udp() {
   a.id = 1;
   a.claimed_delta = 1e-5;
   a.initial_error = 0.003;
-  a.initial_offset = 0.002;
+  a.initial_offset = core::Offset{0.002};
   a.algo = core::SyncAlgorithm::kNone;
   net::UdpTimeServer sa(a);
   sa.start();
 
   net::UdpServerConfig b = a;
   b.id = 2;
-  b.initial_offset = -0.002;
+  b.initial_offset = core::Offset{-0.002};
   net::UdpTimeServer sb(b);
   sb.start();
 
@@ -266,8 +269,8 @@ ScenarioResult run_im_udp() {
 
   ScenarioResult r;
   r.learner = learner.counters();
-  r.true_offset = learner.true_offset();
-  r.error = learner.current_error();
+  r.true_offset = learner.true_offset().seconds();
+  r.error = learner.current_error().seconds();
   r.responder_responses = sa.requests_served() + sb.requests_served();
   learner.stop();
   sa.stop();
@@ -328,7 +331,7 @@ TEST(RuntimeParity, ChaosWrappedLearnerConvergesInSim) {
   auto make = [&](ServerId id, const service::ServerSpec& spec,
                   double offset) {
     auto clock = std::make_unique<core::DriftingClock>(
-        0.0, queue.now() + offset, queue.now());
+        0.0, core::ClockTime{queue.now().seconds() + offset}, queue.now());
     return std::make_unique<service::TimeServer>(
         id, std::move(clock), spec, queue, network, &trace, rng.fork());
   };
@@ -360,7 +363,7 @@ TEST(RuntimeParity, ChaosWrappedLearnerConvergesInSim) {
   EXPECT_GT(c.resets, 0u);
   // Duplicate/stale copies never pair twice.
   EXPECT_LE(c.replies_received, c.requests_sent);
-  EXPECT_LT(std::abs(learner->true_offset(queue.now())), 0.05);
+  EXPECT_LT(std::abs(learner->true_offset(queue.now()).seconds()), 0.05);
   EXPECT_TRUE(learner->correct(queue.now()));
 
   const auto stats = learner->fault_injector()->stats();
@@ -382,7 +385,7 @@ TEST(RuntimeParity, ChaosWrappedLearnerConvergesOverUdp) {
   cfg.id = 0;
   cfg.claimed_delta = 1e-4;
   cfg.initial_error = 0.25;
-  cfg.initial_offset = 0.01;
+  cfg.initial_offset = core::Offset{0.01};
   cfg.algo = core::SyncAlgorithm::kMM;
   cfg.poll_period = 0.02;
   cfg.reply_timeout = 0.01;
@@ -404,7 +407,7 @@ TEST(RuntimeParity, ChaosWrappedLearnerConvergesOverUdp) {
   EXPECT_GT(c.rounds, 0u);
   EXPECT_GT(c.resets, 0u);
   EXPECT_LE(c.replies_received, c.requests_sent);
-  EXPECT_LT(std::abs(learner.true_offset()), 0.05);
+  EXPECT_LT(std::abs(learner.true_offset().seconds()), 0.05);
 
   const auto stats = learner.fault_stats();
   EXPECT_GT(stats.duplicated, 0u);
@@ -428,7 +431,7 @@ TEST(RuntimeParity, EngineExtensionsRunOverUdp) {
   cfg.id = 0;
   cfg.claimed_delta = 1e-4;
   cfg.initial_error = 0.5;
-  cfg.initial_offset = 0.02;
+  cfg.initial_offset = core::Offset{0.02};
   cfg.algo = core::SyncAlgorithm::kMM;
   cfg.poll_period = 0.04;
   cfg.reply_timeout = 0.01;
@@ -447,7 +450,7 @@ TEST(RuntimeParity, EngineExtensionsRunOverUdp) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GT(learner.resets(), 0u);
-  EXPECT_LT(std::abs(learner.true_offset()), 0.01);
+  EXPECT_LT(std::abs(learner.true_offset().seconds()), 0.01);
   // Adaptive polling reacted: the starting error (0.5) exceeds the target,
   // so the period must have moved off its configured starting value.
   EXPECT_NE(learner.poll_period(), cfg.poll_period);

@@ -27,11 +27,11 @@ TEST(SampleFilter, PicksMinimumDelaySample) {
   filter.add(reading(1, 101.00, 0.01, 0.030, 101.0));  // medium
   const auto best = filter.best(1, 101.0, 1e-5);
   ASSERT_TRUE(best.has_value());
-  EXPECT_DOUBLE_EQ(best->rtt_own, 0.002);
+  EXPECT_DOUBLE_EQ(best->rtt_own.seconds(), 0.002);
   // Aged to local_now = 101.0: the sample was taken at 100.5.
-  EXPECT_NEAR(best->c, 100.5 + 0.5, 1e-12);
-  EXPECT_NEAR(best->e, 0.01 + 2.0 * 1e-5 * 0.5, 1e-12);
-  EXPECT_DOUBLE_EQ(best->local_receive, 101.0);
+  EXPECT_NEAR(best->c.seconds(), 100.5 + 0.5, 1e-12);
+  EXPECT_NEAR(best->e.seconds(), 0.01 + 2.0 * 1e-5 * 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(best->local_receive.seconds(), 101.0);
 }
 
 TEST(SampleFilter, AgingCanDisqualifyOldFastSample) {
@@ -43,7 +43,7 @@ TEST(SampleFilter, AgingCanDisqualifyOldFastSample) {
   filter.add(reading(1, 1000.0, 0.01, 0.004, 1000.0));  // slower but fresh
   const auto best = filter.best(1, 1000.0, delta);
   ASSERT_TRUE(best.has_value());
-  EXPECT_DOUBLE_EQ(best->rtt_own, 0.004);
+  EXPECT_DOUBLE_EQ(best->rtt_own.seconds(), 0.004);
 }
 
 TEST(SampleFilter, MaxAgeEvicts) {
@@ -77,11 +77,11 @@ TEST(SampleFilter, LocalResetRebasesSamples) {
   filter.on_local_reset(-1.0);
   const auto best = filter.best(1, 99.0, 0.0);
   ASSERT_TRUE(best.has_value());
-  EXPECT_NEAR(best->c - best->local_receive, 1.2, 1e-12);
+  EXPECT_NEAR(best->c.seconds() - best->local_receive.seconds(), 1.2, 1e-12);
   // And the aged offset stays stable as the new timescale advances.
   const auto later = filter.best(1, 104.0, 0.0);
   ASSERT_TRUE(later.has_value());
-  EXPECT_NEAR(later->c - later->local_receive, 1.2, 1e-12);
+  EXPECT_NEAR(later->c.seconds() - later->local_receive.seconds(), 1.2, 1e-12);
 }
 
 TEST(SampleFilter, FilterSustainsIMRoundsThroughHeavyLoss) {
@@ -120,7 +120,7 @@ TEST(SampleFilter, FilterSustainsIMRoundsThroughHeavyLoss) {
     Outcome out;
     for (std::size_t i = 0; i < service.size(); ++i) {
       out.resets += service.server(i).counters().resets;
-      out.mean_error += service.server(i).current_error(service.now());
+      out.mean_error += service.server(i).current_error(service.now()).seconds();
     }
     out.mean_error /= static_cast<double>(service.size());
     out.correct = check_correctness(service.trace()).ok();

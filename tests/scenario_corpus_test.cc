@@ -45,7 +45,7 @@ TEST(ScenarioCorpus, RecoveryKeepsBadClockBounded) {
   EXPECT_GT(report.inconsistencies, 0u);
   // The 4%-fast clock would free-run to 0.04 * 800 = 32 s; recovery keeps
   // it within a second.
-  EXPECT_LT(std::abs(report.servers[0].offset), 1.0);
+  EXPECT_LT(std::abs(report.servers[0].offset.seconds()), 1.0);
   // As the paper observed, it is not *correct* between recoveries.
   EXPECT_FALSE(report.correctness.ok());
 }
@@ -58,7 +58,7 @@ TEST(ScenarioCorpus, PartitionHealsAndResynchronizes) {
   double spread = 0.0;
   for (const auto& a : report.servers) {
     for (const auto& b : report.servers) {
-      spread = std::max(spread, std::abs(a.offset - b.offset));
+      spread = std::max(spread, std::abs(a.offset.seconds() - b.offset.seconds()));
     }
   }
   EXPECT_LT(spread, 0.02);

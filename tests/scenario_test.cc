@@ -15,9 +15,9 @@ TEST(ParseScenario, MinimalService) {
   )");
   EXPECT_EQ(s.config.servers.size(), 2u);
   EXPECT_EQ(s.config.topology, Topology::kFull);  // default
-  EXPECT_DOUBLE_EQ(s.horizon, 100.0);
+  EXPECT_DOUBLE_EQ(s.horizon.seconds(), 100.0);
   EXPECT_EQ(s.config.servers[0].algo, core::SyncAlgorithm::kMM);
-  EXPECT_DOUBLE_EQ(s.config.servers[1].initial_error, 0.03);
+  EXPECT_DOUBLE_EQ(s.config.servers[1].initial_error.seconds(), 0.03);
 }
 
 TEST(ParseScenario, AllDirectives) {
@@ -39,16 +39,16 @@ TEST(ParseScenario, AllDirectives) {
     run 60
   )");
   EXPECT_EQ(s.config.seed, 7u);
-  EXPECT_DOUBLE_EQ(s.config.delay_lo, 0.001);
-  EXPECT_DOUBLE_EQ(s.config.delay_hi, 0.01);
+  EXPECT_DOUBLE_EQ(s.config.delay_lo.seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(s.config.delay_hi.seconds(), 0.01);
   EXPECT_DOUBLE_EQ(s.config.loss_probability, 0.1);
-  EXPECT_DOUBLE_EQ(s.config.sample_interval, 2.5);
+  EXPECT_DOUBLE_EQ(s.config.sample_interval.seconds(), 2.5);
   EXPECT_EQ(s.config.topology, Topology::kRing);
   ASSERT_EQ(s.config.servers.size(), 3u);
   const auto& s0 = s.config.servers[0];
   EXPECT_EQ(s0.algo, core::SyncAlgorithm::kIM);
   EXPECT_DOUBLE_EQ(s0.actual_drift, 1e-5);
-  EXPECT_DOUBLE_EQ(s0.initial_offset, -0.01);
+  EXPECT_DOUBLE_EQ(s0.initial_offset.seconds(), -0.01);
   EXPECT_EQ(s0.recovery, RecoveryPolicy::kThirdServer);
   EXPECT_TRUE(s0.monitor_rates);
   EXPECT_EQ(s0.recovery_pool, (std::vector<core::ServerId>{1, 2}));
@@ -70,8 +70,8 @@ TEST(ParseScenario, ActionsSortedByTime) {
     run 100
   )");
   ASSERT_EQ(s.actions.size(), 2u);
-  EXPECT_DOUBLE_EQ(s.actions[0].at, 10.0);
-  EXPECT_DOUBLE_EQ(s.actions[1].at, 50.0);
+  EXPECT_DOUBLE_EQ(s.actions[0].at.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(s.actions[1].at.seconds(), 50.0);
 }
 
 TEST(ParseScenario, ErrorsCarryLineNumbers) {
@@ -126,7 +126,7 @@ TEST(ScenarioRunner, RunsTimelineActions) {
   )");
   ScenarioRunner runner(std::move(scenario));
   auto& service = runner.run();
-  EXPECT_DOUBLE_EQ(service.now(), 200.0);
+  EXPECT_DOUBLE_EQ(service.now().seconds(), 200.0);
   EXPECT_EQ(service.size(), 4u);           // 3 + joined
   EXPECT_EQ(service.running_count(), 3u);  // one left
   EXPECT_FALSE(service.server(0).running());
@@ -164,7 +164,7 @@ TEST(ScenarioRunner, HorizonOverrideAndMissingHorizon) {
   )");
   ScenarioRunner runner(std::move(scenario));
   auto& service = runner.run(/*override_horizon=*/50.0);
-  EXPECT_DOUBLE_EQ(service.now(), 50.0);
+  EXPECT_DOUBLE_EQ(service.now().seconds(), 50.0);
 
   auto no_run = parse_scenario("server algo=MM tau=10\nserver algo=MM tau=10\n");
   ScenarioRunner runner2(std::move(no_run));

@@ -32,7 +32,7 @@ TEST(Stress, FiftyServerMixedServiceSurvivesEverything) {
     s.claimed_delta = tier < 0.2 ? 2e-6 : tier < 0.8 ? 2e-5 : 1e-4;
     s.actual_drift = rng.uniform(-0.9, 0.9) * s.claimed_delta;
     s.initial_error = rng.uniform(0.01, 0.2);
-    s.initial_offset = rng.uniform(-0.008, 0.008);
+    s.initial_offset = core::Offset{rng.uniform(-0.008, 0.008)};
     s.poll_period = 20.0;
     s.use_sample_filter = i % 5 == 0;
     s.monitor_rates = i % 7 == 0;
@@ -63,7 +63,7 @@ TEST(Stress, FiftyServerMixedServiceSurvivesEverything) {
     fresh.claimed_delta = 5e-5;
     fresh.actual_drift = rng.uniform(-4e-5, 4e-5);
     fresh.initial_error = 1.0;
-    fresh.initial_offset = rng.uniform(-0.5, 0.5);
+    fresh.initial_offset = core::Offset{rng.uniform(-0.5, 0.5)};
     fresh.poll_period = 20.0;
     service.add_server(fresh);
     service.remove_server(static_cast<core::ServerId>(k));

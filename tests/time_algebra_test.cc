@@ -1,0 +1,120 @@
+// The clock algebra, checked from both sides.
+//
+// Positive half: the physically meaningful operations compile and compute
+// what the taxonomy says (this doubles as the control for the WILL_FAIL
+// compile-fail targets in tests/compile_fail/ - if these legal forms ever
+// broke, those targets would "fail to compile" for the wrong reason).
+//
+// Negative half: detection-idiom static_asserts prove the meaningless
+// operations are ill-formed under EVERY compiler, not just the clang job
+// that builds the compile-fail demonstrations.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "core/time_types.h"
+
+namespace mtds::core {
+namespace {
+
+// true iff `A + B` is a valid expression.
+template <typename A, typename B, typename = void>
+struct addable : std::false_type {};
+template <typename A, typename B>
+struct addable<A, B,
+               std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+// true iff `A - B` is a valid expression.
+template <typename A, typename B, typename = void>
+struct subtractable : std::false_type {};
+template <typename A, typename B>
+struct subtractable<A, B,
+                    std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+// ---- the algebra's deliberate holes (compile errors by design) ----
+static_assert(!addable<ClockTime, ClockTime>::value,
+              "adding two clock readings must not compile");
+static_assert(!addable<RealTime, RealTime>::value,
+              "adding two true-time points must not compile");
+static_assert(!subtractable<ClockTime, RealTime>::value,
+              "axis crossing must go through offset_from_true");
+static_assert(!subtractable<RealTime, ClockTime>::value,
+              "axis crossing must go through offset_from_true");
+static_assert(!addable<Offset, Duration>::value,
+              "an offset is not a length; convert via as_duration");
+static_assert(!addable<RealTime, ClockTime>::value,
+              "mixing the axes must not compile");
+static_assert(!std::is_convertible_v<double, Offset>,
+              "offsets are derived, never literal");
+static_assert(std::is_constructible_v<Offset, double>,
+              "explicit Offset{x} stays available");
+static_assert(!std::is_convertible_v<ClockTime, double>,
+              "leaving the typed world requires .seconds()");
+static_assert(!std::is_convertible_v<Duration, double>,
+              "leaving the typed world requires .seconds()");
+static_assert(!std::is_convertible_v<ClockTime, Duration>,
+              "points are not lengths");
+
+// ---- the operations the protocol actually needs ----
+static_assert(std::is_convertible_v<double, ClockTime>,
+              "a literal is seconds on whatever axis the context demands");
+static_assert(std::is_convertible_v<ErrorBound, Duration>,
+              "every error bound is a length");
+static_assert(std::is_convertible_v<Duration, ErrorBound>,
+              "accumulation formulas assign back into E");
+
+TEST(TimeAlgebra, DifferencesOfPointsAreDurations) {
+  const ClockTime a{10.0};
+  const ClockTime b{12.5};
+  const Duration d = b - a;
+  EXPECT_DOUBLE_EQ(d.seconds(), 2.5);
+  const RealTime t0{100.0};
+  const RealTime t1{103.0};
+  EXPECT_DOUBLE_EQ((t1 - t0).seconds(), 3.0);
+}
+
+TEST(TimeAlgebra, PointsAdvanceByDurations) {
+  const ClockTime c = ClockTime{10.0} + Duration{0.5};
+  EXPECT_DOUBLE_EQ(c.seconds(), 10.5);
+  const RealTime t = RealTime{1.0} + Duration{-0.25};
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.75);
+}
+
+TEST(TimeAlgebra, OffsetIsTheOneSanctionedAxisCrossing) {
+  // A clock 0.25 s fast of true time 100 (0.25 is exactly representable,
+  // so the equalities below are exact).
+  const Offset o = offset_from_true(ClockTime{100.25}, RealTime{100.0});
+  EXPECT_DOUBLE_EQ(o.seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(abs(o).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(abs(-o).seconds(), 0.25);
+  // Applying a correction: rule IM-2's midpoint reset.
+  const ClockTime corrected = ClockTime{100.25} - o;
+  EXPECT_DOUBLE_EQ(corrected.seconds(), 100.0);
+}
+
+TEST(TimeAlgebra, OffsetBetweenClocks) {
+  const Offset o = offset_between(ClockTime{5.0}, ClockTime{4.0});
+  EXPECT_DOUBLE_EQ(o.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((o + Offset{0.5}).seconds(), 1.5);
+}
+
+TEST(TimeAlgebra, ErrorBoundFlowsThroughDurationFormulas) {
+  const ErrorBound e0 = 0.01;
+  const Duration grown = e0 + Duration{1e-4} * 2.0;  // eps + delta * elapsed
+  const ErrorBound e1 = grown;                       // assigns back
+  EXPECT_DOUBLE_EQ(e1.seconds(), 0.01 + 2e-4);
+}
+
+TEST(TimeAlgebra, BareDoubleSubtrahendMeansSeconds) {
+  // The documented tie-breaker: point - literal stays a point.
+  const ClockTime c = ClockTime{10.0} - 0.5;
+  EXPECT_DOUBLE_EQ(c.seconds(), 9.5);
+  static_assert(std::is_same_v<decltype(ClockTime{10.0} - 0.5), ClockTime>);
+  static_assert(std::is_same_v<decltype(RealTime{10.0} - 0.5), RealTime>);
+}
+
+}  // namespace
+}  // namespace mtds::core

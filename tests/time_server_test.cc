@@ -27,8 +27,8 @@ class TimeServerTest : public ::testing::Test {
   std::unique_ptr<TimeServer> make_server(ServerId id, ServerSpec spec,
                                           double drift = 0.0,
                                           double offset = 0.0) {
-    auto clock = std::make_unique<DriftingClock>(drift, queue.now() + offset,
-                                                 queue.now());
+    auto clock = std::make_unique<DriftingClock>(
+        drift, core::ClockTime{queue.now().seconds() + offset}, queue.now());
     return std::make_unique<TimeServer>(id, std::move(clock), spec, queue,
                                         network, &trace, rng.fork());
   }
@@ -67,9 +67,9 @@ TEST_F(TimeServerTest, RespondsWithRuleMM1Pair) {
   EXPECT_EQ(resp->from, 0u);
   EXPECT_EQ(resp->tag, 777u);
   // Clock: offset 0.25 from real time; request took one delay hop (0.01).
-  EXPECT_NEAR(resp->c, 0.01 + 0.25, 1e-9);
+  EXPECT_NEAR(resp->c.seconds(), 0.01 + 0.25, 1e-9);
   // Error: eps + (C - r) * delta with C - r = elapsed clock time.
-  EXPECT_NEAR(resp->e, 0.5 + 0.01 * 1e-3, 1e-9);
+  EXPECT_NEAR(resp->e.seconds(), 0.5 + 0.01 * 1e-3, 1e-9);
 }
 
 TEST_F(TimeServerTest, ErrorGrowsWithClaimedDelta) {
@@ -80,7 +80,8 @@ TEST_F(TimeServerTest, ErrorGrowsWithClaimedDelta) {
   auto server = make_server(0, spec);
   server->start({});
   queue.run_until(100.0);
-  EXPECT_NEAR(server->current_error(100.0), 0.1 + 100.0 * 1e-2, 1e-9);
+  EXPECT_NEAR(server->current_error(100.0).seconds(), 0.1 + 100.0 * 1e-2,
+              1e-9);
 }
 
 TEST_F(TimeServerTest, StoppedServerIgnoresMessages) {
@@ -115,7 +116,7 @@ TEST_F(TimeServerTest, MMServerAdoptsBetterNeighbor) {
   // After adopting the reference, the error is near the reference's plus
   // the round-trip cost.
   EXPECT_LT(learner->current_error(queue.now()), 0.1);
-  EXPECT_LT(std::abs(learner->true_offset(queue.now())), 0.05);
+  EXPECT_LT(std::abs(learner->true_offset(queue.now()).seconds()), 0.05);
   EXPECT_TRUE(learner->correct(queue.now()));
 }
 
@@ -136,7 +137,7 @@ TEST_F(TimeServerTest, MMServerKeepsOwnClockWhenBest) {
 
   queue.run_until(10.0);
   EXPECT_EQ(server->counters().resets, 0u);
-  EXPECT_NEAR(server->current_error(queue.now()), 0.001, 1e-9);
+  EXPECT_NEAR(server->current_error(queue.now()).seconds(), 0.001, 1e-9);
 }
 
 TEST_F(TimeServerTest, MMIgnoresInconsistentNeighborAndRecordsIt) {
@@ -223,7 +224,7 @@ TEST_F(TimeServerTest, ThirdServerRecoveryResetsFromPool) {
   queue.run_until(10.0);
   EXPECT_GT(server->counters().recoveries, 0u);
   EXPECT_GT(trace.count_events(0, sim::TraceEventKind::kRecovery), 0u);
-  EXPECT_LT(std::abs(server->true_offset(queue.now())), 0.05);
+  EXPECT_LT(std::abs(server->true_offset(queue.now()).seconds()), 0.05);
 }
 
 TEST_F(TimeServerTest, JoinAndLeaveEventsTraced) {
@@ -303,7 +304,8 @@ TEST_F(TimeServerTest, StickyResetFaultLeavesClockWrong) {
 
   queue.run_until(5.0);
   EXPECT_GT(server->counters().resets, 0u);   // believed resets
-  EXPECT_NEAR(server->true_offset(queue.now()), 0.3, 1e-6);  // clock unmoved
+  EXPECT_NEAR(server->true_offset(queue.now()).seconds(), 0.3,
+              1e-6);  // clock unmoved
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ ServerSpec spec_mm(double claimed, double actual, double e0, double offset,
   s.claimed_delta = claimed;
   s.actual_drift = actual;
   s.initial_error = e0;
-  s.initial_offset = offset;
+  s.initial_offset = core::Offset{offset};
   s.poll_period = tau;
   return s;
 }
@@ -50,7 +50,7 @@ ServiceConfig small_config(core::SyncAlgorithm algo, std::uint64_t seed = 7) {
 TEST(TimeService, BuildsAndRuns) {
   TimeService service(small_config(core::SyncAlgorithm::kMM));
   service.run_until(100.0);
-  EXPECT_DOUBLE_EQ(service.now(), 100.0);
+  EXPECT_DOUBLE_EQ(service.now().seconds(), 100.0);
   EXPECT_EQ(service.size(), 4u);
   EXPECT_EQ(service.running_count(), 4u);
   EXPECT_GT(service.network().stats().delivered, 0u);
@@ -101,19 +101,20 @@ TEST(TimeService, Theorem2MMErrorBound) {
   TimeService service(cfg);
   service.run_until(600.0);
   const auto& trace = service.trace();
-  const double xi = service.xi();
+  const core::Duration xi = service.xi();
   std::size_t checked = 0;
-  for (const double t : trace.sample_times()) {
+  for (const core::RealTime t : trace.sample_times()) {
     if (t < 10.0) continue;  // one poll period of warm-up
     const auto at = trace.samples_at(t);
     ASSERT_FALSE(at.empty());
-    double e_min = at.front().error;
-    for (const auto& s : at) e_min = std::min(e_min, s.error);
+    core::Duration e_min = at.front().error;
+    for (const auto& s : at) e_min = std::min<core::Duration>(e_min, s.error);
     for (const auto& s : at) {
       const double delta = cfg.servers[s.server].claimed_delta;
-      const double tau = cfg.servers[s.server].poll_period;
-      EXPECT_LT(s.error, core::mm_error_bound(e_min, xi, delta, tau) + 1e-9)
-          << "server " << s.server << " at t=" << t;
+      const core::Duration tau = cfg.servers[s.server].poll_period;
+      EXPECT_LT(s.error.seconds(),
+                core::mm_error_bound(e_min, xi, delta, tau).seconds() + 1e-9)
+          << "server " << s.server << " at t=" << t.seconds();
       ++checked;
     }
   }
@@ -125,22 +126,24 @@ TEST(TimeService, Theorem3MMAsynchronismBound) {
   TimeService service(cfg);
   service.run_until(600.0);
   const auto& trace = service.trace();
-  const double xi = service.xi();
-  double max_delta = 0.0, max_tau = 0.0;
+  const core::Duration xi = service.xi();
+  double max_delta = 0.0;
+  core::Duration max_tau{0.0};
   for (const auto& s : cfg.servers) {
     max_delta = std::max(max_delta, s.claimed_delta);
     max_tau = std::max(max_tau, s.poll_period);
   }
-  for (const double t : trace.sample_times()) {
+  for (const core::RealTime t : trace.sample_times()) {
     if (t < 10.0) continue;
     const auto at = trace.samples_at(t);
-    double e_min = at.front().error;
-    for (const auto& s : at) e_min = std::min(e_min, s.error);
-    const double bound = core::mm_asynchronism_bound(e_min, xi, max_delta,
-                                                     max_delta, max_tau);
+    core::Duration e_min = at.front().error;
+    for (const auto& s : at) e_min = std::min<core::Duration>(e_min, s.error);
+    const core::Duration bound = core::mm_asynchronism_bound(
+        e_min, xi, max_delta, max_delta, max_tau);
     for (std::size_t i = 0; i < at.size(); ++i) {
       for (std::size_t j = i + 1; j < at.size(); ++j) {
-        EXPECT_LT(std::abs(at[i].clock - at[j].clock), bound + 1e-9);
+        EXPECT_LT(abs(at[i].clock - at[j].clock).seconds(),
+                  bound.seconds() + 1e-9);
       }
     }
   }
@@ -151,23 +154,25 @@ TEST(TimeService, Theorem7IMAsynchronismBound) {
   TimeService service(cfg);
   service.run_until(600.0);
   const auto& trace = service.trace();
-  const double xi = service.xi();
-  double max_delta = 0.0, max_tau = 0.0;
+  const core::Duration xi = service.xi();
+  double max_delta = 0.0;
+  core::Duration max_tau{0.0};
   for (const auto& s : cfg.servers) {
     max_delta = std::max(max_delta, s.claimed_delta);
     max_tau = std::max(max_tau, s.poll_period);
   }
-  const double bound =
+  const core::Duration bound =
       core::im_asynchronism_bound(xi, max_delta, max_delta, max_tau);
   const auto report = measure_asynchronism(trace);
   // Skip the warm-up portion before every server completed a round.
-  double settled_max = 0.0;
+  core::Duration settled_max{0.0};
   for (std::size_t k = 0; k < report.times.size(); ++k) {
     if (report.times[k] >= 10.0) {
       settled_max = std::max(settled_max, report.spread[k]);
     }
   }
-  EXPECT_LT(settled_max, bound + 1e-9) << "bound=" << bound;
+  EXPECT_LT(settled_max.seconds(), bound.seconds() + 1e-9)
+      << "bound=" << bound.seconds();
 }
 
 TEST(TimeService, Lemma3MinimumErrorNeverDecreases) {

@@ -13,7 +13,7 @@ TEST(Trace, RecordsAndFiltersSamples) {
   EXPECT_EQ(trace.samples().size(), 3u);
   const auto s0 = trace.samples_for(0);
   ASSERT_EQ(s0.size(), 2u);
-  EXPECT_DOUBLE_EQ(s0[1].t, 2.0);
+  EXPECT_DOUBLE_EQ(s0[1].t.seconds(), 2.0);
 }
 
 TEST(Trace, SampleTimesAreSortedUnique) {

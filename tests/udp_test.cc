@@ -61,7 +61,7 @@ TEST(UdpServer, AnswersQueries) {
   const auto readings = client.collect({server.port()}, 0.5);
   ASSERT_EQ(readings.size(), 1u);
   EXPECT_EQ(readings[0].from, 9u);
-  EXPECT_NEAR(readings[0].e, 0.002, 1e-3);
+  EXPECT_NEAR(readings[0].e.seconds(), 0.002, 1e-3);
   EXPECT_GE(readings[0].rtt_own, 0.0);
   EXPECT_LT(readings[0].rtt_own, 0.5);
   EXPECT_GT(server.requests_served(), 0u);
@@ -76,7 +76,7 @@ TEST(UdpServer, ClientStrategiesAgainstThreeServers) {
     cfg.id = static_cast<std::uint32_t>(i);
     cfg.claimed_delta = 1e-4;
     cfg.initial_error = 0.002 + 0.002 * i;
-    cfg.initial_offset = (i - 1) * 0.001;
+    cfg.initial_offset = core::Offset{(i - 1) * 0.001};
     cfg.algo = core::SyncAlgorithm::kNone;
     servers.push_back(std::make_unique<UdpTimeServer>(cfg));
     servers.back()->start();
@@ -97,8 +97,8 @@ TEST(UdpServer, ClientStrategiesAgainstThreeServers) {
   EXPECT_TRUE(intersect.consistent);
   EXPECT_LE(intersect.error, smallest.error + 1e-9);
   // The estimate approximates host time within its own error bound.
-  EXPECT_LE(std::abs(intersect.estimate - host_seconds()),
-            intersect.error + 0.01);
+  EXPECT_LE(std::abs(intersect.estimate.seconds() - host_seconds()),
+            intersect.error.seconds() + 0.01);
   for (auto& s : servers) s->stop();
 }
 
@@ -117,7 +117,7 @@ TEST(UdpServer, MMSyncPullsOffsetServerIn) {
   learn.id = 1;
   learn.claimed_delta = 1e-4;
   learn.initial_error = 0.5;
-  learn.initial_offset = 0.05;
+  learn.initial_offset = core::Offset{0.05};
   learn.algo = core::SyncAlgorithm::kMM;
   learn.poll_period = 0.02;
   learn.reply_timeout = 0.01;
@@ -130,8 +130,8 @@ TEST(UdpServer, MMSyncPullsOffsetServerIn) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GT(learner.resets(), 0u);
-  EXPECT_LT(std::abs(learner.true_offset()), 0.01);
-  EXPECT_LT(learner.current_error(), 0.1);
+  EXPECT_LT(std::abs(learner.true_offset().seconds()), 0.01);
+  EXPECT_LT(learner.current_error().seconds(), 0.1);
   learner.stop();
   reference.stop();
 }
@@ -141,14 +141,14 @@ TEST(UdpServer, IMSyncShrinksError) {
   a.id = 0;
   a.claimed_delta = 1e-5;
   a.initial_error = 0.003;
-  a.initial_offset = 0.002;
+  a.initial_offset = core::Offset{0.002};
   a.algo = core::SyncAlgorithm::kNone;
   UdpTimeServer sa(a);
   sa.start();
 
   UdpServerConfig b = a;
   b.id = 1;
-  b.initial_offset = -0.002;
+  b.initial_offset = core::Offset{-0.002};
   UdpTimeServer sb(b);
   sb.start();
 
@@ -167,8 +167,8 @@ TEST(UdpServer, IMSyncShrinksError) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GT(learner.resets(), 0u);
-  EXPECT_LT(learner.current_error(), 0.05);
-  EXPECT_LT(std::abs(learner.true_offset()), 0.05);
+  EXPECT_LT(learner.current_error().seconds(), 0.05);
+  EXPECT_LT(std::abs(learner.true_offset().seconds()), 0.05);
   learner.stop();
   sa.stop();
   sb.stop();
@@ -190,7 +190,7 @@ TEST(UdpServer, ThirdServerRecoveryOverUdp) {
   liar.id = 1;
   liar.claimed_delta = 1e-6;
   liar.initial_error = 0.0005;
-  liar.initial_offset = -5.0;  // wildly wrong, tiny claimed error
+  liar.initial_offset = core::Offset{-5.0};  // wildly wrong, tiny claimed error
   liar.algo = core::SyncAlgorithm::kNone;
   UdpTimeServer bad(liar);
   bad.start();
@@ -199,7 +199,7 @@ TEST(UdpServer, ThirdServerRecoveryOverUdp) {
   cfg.id = 0;
   cfg.claimed_delta = 1e-4;
   cfg.initial_error = 0.01;
-  cfg.initial_offset = 0.05;
+  cfg.initial_offset = core::Offset{0.05};
   cfg.algo = core::SyncAlgorithm::kMM;
   cfg.poll_period = 0.02;
   cfg.reply_timeout = 0.01;
@@ -212,7 +212,7 @@ TEST(UdpServer, ThirdServerRecoveryOverUdp) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GT(learner.recoveries(), 0u);
-  EXPECT_LT(std::abs(learner.true_offset()), 0.02);
+  EXPECT_LT(std::abs(learner.true_offset().seconds()), 0.02);
   learner.stop();
   bad.stop();
   third.stop();
@@ -234,9 +234,9 @@ TEST(UdpServer, VirtualDriftMovesClock) {
   cfg.simulated_drift = 0.5;  // extreme drift for a fast test
   cfg.algo = core::SyncAlgorithm::kNone;
   UdpTimeServer server(cfg);
-  const double o1 = server.true_offset();
+  const double o1 = server.true_offset().seconds();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  const double o2 = server.true_offset();
+  const double o2 = server.true_offset().seconds();
   EXPECT_GT(o2 - o1, 0.02);  // ~0.05 expected
 }
 

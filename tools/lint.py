@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Project lint gate: protocol-level rules clang cannot express.
+
+Four rules, each a pure function over file text so --self-test can exercise
+them on synthetic inputs:
+
+  bare-double         public time-quantity signatures in src/service and
+                      src/runtime headers must use the core:: strong types
+                      (RealTime/ClockTime/Duration/ErrorBound/Offset), never
+                      bare double.  Dimensionless quantities (drift rates,
+                      probabilities, tolerances) stay double; a deliberate
+                      raw-seconds boundary opts out with
+                      `// lint-allow: bare-double` on the declaration line.
+  transport-coverage  every runtime::Transport implementation must be
+                      exercised by tests/runtime_parity_test.cc (named
+                      directly, or via a `transport-coverage: Name` marker
+                      when exercised through a wrapper).
+  trace-docs          every trace event name emitted by
+                      src/sim/trace.cc::to_string must be documented in
+                      docs/ (appearing in backticks in some .md file).
+  lock-order          state_mutex_ is the outer lock, timer_mutex_ the
+                      inner: no scope may acquire state_mutex_ while
+                      timer_mutex_ is held, and std::recursive_mutex must
+                      not reappear in src/ (the audit replaced it with an
+                      annotated util::Mutex).
+
+Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
+Run from anywhere: paths are resolved relative to the repo root (the parent
+of this script's directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Rule 1: bare-double
+# --------------------------------------------------------------------------
+
+# Identifier fragments that mark a parameter / function as a time quantity.
+_TIME_WORDS = (
+    "time|clock|now|tau|delay|timeout|deadline|offset|error|epsilon|"
+    "period|window|horizon|rtt|elapsed|interval|seconds"
+)
+_TIME_PARAM = re.compile(
+    r"\bdouble\s+(\w*(?:%s)\w*)\s*[,)=]" % _TIME_WORDS, re.IGNORECASE
+)
+_TIME_RETURN = re.compile(
+    r"^\s*(?:(?:inline|static|virtual|constexpr|explicit|friend)\s+)*"
+    r"double\s+(\w*(?:%s)\w*)\s*\(" % _TIME_WORDS,
+    re.IGNORECASE,
+)
+_ALLOW_MARK = "lint-allow: bare-double"
+
+
+def check_bare_double(path: str, text: str) -> list[Violation]:
+    """Flags bare-double time quantities in one header's text."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
+        if _ALLOW_MARK in line:
+            continue
+        if "(" not in code:
+            continue  # fields and using-decls are not signatures
+        m = _TIME_RETURN.search(code)
+        if m:
+            out.append(
+                Violation(
+                    path, lineno, "bare-double",
+                    f"function '{m.group(1)}' returns bare double; "
+                    "use a core:: time type or mark the line "
+                    f"'// {_ALLOW_MARK}'",
+                )
+            )
+        for m in _TIME_PARAM.finditer(code):
+            out.append(
+                Violation(
+                    path, lineno, "bare-double",
+                    f"parameter '{m.group(1)}' is bare double; "
+                    "use a core:: time type or mark the line "
+                    f"'// {_ALLOW_MARK}'",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule 2: transport-coverage
+# --------------------------------------------------------------------------
+
+_TRANSPORT_IMPL = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*[^({;]*\bpublic\s+Transport\b"
+)
+
+
+def transport_impls(header_text: str) -> list[str]:
+    """Class names in one header that derive publicly from Transport."""
+    return _TRANSPORT_IMPL.findall(header_text)
+
+
+def check_transport_coverage(
+    impls: list[tuple[str, str]], parity_text: str
+) -> list[Violation]:
+    """impls: (header_path, class_name) pairs; parity_text: the parity test."""
+    out = []
+    for path, name in impls:
+        if name in parity_text:
+            continue
+        if f"transport-coverage: {name}" in parity_text:
+            continue
+        out.append(
+            Violation(
+                path, 1, "transport-coverage",
+                f"Transport implementation '{name}' is not exercised by "
+                "tests/runtime_parity_test.cc (name it there, or add a "
+                f"'// transport-coverage: {name}' marker next to the code "
+                "that exercises it through a wrapper)",
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule 3: trace-docs
+# --------------------------------------------------------------------------
+
+_EVENT_NAME = re.compile(r'return\s+"([a-z-]+)"\s*;')
+
+
+def trace_event_names(trace_cc_text: str) -> list[str]:
+    """Event names returned by to_string in trace.cc."""
+    return _EVENT_NAME.findall(trace_cc_text)
+
+
+def check_trace_docs(
+    names: list[str], docs: dict[str, str]
+) -> list[Violation]:
+    """Every event name must appear in backticks in some docs/*.md."""
+    out = []
+    for name in names:
+        needle = f"`{name}`"
+        if not any(needle in text for text in docs.values()):
+            out.append(
+                Violation(
+                    "src/sim/trace.cc", 1, "trace-docs",
+                    f"trace event '{name}' is not documented in docs/ "
+                    f"(no .md file contains {needle})",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule 4: lock-order
+# --------------------------------------------------------------------------
+
+_LOCK_ACQ = re.compile(
+    r"\b(?:util::MutexLock|MutexLock|std::lock_guard|lock_guard|"
+    r"std::unique_lock|unique_lock|std::scoped_lock|scoped_lock)"
+    r"(?:<[^>]*>)?\s+\w+\s*\(\s*(?:\w+(?:->|\.))*(\w*(?:state|timer)_mutex_?)"
+)
+_RECURSIVE = re.compile(r"\brecursive_mutex\b")
+
+
+def check_lock_order(path: str, text: str) -> list[Violation]:
+    """Brace-scoped scan: state_mutex_ may not be taken under timer_mutex_."""
+    out = []
+    held: list[tuple[int, str]] = []  # (brace depth at acquisition, mutex)
+    depth = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
+        if _RECURSIVE.search(code):
+            out.append(
+                Violation(
+                    path, lineno, "lock-order",
+                    "std::recursive_mutex is banned in src/ (the runtime "
+                    "audit replaced it with util::Mutex + REQUIRES "
+                    "annotations; see docs/STATIC_ANALYSIS.md)",
+                )
+            )
+        m = _LOCK_ACQ.search(code)
+        if m:
+            mutex = "timer" if "timer" in m.group(1) else "state"
+            if mutex == "state" and any(h[1] == "timer" for h in held):
+                out.append(
+                    Violation(
+                        path, lineno, "lock-order",
+                        "state_mutex_ acquired while timer_mutex_ is held; "
+                        "the required order is state -> timer",
+                    )
+                )
+            held.append((depth, mutex))
+        depth += code.count("{") - code.count("}")
+        held = [h for h in held if h[0] <= depth]
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def run_repo() -> list[Violation]:
+    out = []
+    for header in sorted(
+        list((REPO / "src" / "service").glob("*.h"))
+        + list((REPO / "src" / "runtime").glob("*.h"))
+    ):
+        out += check_bare_double(
+            str(header.relative_to(REPO)), header.read_text()
+        )
+
+    impls = []
+    for header in sorted((REPO / "src").rglob("*.h")):
+        for name in transport_impls(header.read_text()):
+            impls.append((str(header.relative_to(REPO)), name))
+    parity = REPO / "tests" / "runtime_parity_test.cc"
+    out += check_transport_coverage(
+        impls, parity.read_text() if parity.exists() else ""
+    )
+
+    trace_cc = REPO / "src" / "sim" / "trace.cc"
+    docs = {
+        str(p.relative_to(REPO)): p.read_text()
+        for p in sorted((REPO / "docs").glob("*.md"))
+    }
+    out += check_trace_docs(trace_event_names(trace_cc.read_text()), docs)
+
+    for cc in sorted((REPO / "src").rglob("*.cc")):
+        out += check_lock_order(str(cc.relative_to(REPO)), cc.read_text())
+    return out
+
+
+def self_test() -> int:
+    """Seeds one violation per rule and asserts each is caught (and that the
+    clean twin of each snippet passes)."""
+    failures = []
+
+    def expect(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    bad_header = "core::Duration poll(double timeout);\n" \
+                 "double clock_at(core::RealTime t);\n"
+    good_header = (
+        "core::Duration poll(core::Duration timeout);\n"
+        "double host_seconds() noexcept;  // lint-allow: bare-double\n"
+        "double slew_rate() const;\n"   # dimensionless: not a time quantity
+        "double claimed_delta = 1e-5;\n"  # field, not a signature
+    )
+    got = check_bare_double("fake.h", bad_header)
+    expect(len(got) == 2, f"bare-double: expected 2 hits, got {len(got)}")
+    expect(not check_bare_double("fake.h", good_header),
+           "bare-double: clean header flagged")
+
+    impls = [("a.h", "SimTransport"), ("b.h", "GhostTransport")]
+    parity = "uses SimTransport directly\n"
+    got = check_transport_coverage(impls, parity)
+    expect(len(got) == 1 and "GhostTransport" in got[0].message,
+           "transport-coverage: missing impl not caught")
+    expect(not check_transport_coverage(
+        impls, parity + "// transport-coverage: GhostTransport\n"),
+        "transport-coverage: marker not honoured")
+
+    trace_cc = 'case A: return "reset";\ncase B: return "phantom-event";\n'
+    docs = {"docs/TRACING.md": "the `reset` event means ..."}
+    got = check_trace_docs(trace_event_names(trace_cc), docs)
+    expect(len(got) == 1 and "phantom-event" in got[0].message,
+           "trace-docs: undocumented event not caught")
+
+    bad_cc = (
+        "void f() {\n"
+        "  util::MutexLock a(timer_mutex_);\n"
+        "  util::MutexLock b(state_mutex_);\n"
+        "}\n"
+    )
+    good_cc = (
+        "void f() {\n"
+        "  {\n"
+        "    util::MutexLock a(timer_mutex_);\n"
+        "  }\n"
+        "  util::MutexLock b(state_mutex_);\n"
+        "}\n"
+    )
+    got = check_lock_order("fake.cc", bad_cc)
+    expect(len(got) == 1, "lock-order: inversion not caught")
+    expect(not check_lock_order("fake.cc", good_cc),
+           "lock-order: sequential locking flagged")
+    got = check_lock_order("fake.cc", "std::recursive_mutex m;\n")
+    expect(len(got) == 1, "lock-order: recursive_mutex not caught")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("lint self-test: all rules detect their seeded violations")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule catches a seeded violation")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    violations = run_repo()
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
