@@ -1,9 +1,6 @@
 #include "core/imft_sync.h"
 
 #include <algorithm>
-#include <vector>
-
-#include "core/marzullo.h"
 
 namespace mtds::core {
 
@@ -14,12 +11,12 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
 
   // IM-2's transform into offset intervals relative to the local clock,
   // aged to now; the local interval participates as entry 0.
-  std::vector<TimeInterval> intervals;
-  std::vector<ServerId> owners;
-  intervals.reserve(replies.size() + 1);
-  owners.reserve(replies.size() + 1);
-  intervals.push_back(TimeInterval::from_center_error(0.0, local.error.seconds()));
-  owners.push_back(kInvalidServer);  // self
+  intervals_.clear();
+  owners_.clear();
+  intervals_.reserve(replies.size() + 1);
+  owners_.reserve(replies.size() + 1);
+  intervals_.push_back(TimeInterval::from_center_error(0.0, local.error.seconds()));
+  owners_.push_back(kInvalidServer);  // self
   for (const TimeReading& r : replies) {
     const Duration age = std::max(Duration{0.0}, local.clock - r.local_receive);
     const Offset pad = to_offset(local.delta * age);
@@ -28,38 +25,38 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
         offset_between(r.c + r.e + (1.0 + local.delta) * r.rtt_own,
                        r.local_receive) +
         pad;
-    intervals.push_back(TimeInterval::from_edges(t_j.seconds(), l_j.seconds()));
-    owners.push_back(r.from);
+    intervals_.push_back(TimeInterval::from_edges(t_j.seconds(), l_j.seconds()));
+    owners_.push_back(r.from);
   }
 
-  const auto best = best_intersection(intervals);
-  const std::size_t n = intervals.size();
+  const bool found = best_intersection(intervals_, scratch_, best_);
+  const std::size_t n = intervals_.size();
   const std::size_t quorum =
       max_faulty_ == kMajority ? n / 2 + 1
                                : (n > max_faulty_ ? n - max_faulty_ : 1);
 
-  if (!best || best->coverage < quorum) {
+  if (!found || best_.coverage < quorum) {
     // Not enough agreement to trust any region.
     out.round_inconsistent = true;
-    for (std::size_t i = 1; i < n; ++i) out.inconsistent_with.push_back(owners[i]);
+    for (std::size_t i = 1; i < n; ++i) out.inconsistent_with.push_back(owners_[i]);
     return out;
   }
 
   // Excluded servers (their interval does not contain the chosen region)
   // are reported for recovery/diagnosis even though the round succeeds.
-  std::vector<bool> member(n, false);
-  for (std::size_t idx : best->members) member[idx] = true;
+  member_.assign(n, false);
+  for (std::size_t idx : best_.members) member_[idx] = true;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!member[i] && owners[i] != kInvalidServer) {
-      out.inconsistent_with.push_back(owners[i]);
+    if (!member_[i] && owners_[i] != kInvalidServer) {
+      out.inconsistent_with.push_back(owners_[i]);
     }
   }
 
   ClockReset reset;
-  reset.clock = local.clock + Offset{best->interval.midpoint()};
-  reset.error = best->interval.radius();
-  for (std::size_t idx : best->members) {
-    if (owners[idx] != kInvalidServer) reset.sources.push_back(owners[idx]);
+  reset.clock = local.clock + Offset{best_.interval.midpoint()};
+  reset.error = best_.interval.radius();
+  for (std::size_t idx : best_.members) {
+    if (owners_[idx] != kInvalidServer) reset.sources.push_back(owners_[idx]);
   }
   out.reset = reset;
   return out;

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
+#include "core/marzullo.h"
 #include "core/sync_function.h"
 
 namespace mtds::core {
@@ -48,6 +50,16 @@ class FaultTolerantIntersectionSync final : public SyncFunction {
 
  private:
   std::size_t max_faulty_;
+  // Round scratch: on_round runs once per sync round per server, so its
+  // transform buffers and the Marzullo sweep reuse this storage instead of
+  // allocating.  Logically const (contents are meaningless between rounds);
+  // safe without locks because each server owns its sync function and the
+  // runtimes serialize a server's callbacks.
+  mutable std::vector<TimeInterval> intervals_;
+  mutable std::vector<ServerId> owners_;
+  mutable std::vector<bool> member_;
+  mutable MarzulloScratch scratch_;
+  mutable BestIntersection best_;
 };
 
 }  // namespace mtds::core

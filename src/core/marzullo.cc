@@ -1,52 +1,39 @@
 #include "core/marzullo.h"
 
 #include <algorithm>
-#include <set>
 
 namespace mtds::core {
 namespace {
 
-struct Edge {
-  double value;
-  int delta;  // +1 interval starts, -1 interval ends
-};
-
 // Starts sort before ends at equal values so intervals touching at a point
 // count as overlapping there (consistency admits |C_i - C_j| = E_i + E_j).
-std::vector<Edge> sorted_edges(std::span<const TimeInterval> intervals) {
-  std::vector<Edge> edges;
+void fill_sorted_edges(std::span<const TimeInterval> intervals,
+                       std::vector<MarzulloScratch::Edge>& edges) {
+  edges.clear();
   edges.reserve(intervals.size() * 2);
-  for (const auto& iv : intervals) {
-    edges.push_back({iv.lo(), +1});
-    edges.push_back({iv.hi(), -1});
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    if (a.value != b.value) return a.value < b.value;
-    return a.delta > b.delta;
-  });
-  return edges;
-}
-
-std::vector<std::size_t> members_containing(
-    std::span<const TimeInterval> intervals, const TimeInterval& region) {
-  std::vector<std::size_t> out;
   for (std::size_t i = 0; i < intervals.size(); ++i) {
-    if (intervals[i].lo() <= region.lo() && region.hi() <= intervals[i].hi()) {
-      out.push_back(i);
-    }
+    const auto idx = static_cast<std::uint32_t>(i);
+    edges.push_back({intervals[i].lo(), +1, idx});
+    edges.push_back({intervals[i].hi(), -1, idx});
   }
-  return out;
+  std::sort(edges.begin(), edges.end(),
+            [](const MarzulloScratch::Edge& a, const MarzulloScratch::Edge& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.delta > b.delta;
+            });
 }
 
 }  // namespace
 
-std::optional<BestIntersection> best_intersection(
-    std::span<const TimeInterval> intervals) {
-  if (intervals.empty()) return std::nullopt;
-  const auto edges = sorted_edges(intervals);
+bool best_intersection(std::span<const TimeInterval> intervals,
+                       MarzulloScratch& scratch, BestIntersection& out) {
+  if (intervals.empty()) return false;
+  auto& edges = scratch.edges;
+  fill_sorted_edges(intervals, edges);
 
   std::size_t best = 0;
   double best_lo = 0.0, best_hi = 0.0;
+  std::size_t best_edge = 0;  // index of the start edge that set `best`
   std::size_t count = 0;
   for (std::size_t i = 0; i < edges.size(); ++i) {
     if (edges[i].delta > 0) {
@@ -56,16 +43,43 @@ std::optional<BestIntersection> best_intersection(
         best_lo = edges[i].value;
         // The region of this coverage extends to the next edge value.
         best_hi = (i + 1 < edges.size()) ? edges[i + 1].value : edges[i].value;
+        best_edge = i;
       }
     } else {
       --count;
     }
   }
 
+  out.interval = TimeInterval::from_edges(best_lo, best_hi);
+  out.coverage = best;
+
+  // Members fall out of the same sweep: replay edges[0..best_edge], flagging
+  // an interval open on its start edge and closed on its end edge (a
+  // branchless store per edge).  The open set at the winning start edge is
+  // exactly the set of intervals containing the best region: anything ending
+  // before best_lo has closed, and because starts sort ahead of ends at
+  // equal values, an interval whose hi == best_lo is still open there - and
+  // in that case the next edge pins best_hi to best_lo, so containment
+  // agrees.  Collecting by scanning the flags emits members in ascending
+  // index order for free.
+  auto& flag = scratch.active_flag;
+  flag.assign(intervals.size(), 0);
+  for (std::size_t i = 0; i <= best_edge; ++i) {
+    const auto& e = edges[i];
+    flag[e.index] = static_cast<unsigned char>(e.delta > 0);
+  }
+  out.members.clear();
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (flag[i] != 0) out.members.push_back(i);
+  }
+  return true;
+}
+
+std::optional<BestIntersection> best_intersection(
+    std::span<const TimeInterval> intervals) {
+  MarzulloScratch scratch;
   BestIntersection result;
-  result.interval = TimeInterval::from_edges(best_lo, best_hi);
-  result.coverage = best;
-  result.members = members_containing(intervals, result.interval);
+  if (!best_intersection(intervals, scratch, result)) return std::nullopt;
   return result;
 }
 
@@ -98,14 +112,15 @@ std::optional<BestIntersection> intersect_adaptive(
 }
 
 std::vector<ConsistencyGroup> consistency_groups(
-    std::span<const TimeInterval> intervals) {
+    std::span<const TimeInterval> intervals, MarzulloScratch& scratch) {
   std::vector<ConsistencyGroup> groups;
   if (intervals.empty()) return groups;
 
   // Candidate regions: every point at an edge value and every open region
   // between consecutive edge values.  For each, the active member set is a
   // candidate group; maximal distinct sets survive.
-  std::vector<double> values;
+  auto& values = scratch.values;
+  values.clear();
   values.reserve(intervals.size() * 2);
   for (const auto& iv : intervals) {
     values.push_back(iv.lo());
@@ -114,20 +129,28 @@ std::vector<ConsistencyGroup> consistency_groups(
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
 
-  std::set<std::vector<std::size_t>> seen;
+  // Probe points advance left to right, so a repeated member set can only
+  // recur with a strict superset in between (intervals are convex); those
+  // repeats die in the maximality filter anyway.  Deduplicating against just
+  // the previous set therefore matches the old global std::set dedupe -
+  // without a red-black tree of vectors per call.
+  auto& members = scratch.members;
+  auto& prev = scratch.prev_members;
+  prev.clear();
   std::vector<ConsistencyGroup> candidates;
   auto consider = [&](double point) {
-    std::vector<std::size_t> members;
+    members.clear();
     for (std::size_t i = 0; i < intervals.size(); ++i) {
       if (intervals[i].contains(point)) members.push_back(i);
     }
-    if (members.empty() || !seen.insert(members).second) return;
+    if (members.empty() || members == prev) return;
+    prev = members;
     // Common region of the member set.
     TimeInterval common = intervals[members.front()];
     for (std::size_t k = 1; k < members.size(); ++k) {
       common = *common.intersect(intervals[members[k]]);
     }
-    candidates.push_back({std::move(members), common});
+    candidates.push_back({members, common});
   };
 
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -155,6 +178,12 @@ std::vector<ConsistencyGroup> consistency_groups(
               return a.intersection.lo() < b.intersection.lo();
             });
   return groups;
+}
+
+std::vector<ConsistencyGroup> consistency_groups(
+    std::span<const TimeInterval> intervals) {
+  MarzulloScratch scratch;
+  return consistency_groups(intervals, scratch);
 }
 
 }  // namespace mtds::core

@@ -29,10 +29,10 @@ core::Readings UdpTimeClient::collect(const std::vector<std::uint16_t>& ports,
   const double deadline = host_seconds() + timeout_seconds;
   while (host_seconds() < deadline && readings.size() < expected) {
     const double remain = deadline - host_seconds();
-    auto dgram = socket_.receive(std::max(1, static_cast<int>(remain * 1e3)));
-    if (!dgram) continue;
-    const auto resp =
-        decode_response(dgram->payload.data(), dgram->payload.size());
+    const auto len = socket_.receive_into(
+        recv_buf_, nullptr, std::max(1, static_cast<int>(remain * 1e3)));
+    if (!len) continue;
+    const auto resp = decode_response(recv_buf_.data(), *len);
     if (!resp) continue;
     const auto it = sent_at.find(resp->tag);
     if (it == sent_at.end()) continue;

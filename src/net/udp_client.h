@@ -5,6 +5,7 @@
 // intersection).  The client's own timeline is host_seconds().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,9 @@ class UdpTimeClient {
  private:
   UdpSocket socket_;
   std::uint64_t next_tag_ = 1;
+  // Reply buffer for receive_into: a collect() loop reads many datagrams
+  // and should not pay a payload allocation per reply.
+  std::array<std::uint8_t, 2048> recv_buf_{};
 };
 
 }  // namespace mtds::net

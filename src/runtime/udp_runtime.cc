@@ -106,6 +106,24 @@ void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
 
 std::size_t UdpRuntime::broadcast(const std::vector<ServerId>& targets,
                                   const ServiceMessage& msg) {
+  // Requests carry no per-target state, so the payload is encoded once and
+  // fanned out with a single sendmmsg where available.  Responses embed a
+  // per-target echo (client_send_ns), so they keep the per-target path.
+  if (msg.type == ServiceMessage::Type::kTimeRequest) {
+    broadcast_addrs_.clear();
+    for (ServerId to : targets) {
+      if (to == self_) continue;
+      const auto addr = addr_by_id_.find(to);
+      if (addr == addr_by_id_.end()) continue;
+      broadcast_addrs_.push_back(addr->second);
+    }
+    if (broadcast_addrs_.empty()) return 0;
+    net::TimeRequestPacket req;
+    req.tag = msg.tag;
+    req.client_send_ns = 0;
+    socket_.send_to_many(broadcast_addrs_, net::encode(req));
+    return broadcast_addrs_.size();
+  }
   std::size_t dispatched = 0;
   for (ServerId to : targets) {
     if (to == self_) continue;
@@ -124,23 +142,17 @@ Duration UdpRuntime::max_one_way_delay() const {
 
 TimerId UdpRuntime::after(Duration delay, std::function<void()> cb) {
   util::MutexLock lock(timer_mutex_);
-  const TimerId id = next_timer_id_++;
   const double deadline =
       host_seconds() + std::max(Duration{0.0}, delay).seconds();
-  timer_queue_.emplace(deadline, TimerEntry{deadline, id, std::move(cb)});
+  const TimerId id = timer_queue_.push(
+      TimerPriority{deadline, next_timer_seq_++}, std::move(cb));
   timer_cv_.notify_all();
   return id;
 }
 
 bool UdpRuntime::cancel(TimerId id) {
   util::MutexLock lock(timer_mutex_);
-  for (auto it = timer_queue_.begin(); it != timer_queue_.end(); ++it) {
-    if (it->second.id == id) {
-      timer_queue_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return timer_queue_.cancel(id);
 }
 
 void UdpRuntime::timer_loop() {
@@ -148,18 +160,17 @@ void UdpRuntime::timer_loop() {
     std::function<void()> cb;
     {
       util::MutexLock lock(timer_mutex_);
-      if (timer_queue_.empty()) {
+      const TimerPriority* next = timer_queue_.peek();
+      if (next == nullptr) {
         timer_cv_.wait_for(timer_mutex_, 0.05);
         continue;
       }
       const double now = host_seconds();
-      const double next = timer_queue_.begin()->first;
-      if (next > now) {
-        timer_cv_.wait_for(timer_mutex_, std::min(next - now, 0.05));
+      if (next->deadline > now) {
+        timer_cv_.wait_for(timer_mutex_, std::min(next->deadline - now, 0.05));
         continue;
       }
-      cb = std::move(timer_queue_.begin()->second.cb);
-      timer_queue_.erase(timer_queue_.begin());
+      cb = timer_queue_.pop();
     }
     // timer_mutex_ is released before the callback (and before taking the
     // outer state_mutex_), preserving the state -> timer lock order.
@@ -169,42 +180,50 @@ void UdpRuntime::timer_loop() {
 }
 
 void UdpRuntime::receive_loop() {
+  net::RecvBatch batch;
   while (threads_running_.load()) {
-    auto dgram = socket_.receive(/*timeout_ms=*/20);
-    if (!dgram) {
+    const std::size_t n = socket_.receive_batch(batch, /*timeout_ms=*/20);
+    if (n == 0) {
       if (socket_.closed()) break;
       continue;
     }
-    const auto* data = dgram->payload.data();
-    const auto size = dgram->payload.size();
-    if (const auto req = net::decode_request(data, size)) {
-      util::MutexLock lock(state_mutex_);
-      if (!open_ || !handler_) continue;
-      const ServerId from = id_for_addr(dgram->from);
-      if (echo_ns_.size() >= kMaxEchoEntries) {
-        echo_ns_.erase(echo_ns_.begin());
+    // One lock acquisition covers the whole batch: the engine sees a burst
+    // of datagrams as consecutive handler calls, exactly as if they had
+    // been delivered one wakeup at a time.
+    util::MutexLock lock(state_mutex_);
+    if (!open_ || !handler_) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      // A handler may stop the engine mid-batch (close() runs under this
+      // same lock); the rest of the batch is then dropped like any datagram
+      // arriving after close.
+      if (!open_) break;
+      const auto payload = batch.payload(i);
+      if (const auto req = net::decode_request(payload.data(), payload.size())) {
+        const ServerId from = id_for_addr(batch.from(i));
+        if (echo_ns_.size() >= kMaxEchoEntries) {
+          echo_ns_.erase(echo_ns_.begin());
+        }
+        echo_ns_[{from, req->tag}] = req->client_send_ns;
+        ServiceMessage msg;
+        msg.type = ServiceMessage::Type::kTimeRequest;
+        msg.from = from;
+        msg.to = self_;
+        msg.tag = req->tag;
+        handler_(host_seconds(), msg);
+      } else if (const auto resp =
+                     net::decode_response(payload.data(), payload.size())) {
+        // Attribute by source address when it is a configured peer; fall
+        // back to the wire id for unlisted responders (informational only).
+        const auto it = id_by_addr_.find(addr_key(batch.from(i)));
+        ServiceMessage msg;
+        msg.type = ServiceMessage::Type::kTimeResponse;
+        msg.from = it != id_by_addr_.end() ? it->second : resp->server_id;
+        msg.to = self_;
+        msg.tag = resp->tag;
+        msg.c = net::ns_to_seconds(resp->clock_ns);
+        msg.e = net::ns_to_seconds(resp->error_ns);
+        handler_(host_seconds(), msg);
       }
-      echo_ns_[{from, req->tag}] = req->client_send_ns;
-      ServiceMessage msg;
-      msg.type = ServiceMessage::Type::kTimeRequest;
-      msg.from = from;
-      msg.to = self_;
-      msg.tag = req->tag;
-      handler_(host_seconds(), msg);
-    } else if (const auto resp = net::decode_response(data, size)) {
-      util::MutexLock lock(state_mutex_);
-      if (!open_ || !handler_) continue;
-      // Attribute by source address when it is a configured peer; fall back
-      // to the wire id for unlisted responders (informational only).
-      const auto it = id_by_addr_.find(addr_key(dgram->from));
-      ServiceMessage msg;
-      msg.type = ServiceMessage::Type::kTimeResponse;
-      msg.from = it != id_by_addr_.end() ? it->second : resp->server_id;
-      msg.to = self_;
-      msg.tag = resp->tag;
-      msg.c = net::ns_to_seconds(resp->clock_ns);
-      msg.e = net::ns_to_seconds(resp->error_ns);
-      handler_(host_seconds(), msg);
     }
   }
 }

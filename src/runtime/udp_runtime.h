@@ -2,9 +2,11 @@
 //
 // One UDP socket bound to loopback carries everything: rule MM-1 requests
 // from clients, the engine's own poll requests to peers, and the replies to
-// both.  A receiver thread decodes datagrams (net/protocol.{h,cc}) into
-// ServiceMessages and delivers them to the engine handler; a timer thread
-// fires the engine's scheduled callbacks; WallSource is CLOCK_MONOTONIC.
+// both.  A receiver thread drains a whole net::RecvBatch per wakeup
+// (recvmmsg where available), decodes the datagrams (net/protocol.{h,cc})
+// into ServiceMessages and delivers them to the engine handler under ONE
+// state-mutex acquisition; a timer thread fires the engine's scheduled
+// callbacks; WallSource is CLOCK_MONOTONIC.
 //
 // Addressing: the engine speaks ServerIds, the wire speaks ports.
 //   * Configured peers (sync targets and recovery servers) are a static
@@ -37,6 +39,7 @@
 #include "net/udp_socket.h"
 #include "runtime/runtime.h"
 #include "util/mutex.h"
+#include "util/slab_heap.h"
 #include "util/thread_annotations.h"
 
 namespace mtds::runtime {
@@ -145,16 +148,26 @@ class UdpRuntime final : public Transport, public Timers, public WallSource {
   std::map<std::pair<ServerId, std::uint64_t>, std::int64_t> echo_ns_
       GUARDED_BY(state_mutex_);
 
-  // Timer queue (never held across callbacks; inner lock in the ordering).
-  struct TimerEntry {
+  // Timer queue (never held across callbacks; inner lock in the ordering):
+  // the same slab + indexed heap as the sim's EventQueue, so schedule is an
+  // O(log n) sift with slot reuse and cancel() is a generation bump - the
+  // SlabHeap id doubles as the TimerId.  FIFO among equal deadlines via seq.
+  struct TimerPriority {
     double deadline;  // host_seconds()
-    TimerId id;
-    std::function<void()> cb;
+    std::uint64_t seq;
+    bool operator<(const TimerPriority& o) const noexcept {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      return seq < o.seq;
+    }
   };
   util::Mutex timer_mutex_ ACQUIRED_AFTER(state_mutex_);
   util::CondVar timer_cv_;
-  std::multimap<double, TimerEntry> timer_queue_ GUARDED_BY(timer_mutex_);
-  TimerId next_timer_id_ GUARDED_BY(timer_mutex_) = 1;
+  util::SlabHeap<TimerPriority, std::function<void()>> timer_queue_
+      GUARDED_BY(timer_mutex_);
+  std::uint64_t next_timer_seq_ GUARDED_BY(timer_mutex_) = 0;
+
+  // Broadcast fan-out scratch (engine thread only, under the outer lock).
+  std::vector<sockaddr_in> broadcast_addrs_ GUARDED_BY(state_mutex_);
 
   std::atomic<bool> threads_running_{false};
   std::thread receiver_;

@@ -1,76 +1,18 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace mtds::sim {
 
-std::uint64_t EventQueue::at(RealTime t, Callback cb) {
-  if (t < now_) {
-    throw std::invalid_argument("EventQueue: cannot schedule in the past");
-  }
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Event{t, id, std::move(cb)});
-  live_.insert(id);
-  ++size_;
-  return id;
+// The throw sites live here so the inline schedule paths carry only a
+// compare-and-branch; the exception machinery stays out of the hot TUs.
+
+void EventQueue::throw_past() {
+  throw std::invalid_argument("EventQueue: cannot schedule in the past");
 }
 
-std::uint64_t EventQueue::after(Duration d, Callback cb) {
-  if (d < 0) {
-    throw std::invalid_argument("EventQueue: negative delay");
-  }
-  return at(now_ + d, std::move(cb));
-}
-
-bool EventQueue::cancel(std::uint64_t id) {
-  // Only events that are still scheduled can be cancelled; an id that
-  // already ran (or was already cancelled) is a no-op.
-  if (live_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  if (size_ > 0) --size_;
-  return true;
-}
-
-void EventQueue::purge_cancelled_top() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_.find(queue_.top().seq);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    queue_.pop();
-  }
-}
-
-bool EventQueue::pop_one() {
-  purge_cancelled_top();
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move the callback out before pop.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  live_.erase(ev.seq);
-  --size_;
-  now_ = ev.time;
-  ev.cb();
-  return true;
-}
-
-bool EventQueue::step() { return pop_one(); }
-
-std::size_t EventQueue::run_until(RealTime t_end) {
-  std::size_t executed = 0;
-  for (;;) {
-    purge_cancelled_top();
-    if (queue_.empty() || queue_.top().time > t_end) break;
-    if (pop_one()) ++executed;
-  }
-  if (t_end > now_) now_ = t_end;
-  return executed;
-}
-
-std::size_t EventQueue::run_all(std::size_t max_events) {
-  std::size_t executed = 0;
-  while (executed < max_events && pop_one()) ++executed;
-  return executed;
+void EventQueue::throw_negative() {
+  throw std::invalid_argument("EventQueue: negative delay");
 }
 
 }  // namespace mtds::sim

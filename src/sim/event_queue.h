@@ -4,15 +4,21 @@
 // broken by insertion order (FIFO), which together with the seeded RNG makes
 // whole runs deterministic.  Events may schedule further events, including
 // at the current time (but never in the past).
+//
+// Storage is a generation-tagged slab plus a 4-ary indexed heap
+// (util::SlabHeap): schedule and pop touch no hash tables, cancel is an
+// O(1) tag bump, and callbacks live in small-buffer-optimized util::SmallFn
+// slots so a typical event allocates nothing.  The old implementation
+// (std::priority_queue + two unordered_sets of ids + std::function) paid
+// two hash lookups and a heap allocation per event; the determinism golden
+// test pins that this rewrite preserves the exact (time, seq) FIFO order.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "core/time_types.h"
+#include "util/slab_heap.h"
+#include "util/small_fn.h"
 
 namespace mtds::sim {
 
@@ -21,55 +27,88 @@ using core::RealTime;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::SmallFn;
+
+  // The schedule/run methods are defined inline: every simulated message
+  // and timer passes through them, and keeping the bodies visible lets the
+  // compiler fold the heap operations into the callers' loops.
 
   // Schedules `cb` at absolute time t (>= now, checked).  Returns the event
   // id, usable with cancel().
-  std::uint64_t at(RealTime t, Callback cb);
+  std::uint64_t at(RealTime t, Callback cb) {
+    if (t < now_) throw_past();
+    return heap_.push(Priority{t, next_seq_++}, std::move(cb));
+  }
 
   // Schedules `cb` after `d` (>= 0) from now.
-  std::uint64_t after(Duration d, Callback cb);
+  std::uint64_t after(Duration d, Callback cb) {
+    if (d < 0) throw_negative();
+    return at(now_ + d, std::move(cb));
+  }
 
   // Cancels a pending event; returns false if it already ran or was
-  // cancelled.  Cancellation is lazy (the entry is skipped when it
-  // surfaces).
-  bool cancel(std::uint64_t id);
+  // cancelled.  O(1): the callback is destroyed immediately, the heap entry
+  // is skipped lazily when it surfaces.
+  bool cancel(std::uint64_t id) { return heap_.cancel(id); }
 
   // Runs the next event; returns false when the queue is empty.
-  bool step();
+  bool step() { return pop_one(); }
 
   // Runs every event with time <= t_end, then advances now to t_end.
   // Returns the number of events executed.
-  std::size_t run_until(RealTime t_end);
+  std::size_t run_until(RealTime t_end) {
+    std::size_t executed = 0;
+    for (;;) {
+      const Priority* top = heap_.peek();
+      if (top == nullptr || top->time > t_end) break;
+      if (pop_one()) ++executed;
+    }
+    if (t_end > now_) now_ = t_end;
+    return executed;
+  }
 
   // Drains the queue completely.  Returns events executed.  `max_events`
   // guards against runaway self-scheduling loops.
-  std::size_t run_all(std::size_t max_events = 100'000'000);
+  std::size_t run_all(std::size_t max_events = 100'000'000) {
+    std::size_t executed = 0;
+    while (executed < max_events && pop_one()) ++executed;
+    return executed;
+  }
 
   RealTime now() const noexcept { return now_; }
-  std::size_t pending() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  std::size_t pending() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
 
  private:
-  struct Event {
+  // (time, insertion seq): the FIFO tie-break the determinism tests pin.
+  struct Priority {
     RealTime time;
     std::uint64_t seq;
-    Callback cb;
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    bool operator<(const Priority& other) const noexcept {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
   };
 
-  bool pop_one();  // runs the top event (skipping cancelled); false if empty
-  void purge_cancelled_top();
+  // Runs the next live event; false if empty.  consume_top runs the
+  // callback IN PLACE in its slab slot (safe because chunked slot storage
+  // never moves, even when the callback schedules more events), and
+  // invoke_once fuses invoke + destroy into one dispatch - so a drained
+  // event costs exactly one relocation (into the slot at schedule time).
+  bool pop_one() {
+    Priority pri;
+    return heap_.consume_top(pri, [this, &pri](Callback& cb) {
+      now_ = pri.time;
+      cb.invoke_once();
+    });
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet run
-  std::unordered_set<std::uint64_t> cancelled_;  // awaiting lazy removal
+  [[noreturn]] static void throw_past();      // cold paths kept out of line
+  [[noreturn]] static void throw_negative();
+
+  util::SlabHeap<Priority, Callback> heap_;
   RealTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::size_t size_ = 0;  // live (non-cancelled) events
 };
 
 }  // namespace mtds::sim

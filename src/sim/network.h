@@ -7,13 +7,20 @@
 //
 // Messages to unregistered nodes are counted and dropped (a server that left
 // the service simply stops answering).
+//
+// Hot-path layout: the simulator addresses nodes with small dense ServerIds
+// (0..n-1, joins appended), so the handler table is a plain vector indexed
+// by id - no per-message map walk.  Partitions and per-link delay overrides
+// are sorted flat vectors of packed (a, b) keys: mutations (scenario
+// actions) pay an O(n) insert, the per-send lookups a cache-friendly binary
+// search.  Delivery closures ride the EventQueue's small-buffer slots, so a
+// message in flight allocates nothing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 #include <utility>
 
@@ -57,35 +64,52 @@ class Network {
       : queue_(&queue), delays_(&delays), rng_(&rng) {}
 
   void register_node(ServerId id, Handler handler) {
+    if (id >= handlers_.size()) handlers_.resize(id + 1);
     handlers_[id] = std::move(handler);
   }
 
-  void unregister_node(ServerId id) { handlers_.erase(id); }
-  bool is_registered(ServerId id) const { return handlers_.count(id) > 0; }
+  void unregister_node(ServerId id) {
+    if (id < handlers_.size()) handlers_[id] = nullptr;
+  }
+
+  bool is_registered(ServerId id) const {
+    return id < handlers_.size() && static_cast<bool>(handlers_[id]);
+  }
 
   // Loses each message independently with probability p.
   void set_loss_probability(double p) { loss_probability_ = p; }
 
   // Blocks / unblocks both directions between a and b.
   void set_partitioned(ServerId a, ServerId b, bool blocked) {
-    const auto key = link_key(a, b);
-    if (blocked) {
-      partitions_.insert(key);
-    } else {
-      partitions_.erase(key);
+    const LinkKey key = undirected_key(a, b);
+    const auto it =
+        std::lower_bound(partitions_.begin(), partitions_.end(), key);
+    const bool present = it != partitions_.end() && *it == key;
+    if (blocked && !present) {
+      partitions_.insert(it, key);
+    } else if (!blocked && present) {
+      partitions_.erase(it);
     }
   }
 
   bool is_partitioned(ServerId a, ServerId b) const {
-    return partitions_.count(link_key(a, b)) > 0;
+    return std::binary_search(partitions_.begin(), partitions_.end(),
+                              undirected_key(a, b));
   }
 
   // Overrides the delay model for one directed link.
   void set_link_delay(ServerId from, ServerId to, const DelayModel* model) {
+    const LinkKey key = directed_key(from, to);
+    const auto it = std::lower_bound(
+        link_delays_.begin(), link_delays_.end(), key,
+        [](const auto& entry, LinkKey k) { return entry.first < k; });
+    const bool present = it != link_delays_.end() && it->first == key;
     if (model == nullptr) {
-      link_delays_.erase({from, to});
+      if (present) link_delays_.erase(it);
+    } else if (present) {
+      it->second = model;
     } else {
-      link_delays_[{from, to}] = model;
+      link_delays_.insert(it, {key, model});
     }
   }
 
@@ -102,18 +126,21 @@ class Network {
       return std::nullopt;
     }
     const DelayModel* model = delays_;
-    if (const auto it = link_delays_.find({from, to}); it != link_delays_.end()) {
-      model = it->second;
+    if (!link_delays_.empty()) {
+      const LinkKey key = directed_key(from, to);
+      const auto it = std::lower_bound(
+          link_delays_.begin(), link_delays_.end(), key,
+          [](const auto& entry, LinkKey k) { return entry.first < k; });
+      if (it != link_delays_.end() && it->first == key) model = it->second;
     }
     const Duration delay = model->sample(*rng_);
     queue_->after(delay, [this, to, m = std::move(msg)]() {
-      const auto it = handlers_.find(to);
-      if (it == handlers_.end()) {
+      if (to >= handlers_.size() || !handlers_[to]) {
         ++stats_.dropped_no_handler;
         return;
       }
       ++stats_.delivered;
-      it->second(queue_->now(), m);
+      handlers_[to](queue_->now(), m);
     });
     return delay;
   }
@@ -144,16 +171,23 @@ class Network {
   const NetworkStats& stats() const noexcept { return stats_; }
 
  private:
-  static std::pair<ServerId, ServerId> link_key(ServerId a, ServerId b) {
-    return a < b ? std::pair{a, b} : std::pair{b, a};
+  using LinkKey = std::uint64_t;  // packed (ServerId, ServerId)
+
+  static LinkKey undirected_key(ServerId a, ServerId b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<LinkKey>(a) << 32) | b;
+  }
+
+  static LinkKey directed_key(ServerId from, ServerId to) noexcept {
+    return (static_cast<LinkKey>(from) << 32) | to;
   }
 
   EventQueue* queue_;
   const DelayModel* delays_;
   Rng* rng_;
-  std::map<ServerId, Handler> handlers_;
-  std::map<std::pair<ServerId, ServerId>, const DelayModel*> link_delays_;
-  std::set<std::pair<ServerId, ServerId>> partitions_;
+  std::vector<Handler> handlers_;  // dense by ServerId; null = unregistered
+  std::vector<std::pair<LinkKey, const DelayModel*>> link_delays_;  // sorted
+  std::vector<LinkKey> partitions_;                                 // sorted
   double loss_probability_ = 0.0;
   NetworkStats stats_;
 };

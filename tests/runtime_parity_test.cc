@@ -19,6 +19,7 @@
 
 #include "net/udp_client.h"
 #include "net/udp_server.h"
+#include "net/udp_socket.h"
 #include "service/time_server.h"
 #include "sim/delay_model.h"
 
@@ -304,6 +305,31 @@ TEST(RuntimeParity, IMScenarioConvergesOnBothRuntimes) {
     SCOPED_TRACE("UdpRuntime");
     expect_sync_counters_populated(udp, /*error_before=*/0.25,
                                    /*error_bound=*/0.05);
+  }
+}
+
+// The receive path batches with recvmmsg and broadcasts with sendmmsg where
+// available; the single-syscall fallback must behave identically.  Rerun the
+// full UDP scenarios with the fallback forced.
+TEST(RuntimeParity, UdpScenariosConvergeWithBatchingFallbackForced) {
+  struct Guard {
+    Guard() { net::UdpSocket::set_batching_enabled(false); }
+    ~Guard() { net::UdpSocket::set_batching_enabled(true); }
+  } guard;
+  ASSERT_FALSE(net::UdpSocket::batching_enabled());
+  {
+    SCOPED_TRACE("UdpRuntime, fallback, IM");
+    const auto udp = run_im_udp();
+    expect_sync_counters_populated(udp, /*error_before=*/0.25,
+                                   /*error_bound=*/0.05);
+  }
+  {
+    SCOPED_TRACE("UdpRuntime, fallback, MM recovery");
+    const auto udp = run_mm_recovery_udp();
+    expect_all_counters_populated(udp.learner);
+    EXPECT_LT(std::abs(udp.true_offset), 0.05);
+    EXPECT_LT(udp.error, 0.2);
+    EXPECT_GT(udp.responder_responses, 0u);
   }
 }
 

@@ -1,6 +1,8 @@
 // Loopback integration tests for the real UDP time service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <thread>
 
@@ -10,6 +12,12 @@
 
 namespace mtds::net {
 namespace {
+
+// Restores the vectored-syscall fast path even when a test body bails early.
+struct BatchingFallbackGuard {
+  BatchingFallbackGuard() { UdpSocket::set_batching_enabled(false); }
+  ~BatchingFallbackGuard() { UdpSocket::set_batching_enabled(true); }
+};
 
 TEST(UdpSocket, BindsEphemeralPort) {
   UdpSocket sock;
@@ -46,6 +54,80 @@ TEST(UdpSocket, ClosedSocketRefusesIo) {
   EXPECT_TRUE(sock.closed());
   EXPECT_FALSE(sock.send_to(1234, std::vector<std::uint8_t>{1}));
   EXPECT_FALSE(sock.receive(1).has_value());
+}
+
+TEST(UdpSocket, ReceiveIntoFillsCallerBuffer) {
+  UdpSocket a, b;
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  ASSERT_TRUE(a.send_to(b.port(), payload));
+  std::array<std::uint8_t, 64> buf{};
+  sockaddr_in from{};
+  const auto n = b.receive_into(buf, &from, /*timeout_ms=*/500);
+  ASSERT_TRUE(n.has_value());
+  ASSERT_EQ(*n, payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), buf.begin()));
+  EXPECT_EQ(ntohs(from.sin_port), a.port());
+}
+
+void drain_ten_datagrams(UdpSocket& from_sock, UdpSocket& to_sock) {
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(from_sock.send_to(to_sock.port(), std::vector<std::uint8_t>{i}));
+  }
+  RecvBatch batch(/*capacity=*/4);
+  std::vector<std::uint8_t> seen;
+  for (int spins = 0; seen.size() < 10 && spins < 50; ++spins) {
+    const std::size_t n = to_sock.receive_batch(batch, /*timeout_ms=*/500);
+    EXPECT_EQ(n, batch.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch.payload(i).size(), 1u);
+      seen.push_back(batch.payload(i)[0]);
+      EXPECT_EQ(ntohs(batch.from(i).sin_port), from_sock.port());
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(UdpSocket, ReceiveBatchDrainsQueuedDatagrams) {
+  UdpSocket a, b;
+  drain_ten_datagrams(a, b);
+}
+
+TEST(UdpSocket, ReceiveBatchFallbackMatchesBatchedPath) {
+  BatchingFallbackGuard guard;
+  ASSERT_FALSE(UdpSocket::batching_enabled());
+  UdpSocket a, b;
+  drain_ten_datagrams(a, b);
+}
+
+TEST(UdpSocket, ReceiveBatchTimesOutEmpty) {
+  UdpSocket sock;
+  RecvBatch batch;
+  EXPECT_EQ(sock.receive_batch(batch, /*timeout_ms=*/10), 0u);
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+void fan_out_to_three(bool batching) {
+  BatchingFallbackGuard guard;
+  UdpSocket::set_batching_enabled(batching);
+  UdpSocket sender, r1, r2, r3;
+  const std::vector<std::uint8_t> payload = {42, 43};
+  const std::array<sockaddr_in, 3> addrs = {UdpSocket::loopback(r1.port()),
+                                            UdpSocket::loopback(r2.port()),
+                                            UdpSocket::loopback(r3.port())};
+  EXPECT_EQ(sender.send_to_many(addrs, payload), 3u);
+  for (UdpSocket* rx : {&r1, &r2, &r3}) {
+    const auto dgram = rx->receive(/*timeout_ms=*/500);
+    ASSERT_TRUE(dgram.has_value());
+    EXPECT_EQ(dgram->payload, payload);
+  }
+}
+
+TEST(UdpSocket, SendToManyReachesEveryTarget) { fan_out_to_three(true); }
+
+TEST(UdpSocket, SendToManyFallbackReachesEveryTarget) {
+  fan_out_to_three(false);
 }
 
 TEST(UdpServer, AnswersQueries) {

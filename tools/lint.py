@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint gate: protocol-level rules clang cannot express.
 
-Four rules, each a pure function over file text so --self-test can exercise
+Five rules, each a pure function over file text so --self-test can exercise
 them on synthetic inputs:
 
   bare-double         public time-quantity signatures in src/service and
@@ -23,6 +23,11 @@ them on synthetic inputs:
                       timer_mutex_ is held, and std::recursive_mutex must
                       not reappear in src/ (the audit replaced it with an
                       annotated util::Mutex).
+  bench-items         every google-benchmark in bench/ must call
+                      SetItemsProcessed: items/sec is the regression metric
+                      tools/bench_report.py tracks in BENCH_core.json, and a
+                      benchmark that forgets it silently drops out of the
+                      tracked baseline (see docs/PERFORMANCE.md).
 
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
 Run from anywhere: paths are resolved relative to the repo root (the parent
@@ -213,6 +218,48 @@ def check_lock_order(path: str, text: str) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
+# Rule 5: bench-items
+# --------------------------------------------------------------------------
+
+_BENCH_REG = re.compile(r"\bBENCHMARK\s*\(\s*(\w+)\s*\)")
+
+
+def check_bench_items(path: str, text: str) -> list[Violation]:
+    """Every BENCHMARK()-registered function must call SetItemsProcessed."""
+    out = []
+    for name in _BENCH_REG.findall(text):
+        m = re.search(
+            r"void\s+%s\s*\(\s*benchmark::State\s*&[^)]*\)\s*\{"
+            % re.escape(name),
+            text,
+        )
+        if not m:
+            continue  # registered from another TU; out of scope here
+        depth = 0
+        end = len(text)
+        for j in range(m.end() - 1, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = j + 1
+                    break
+        body = text[m.end() - 1:end]
+        if "SetItemsProcessed" not in body:
+            lineno = text[: m.start()].count("\n") + 1
+            out.append(
+                Violation(
+                    path, lineno, "bench-items",
+                    f"benchmark '{name}' never calls SetItemsProcessed; "
+                    "items/sec is the metric tools/bench_report.py tracks "
+                    "(see docs/PERFORMANCE.md)",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -244,6 +291,11 @@ def run_repo() -> list[Violation]:
 
     for cc in sorted((REPO / "src").rglob("*.cc")):
         out += check_lock_order(str(cc.relative_to(REPO)), cc.read_text())
+
+    for cc in sorted((REPO / "bench").glob("*.cc")):
+        text = cc.read_text()
+        if "benchmark::State" in text:
+            out += check_bench_items(str(cc.relative_to(REPO)), text)
     return out
 
 
@@ -304,6 +356,25 @@ def self_test() -> int:
            "lock-order: sequential locking flagged")
     got = check_lock_order("fake.cc", "std::recursive_mutex m;\n")
     expect(len(got) == 1, "lock-order: recursive_mutex not caught")
+
+    bad_bench = (
+        "void BM_Quiet(benchmark::State& state) {\n"
+        "  for (auto _ : state) {}\n"
+        "}\n"
+        "BENCHMARK(BM_Quiet);\n"
+    )
+    good_bench = (
+        "void BM_Counted(benchmark::State& state) {\n"
+        "  for (auto _ : state) {}\n"
+        "  state.SetItemsProcessed(state.iterations());\n"
+        "}\n"
+        "BENCHMARK(BM_Counted);\n"
+    )
+    got = check_bench_items("fake_bench.cc", bad_bench)
+    expect(len(got) == 1 and "BM_Quiet" in got[0].message,
+           "bench-items: missing SetItemsProcessed not caught")
+    expect(not check_bench_items("fake_bench.cc", good_bench),
+           "bench-items: counted benchmark flagged")
 
     if failures:
         for f in failures:
