@@ -212,6 +212,56 @@ void BM_EngineRound(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRound)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_ShardedEngineRound(benchmark::State& state) {
+  // Full MM poll rounds through the sharded parallel engine.  Arg 0 is the
+  // server count, arg 1 the worker thread count - 0 meaning the legacy
+  // single-queue engine on the identical scenario, the direct speedup
+  // baseline.  The delay floor is positive so the engine gets a real
+  // conservative-lookahead window instead of degenerating to lockstep.
+  // Items = server-rounds per wall second (UseRealTime: with worker
+  // threads, main-thread CPU time would not count the work and would
+  // flatter the parallel rows).  The ratio between the threads=N and
+  // threads=0 rows is the engine's parallel speedup; on a single-core
+  // host all rows collapse to the barrier-overhead cost instead.
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  service::ServiceConfig cfg;
+  cfg.seed = 11;
+  cfg.delay_lo = 0.0005;
+  cfg.delay_hi = 0.002;
+  cfg.sample_interval = 0.0;
+  if (threads > 0) {
+    cfg.sim_shards = 8;
+    cfg.sim_threads = static_cast<std::uint32_t>(threads);
+  }
+  for (int i = 0; i < n; ++i) {
+    service::ServerSpec s;
+    s.algo = core::SyncAlgorithm::kMM;
+    s.claimed_delta = 1e-5;
+    s.actual_drift = (i % 2 ? 1 : -1) * 5e-6;
+    s.initial_error = 0.01;
+    s.poll_period = 10.0;
+    cfg.servers.push_back(s);
+  }
+  service::TimeService service(cfg);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 10.0;
+    service.run_until(t);
+  }
+  benchmark::DoNotOptimize(service.now());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShardedEngineRound)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({1024, 0})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->UseRealTime();
+
 void BM_ServiceSimulation(benchmark::State& state) {
   // End-to-end: how many simulated service-seconds per wall second.
   for (auto _ : state) {

@@ -23,10 +23,17 @@
 
 #include "core/reading.h"
 #include "core/time_types.h"
+#include "util/inline_vec.h"
 
 namespace mtds::core {
 
 enum class SyncMode { kPerReply, kPerRound };
+
+// Id lists in sync outcomes: MM names at most one server, IM at most two
+// (the surviving edge owners), so the inline capacity means a steady-state
+// reset allocates nothing.  Only the all-reply baselines (mean/median) ever
+// spill.
+using ServerIdVec = util::InlineVec<ServerId, 4>;
 
 // The deciding server's state at evaluation time.
 struct LocalState {
@@ -39,7 +46,7 @@ struct LocalState {
 struct ClockReset {
   ClockTime clock = 0.0;            // new C_i
   ErrorBound error = 0.0;           // new inherited error epsilon_i
-  std::vector<ServerId> sources;    // replies that drove the decision
+  ServerIdVec sources;              // replies that drove the decision
 };
 
 // Result of evaluating a sync function.
@@ -48,7 +55,7 @@ struct SyncOutcome {
   // Servers whose replies were inconsistent with the local interval (MM) or
   // whose participation made the round intersection empty (IM).  The caller's
   // recovery policy decides what to do about them.
-  std::vector<ServerId> inconsistent_with;
+  ServerIdVec inconsistent_with;
   bool round_inconsistent = false;  // IM: the whole intersection was empty
 };
 

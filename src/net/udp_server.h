@@ -117,6 +117,9 @@ class UdpTimeServer {
   // below; the bare pointer from fault_injector() may be read freely).
   std::unique_ptr<runtime::FaultInjector> chaos_ PT_GUARDED_BY(state_mu_);
   std::unique_ptr<service::ProtocolEngine> engine_ PT_GUARDED_BY(state_mu_);
+  // mtds:lock-free(run flag: start()/stop() handshake with the receiver
+  // loop; no data is published through it - closing the socket is what
+  // actually unblocks the receiver)
   std::atomic<bool> running_{false};
   bool stopped_ = false;  // shutdown is one-way (the socket is closed)
 };

@@ -17,6 +17,8 @@ namespace {
 
 // Default on: the vectored syscalls are strictly a fast path; the knob
 // exists so tests can pin the fallback.
+// mtds:lock-free(config flag: tests flip it before traffic starts; the send
+// path reads it with no ordering requirement - either value is correct)
 std::atomic<bool> g_batching_enabled{true};
 
 }  // namespace

@@ -4,6 +4,14 @@
 // Transport -> sim::Network<ServiceMessage>, Timers -> sim::EventQueue,
 // WallSource -> EventQueue::now().  The adapters add no behavior of their
 // own - every tier-1 simulation test must pass bit-for-bit against them.
+//
+// Threading: the num_threads knob lives behind this layer, not inside it.
+// Under the sharded engine (sim/sharded_engine.h, ServiceConfig::sim_shards
+// / sim_threads) each server's SimRuntime is built over its *shard's*
+// EventQueue and the shard-routing Network, so the ProtocolEngine above
+// runs unmodified: timers fire and messages deliver on the shard's thread,
+// serialized exactly as the runtime contract requires, whatever the worker
+// count.
 #pragma once
 
 #include "runtime/runtime.h"

@@ -169,6 +169,9 @@ class UdpRuntime final : public Transport, public Timers, public WallSource {
   // Broadcast fan-out scratch (engine thread only, under the outer lock).
   std::vector<sockaddr_in> broadcast_addrs_ GUARDED_BY(state_mutex_);
 
+  // mtds:lock-free(run flag: set by start() before the threads spawn and
+  // cleared by stop(); the threads only poll it to exit their loops, all
+  // data they touch is published under the mutexes above)
   std::atomic<bool> threads_running_{false};
   std::thread receiver_;
   std::thread timer_thread_;

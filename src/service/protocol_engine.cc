@@ -165,8 +165,7 @@ void ProtocolEngine::begin_round() {
   // dead peers only when their backoff countdown expires (a probe);
   // quarantined peers never.  Without the health layer every neighbour is
   // a target, exactly as before.
-  std::vector<ServerId> targets;
-  targets.reserve(neighbors_.size());
+  round_targets_.clear();
   for (ServerId peer : neighbors_) {
     if (peer == id_) continue;
     if (health_ != nullptr) {
@@ -177,7 +176,7 @@ void ProtocolEngine::begin_round() {
       }
       if (probe) ++counters_.probes_sent;
     }
-    targets.push_back(peer);
+    round_targets_.push_back(peer);
   }
 
   if (spec_.use_broadcast) {
@@ -187,17 +186,17 @@ void ProtocolEngine::begin_round() {
     req.from = id_;
     req.tag = broadcast_tag_ = next_tag_++;
     broadcast_sent_local_ = local;
-    broadcast_awaiting_.clear();
-    broadcast_awaiting_.insert(targets.begin(), targets.end());
-    counters_.requests_sent += transport_->broadcast(targets, req);
+    broadcast_awaiting_.assign(round_targets_.begin(), round_targets_.end());
+    std::sort(broadcast_awaiting_.begin(), broadcast_awaiting_.end());
+    counters_.requests_sent += transport_->broadcast(round_targets_, req);
   } else {
-    for (ServerId peer : targets) {
+    for (ServerId peer : round_targets_) {
       ServiceMessage req;
       req.type = ServiceMessage::Type::kTimeRequest;
       req.from = id_;
       req.to = peer;
       req.tag = next_tag_++;
-      pending_[req.tag] = Pending{local, /*recovery=*/false, peer};
+      pending_.push_back(Pending{req.tag, local, /*recovery=*/false, peer});
       ++counters_.requests_sent;
       transport_->send(peer, req);
     }
@@ -235,14 +234,18 @@ void ProtocolEngine::end_round() {
   // Each expired request is a missed poll for the health layer.  Recovery
   // requests instead age towards their own timeout (see below) - before
   // this they survived every round, so a recovery server that never
-  // replied stalled recovery forever.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->second.recovery) {
-      ++it;
-      continue;
+  // replied stalled recovery forever.  (Stable in-place compaction: the
+  // survivors keep their tag order and the vector keeps its capacity.)
+  {
+    auto keep = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->recovery) {
+        *keep++ = *it;
+        continue;
+      }
+      if (health_ != nullptr) health_->note_missed(it->to);
     }
-    if (health_ != nullptr) health_->note_missed(it->second.to);
-    it = pending_.erase(it);
+    pending_.erase(keep, pending_.end());
   }
   if (health_ != nullptr) {
     for (ServerId peer : broadcast_awaiting_) health_->note_missed(peer);
@@ -265,15 +268,19 @@ void ProtocolEngine::end_round() {
   }
 
   const RealTime now = wall_->now();
-  core::Readings round_input = std::move(round_replies_);
-  round_replies_.clear();
+  std::span<const TimeReading> round_input = round_replies_;
   if (filter_ != nullptr) {
     // Serve the filtered best per neighbour instead of the raw replies.
     // This also sustains rounds whose replies were all lost: recent cached
     // samples (aged by the drift budget) are still sound inputs.
-    round_input = filter_->best_all(clock_->read(now), spec_.claimed_delta);
+    filter_->best_all_into(clock_->read(now), spec_.claimed_delta,
+                           filter_scratch_);
+    round_input = filter_scratch_;
   }
-  if (round_input.empty()) return;
+  if (round_input.empty()) {
+    round_replies_.clear();
+    return;
+  }
   const auto outcome = sync_->on_round(local_state(now), round_input);
   if (outcome.reset) {
     apply_reset(*outcome.reset, /*is_recovery=*/false);
@@ -294,23 +301,25 @@ void ProtocolEngine::end_round() {
     ++counters_.inconsistencies;
     note_inconsistency(outcome.inconsistent_with);
   }
+  round_replies_.clear();
 }
 
 void ProtocolEngine::age_recovery_requests() {
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (!it->second.recovery || ++it->second.age < kRecoveryTimeoutRounds) {
-      ++it;
+  auto keep = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!it->recovery || ++it->age < kRecoveryTimeoutRounds) {
+      *keep++ = *it;
       continue;
     }
     // The recovery server never answered: expire the request and back off
     // before the next attempt (doubling per attempt, bounded burst).
     ++counters_.recovery_timeouts;
-    if (health_ != nullptr) health_->note_missed(it->second.to);
+    if (health_ != nullptr) health_->note_missed(it->to);
     recovery_wait_rounds_ = std::min(
         kMaxRecoveryBackoffRounds,
         recovery_attempts_ > 0 ? (1u << (recovery_attempts_ - 1)) : 1u);
-    it = pending_.erase(it);
   }
+  pending_.erase(keep, pending_.end());
   if (recovery_wait_rounds_ > 0 && --recovery_wait_rounds_ == 0) {
     if (recovery_attempts_ >= kMaxRecoveryAttempts) {
       // Burst exhausted; cool off - a later inconsistency starts afresh.
@@ -361,12 +370,18 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
       Pending pend;
       if (spec_.use_broadcast && msg.tag == broadcast_tag_) {
         // A broadcast-round reply: pair by (round tag, sender).
-        if (broadcast_awaiting_.erase(msg.from) == 0) return;  // duplicate
-        pend = Pending{broadcast_sent_local_, /*recovery=*/false, msg.from};
+        const auto it = std::find(broadcast_awaiting_.begin(),
+                                  broadcast_awaiting_.end(), msg.from);
+        if (it == broadcast_awaiting_.end()) return;  // duplicate
+        broadcast_awaiting_.erase(it);
+        pend = Pending{msg.tag, broadcast_sent_local_, /*recovery=*/false,
+                       msg.from};
       } else {
-        const auto it = pending_.find(msg.tag);
+        const auto it =
+            std::find_if(pending_.begin(), pending_.end(),
+                         [&](const Pending& p) { return p.tag == msg.tag; });
         if (it == pending_.end()) return;  // stale or unknown reply
-        pend = it->second;
+        pend = *it;
         pending_.erase(it);
       }
       ++counters_.replies_received;
@@ -447,7 +462,7 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   // and their inherited error underestimates the delay - a genuine
   // correctness leak.
   const Duration jump = reset.clock - clock_->read(now);
-  for (auto& [tag, pend] : pending_) {
+  for (Pending& pend : pending_) {
     pend.sent_local += jump;
   }
   broadcast_sent_local_ += jump;
@@ -471,7 +486,7 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
              is_recovery ? " (recovery)" : "");
 }
 
-void ProtocolEngine::note_inconsistency(const std::vector<ServerId>& peers) {
+void ProtocolEngine::note_inconsistency(const core::ServerIdVec& peers) {
   const RealTime now = wall_->now();
   if (observer_ != nullptr) {
     observer_->on_inconsistent(
@@ -491,7 +506,7 @@ void ProtocolEngine::note_inconsistency(const std::vector<ServerId>& peers) {
 
 void ProtocolEngine::request_recovery(ServerId exclude) {
   // At most one recovery request in flight.
-  for (const auto& [tag, pend] : pending_) {
+  for (const Pending& pend : pending_) {
     if (pend.recovery) return;
   }
   // Bounded retry: a timed-out request is retried at most
@@ -530,8 +545,8 @@ void ProtocolEngine::request_recovery(ServerId exclude) {
   req.from = id_;
   req.to = target;
   req.tag = next_tag_++;
-  pending_[req.tag] =
-      Pending{clock_->read(wall_->now()), /*recovery=*/true, target};
+  pending_.push_back(
+      Pending{req.tag, clock_->read(wall_->now()), /*recovery=*/true, target});
   ++counters_.requests_sent;
   transport_->send(target, req);
 }

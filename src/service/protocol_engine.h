@@ -15,9 +15,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/clock.h"
@@ -153,7 +151,7 @@ class ProtocolEngine {
   void end_round();
   void process_reading(const core::TimeReading& reading);
   void apply_reset(const core::ClockReset& reset, bool is_recovery);
-  void note_inconsistency(const std::vector<ServerId>& peers);
+  void note_inconsistency(const core::ServerIdVec& peers);
   void request_recovery(ServerId exclude);
   core::LocalState local_state(RealTime t);
   void note_peer_replied(ServerId peer);
@@ -177,14 +175,20 @@ class ProtocolEngine {
   bool running_ = false;
   Duration current_period_ = 0.0;  // adaptive tau; starts at spec.poll_period
 
-  // Outstanding requests: tag -> own-clock send time.
+  // Outstanding requests, keyed by tag.  Tags are handed out monotonically
+  // and requests are appended in tag order, so this flat vector iterates in
+  // exactly the order the old std::map did - but a steady-state round
+  // touches no allocator: push_back reuses capacity, expiry compacts in
+  // place, and reply pairing is a short linear scan (the list is at most a
+  // round's worth of requests).
   struct Pending {
+    std::uint64_t tag = 0;
     core::ClockTime sent_local;
     bool recovery;   // reply triggers an unconditional recovery reset
     ServerId to;     // destination (peer-health miss attribution)
     std::uint32_t age = 0;  // round closes survived (recovery timeout)
   };
-  std::map<std::uint64_t, Pending> pending_;
+  std::vector<Pending> pending_;
   std::uint64_t next_tag_;
 
   // Peer-health layer (null unless spec.health.enabled).
@@ -198,13 +202,18 @@ class ProtocolEngine {
   ServerId recovery_exclude_ = core::kInvalidServer;
 
   // Broadcast-mode round state: one shared tag, one send timestamp, and the
-  // set of neighbours whose reply is still awaited.
+  // neighbours whose reply is still awaited.  Kept sorted ascending so the
+  // round-close miss attribution runs in the same order the old std::set
+  // gave; assign/erase reuse the vector's capacity.
   std::uint64_t broadcast_tag_ = 0;
   core::ClockTime broadcast_sent_local_ = 0.0;
-  std::set<ServerId> broadcast_awaiting_;
+  std::vector<ServerId> broadcast_awaiting_;
 
   // Current round state (per-round sync functions buffer replies here).
   core::Readings round_replies_;
+  // Round scratch buffers: cleared and refilled every round, never shrunk.
+  std::vector<ServerId> round_targets_;
+  core::Readings filter_scratch_;  // per-round filter output (best_all_into)
   bool round_open_ = false;
   runtime::TimerId round_end_timer_ = runtime::kInvalidTimer;
 

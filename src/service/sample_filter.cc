@@ -8,9 +8,13 @@ SampleFilter::SampleFilter(std::size_t window, core::Duration max_age)
     : window_(std::max<std::size_t>(window, 1)), max_age_(max_age) {}
 
 void SampleFilter::add(const core::TimeReading& reading) {
-  auto& q = samples_[reading.from];
-  q.push_back(reading);
-  if (q.size() > window_) q.pop_front();
+  Window& w = samples_[reading.from];
+  if (w.buf.size() < window_) {
+    w.buf.push_back(reading);  // still filling; next stays at 0
+    return;
+  }
+  w.buf[w.next] = reading;  // overwrite the oldest slot
+  w.next = (w.next + 1) % window_;
 }
 
 std::optional<core::TimeReading> SampleFilter::best(core::ServerId from,
@@ -18,10 +22,14 @@ std::optional<core::TimeReading> SampleFilter::best(core::ServerId from,
                                                     double delta) const {
   const auto it = samples_.find(from);
   if (it == samples_.end()) return std::nullopt;
+  const Window& w = it->second;
+  const std::size_t n = w.buf.size();
 
   std::optional<core::TimeReading> best_reading;
   core::Duration best_width = 0.0;
-  for (const auto& r : it->second) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Oldest first (see Window): identical traversal to the old deque.
+    const core::TimeReading& r = w.buf[(w.next + i) % n];
     const core::Duration age = local_now - r.local_receive;
     if (age < 0 || age > max_age_) continue;
     // Effective half-width of the aged interval this reading defines.
@@ -44,24 +52,30 @@ std::optional<core::TimeReading> SampleFilter::best(core::ServerId from,
 core::Readings SampleFilter::best_all(core::ClockTime local_now,
                                       double delta) const {
   core::Readings out;
-  for (const auto& [from, q] : samples_) {
+  best_all_into(local_now, delta, out);
+  return out;
+}
+
+void SampleFilter::best_all_into(core::ClockTime local_now, double delta,
+                                 core::Readings& out) const {
+  out.clear();
+  for (const auto& [from, w] : samples_) {
     if (auto r = best(from, local_now, delta)) out.push_back(*r);
   }
-  return out;
 }
 
 void SampleFilter::on_local_reset(core::Duration jump) {
   // A recorded sample's local_receive is on the old timescale; shifting it
   // by the jump keeps (c - local_receive) - the offset the algorithms
   // consume - meaningful on the new one.
-  for (auto& [from, q] : samples_) {
-    for (auto& r : q) r.local_receive += jump;
+  for (auto& [from, w] : samples_) {
+    for (auto& r : w.buf) r.local_receive += jump;
   }
 }
 
 std::size_t SampleFilter::size(core::ServerId from) const {
   const auto it = samples_.find(from);
-  return it == samples_.end() ? 0 : it->second.size();
+  return it == samples_.end() ? 0 : it->second.buf.size();
 }
 
 }  // namespace mtds::service

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/reading.h"
 #include "core/time_types.h"
@@ -46,6 +46,11 @@ class SampleFilter {
   // Best readings from every neighbour with at least one usable sample.
   core::Readings best_all(core::ClockTime local_now, double delta) const;
 
+  // Allocation-free variant: clears `out` and refills it (the caller keeps
+  // the buffer across rounds, so its capacity is paid exactly once).
+  void best_all_into(core::ClockTime local_now, double delta,
+                     core::Readings& out) const;
+
   // Local clock was reset: recorded offsets are in the old timescale.
   // `jump` = new_clock - old_clock; samples are rebased rather than
   // discarded (offsets relative to the local clock shift by -jump).
@@ -55,9 +60,19 @@ class SampleFilter {
   std::size_t size(core::ServerId from) const;
 
  private:
+  // Fixed circular window per neighbour (a deque would re-allocate chunks
+  // as the window slides; the ring reaches its full size once and then the
+  // steady state touches no allocator).  While filling, `next` stays 0 and
+  // slots 0..size-1 are oldest-first; once full, `next` is the oldest slot
+  // and iteration runs (next + i) % window - the same oldest-to-newest
+  // order the deque gave, which best()'s strict-< tie-break depends on.
+  struct Window {
+    std::vector<core::TimeReading> buf;
+    std::size_t next = 0;  // overwrite cursor; the oldest slot when full
+  };
   std::size_t window_;
   core::Duration max_age_;
-  std::map<core::ServerId, std::deque<core::TimeReading>> samples_;
+  std::map<core::ServerId, Window> samples_;
 };
 
 }  // namespace mtds::service

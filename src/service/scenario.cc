@@ -162,6 +162,18 @@ Scenario parse_scenario(const std::string& text) {
     } else if (cmd == "sample") {
       if (tokens.size() != 2) fail(line, "usage: sample <period>");
       cfg.sample_interval = parse_double(tokens[1], line);
+    } else if (cmd == "shards") {
+      // Sharded parallel engine: 0 = legacy single-queue engine.
+      if (tokens.size() != 2) fail(line, "usage: shards <n>");
+      const double n = parse_double(tokens[1], line);
+      if (n < 0 || n > 4096) fail(line, "shards must be in [0, 4096]");
+      cfg.sim_shards = static_cast<std::uint32_t>(n);
+    } else if (cmd == "threads") {
+      // Worker threads for the sharded engine; never affects results.
+      if (tokens.size() != 2) fail(line, "usage: threads <n>");
+      const double n = parse_double(tokens[1], line);
+      if (n < 1 || n > 256) fail(line, "threads must be in [1, 256]");
+      cfg.sim_threads = static_cast<std::uint32_t>(n);
     } else if (cmd == "topology") {
       if (tokens.size() != 2) fail(line, "usage: topology full|ring|star|line");
       topology_set = true;

@@ -56,27 +56,61 @@ TimeService::TimeService(ServiceConfig config)
       sim::make_uniform_delay(config_.delay_lo, config_.delay_hi);
   network_ = std::make_unique<ServiceNetwork>(queue_, *delay_model_, rng_);
   network_->set_loss_probability(config_.loss_probability);
+  if (config_.sim_shards > 0) {
+    // Sharded engine: per-shard queues / RNG streams / trace buffers, all
+    // keyed by the shard count (never the thread count - see config.h).
+    // Shard RNGs fork from the root seed in shard order before any server
+    // forks, so the streams are stable under membership changes.
+    const std::uint32_t s = config_.sim_shards;
+    std::vector<sim::EventQueue*> queues;
+    std::vector<sim::Rng*> rngs;
+    std::vector<const sim::Trace*> traces;
+    shards_.reserve(s);
+    for (std::uint32_t k = 0; k < s; ++k) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_[k]->rng = rng_.fork();
+      queues.push_back(&shards_[k]->queue);
+      rngs.push_back(&shards_[k]->rng);
+      traces.push_back(&shards_[k]->trace);
+    }
+    network_->enable_sharding(s, queues, rngs);
+    engine_ = std::make_unique<sim::ShardedEngine>(queues, config_.sim_threads);
+    engine_->set_barrier_hook([this] { network_->flush_mailboxes(); });
+    trace_merger_ = std::make_unique<sim::TraceMerger>(std::move(traces));
+  }
   build();
 }
 
 std::unique_ptr<core::Clock> TimeService::make_clock(const ServerSpec& spec) {
+  const RealTime t = now();
   std::unique_ptr<core::Clock> clock;
   if (!spec.drift_changes.empty()) {
     clock = std::make_unique<core::PiecewiseDriftClock>(
         spec.actual_drift, spec.drift_changes,
-        core::ClockTime{0.0} + spec.initial_offset, queue_.now());
+        core::ClockTime{0.0} + spec.initial_offset, t);
   } else {
     // The one sanctioned axis crossing: seed the clock at true time plus
     // the configured offset.
     clock = std::make_unique<core::DriftingClock>(
-        spec.actual_drift,
-        core::ClockTime{queue_.now().seconds()} + spec.initial_offset,
-        queue_.now());
+        spec.actual_drift, core::ClockTime{t.seconds()} + spec.initial_offset,
+        t);
   }
   if (spec.fault.kind != core::ClockFaultKind::kNone) {
     clock = std::make_unique<core::FaultyClock>(std::move(clock), spec.fault);
   }
   return clock;
+}
+
+sim::EventQueue& TimeService::queue_for(ServerId id) {
+  return engine_ != nullptr ? shards_[shard_of(id)]->queue : queue_;
+}
+
+sim::Trace* TimeService::trace_for(ServerId id) {
+  return engine_ != nullptr ? &shards_[shard_of(id)]->trace : &trace_;
+}
+
+sim::Rng TimeService::fork_rng_for(ServerId id) {
+  return engine_ != nullptr ? shards_[shard_of(id)]->rng.fork() : rng_.fork();
 }
 
 void TimeService::build() {
@@ -86,7 +120,8 @@ void TimeService::build() {
   for (ServerId i = 0; i < n; ++i) {
     const ServerSpec& spec = config_.servers[i];
     servers_.push_back(std::make_unique<TimeServer>(
-        i, make_clock(spec), spec, queue_, *network_, &trace_, rng_.fork()));
+        i, make_clock(spec), spec, queue_for(i), *network_, trace_for(i),
+        fork_rng_for(i)));
   }
   for (ServerId i = 0; i < n; ++i) {
     servers_[i]->start(adjacency_[i]);
@@ -99,7 +134,15 @@ void TimeService::build() {
     }
   }
   if (config_.sample_interval > 0) {
-    queue_.after(0.0, [this] { sample(); });
+    if (engine_ != nullptr) {
+      // One sampler per shard, each recording its own servers into the
+      // shard's private trace (merged at run_until barriers).
+      for (std::uint32_t k = 0; k < config_.sim_shards; ++k) {
+        shards_[k]->queue.after(0.0, [this, k] { sample_shard(k); });
+      }
+    } else {
+      queue_.after(0.0, [this] { sample(); });
+    }
   }
 }
 
@@ -113,13 +156,37 @@ void TimeService::sample() {
   queue_.after(config_.sample_interval, [this] { sample(); });
 }
 
-void TimeService::run_until(RealTime t) { queue_.run_until(t); }
+void TimeService::sample_shard(std::uint32_t shard) {
+  const RealTime now = shards_[shard]->queue.now();
+  for (const auto& server : servers_) {
+    if (shard_of(server->id()) != shard || !server->running()) continue;
+    shards_[shard]->trace.record({now, server->id(), server->read_clock(now),
+                                  server->current_error(now)});
+  }
+  shards_[shard]->queue.after(config_.sample_interval,
+                              [this, shard] { sample_shard(shard); });
+}
+
+void TimeService::reserve_trace(std::size_t samples, std::size_t events) {
+  trace_.reserve(samples, events);
+  for (auto& shard : shards_) shard->trace.reserve(samples, events);
+}
+
+void TimeService::run_until(RealTime t) {
+  if (engine_ != nullptr) {
+    engine_->run_until(t, network_->min_one_way_delay());
+    trace_merger_->merge_into(trace_);
+  } else {
+    queue_.run_until(t);
+  }
+}
 
 ServerId TimeService::add_server(const ServerSpec& spec, bool announce) {
   const auto id = static_cast<ServerId>(servers_.size());
   config_.servers.push_back(spec);
   servers_.push_back(std::make_unique<TimeServer>(
-      id, make_clock(spec), spec, queue_, *network_, &trace_, rng_.fork()));
+      id, make_clock(spec), spec, queue_for(id), *network_, trace_for(id),
+      fork_rng_for(id)));
   std::vector<ServerId> neighbors;
   for (const auto& existing : servers_) {
     if (existing->id() != id && existing->running()) {
@@ -158,7 +225,7 @@ void TimeService::restart_server(ServerId id) {
 }
 
 std::vector<core::Offset> TimeService::offsets() {
-  const RealTime now = queue_.now();
+  const RealTime now = this->now();
   std::vector<core::Offset> out;
   out.reserve(servers_.size());
   for (const auto& s : servers_) {
@@ -168,7 +235,7 @@ std::vector<core::Offset> TimeService::offsets() {
 }
 
 std::vector<Duration> TimeService::errors() {
-  const RealTime now = queue_.now();
+  const RealTime now = this->now();
   std::vector<Duration> out;
   out.reserve(servers_.size());
   for (const auto& s : servers_) {
@@ -188,7 +255,7 @@ Duration TimeService::max_error() {
 }
 
 Duration TimeService::max_asynchronism() {
-  const RealTime now = queue_.now();
+  const RealTime now = this->now();
   std::vector<core::ClockTime> clocks;
   for (const auto& s : servers_) {
     if (s->running()) clocks.push_back(s->read_clock(now));
@@ -199,7 +266,7 @@ Duration TimeService::max_asynchronism() {
 }
 
 bool TimeService::all_correct() {
-  const RealTime now = queue_.now();
+  const RealTime now = this->now();
   return std::all_of(servers_.begin(), servers_.end(), [&](const auto& s) {
     return !s->running() || s->correct(now);
   });

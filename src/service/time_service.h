@@ -14,6 +14,7 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/rng.h"
+#include "sim/sharded_engine.h"
 #include "sim/trace.h"
 
 namespace mtds::service {
@@ -29,11 +30,22 @@ class TimeService {
   TimeServer& server(std::size_t i) { return *servers_.at(i); }
   const TimeServer& server(std::size_t i) const { return *servers_.at(i); }
 
-  RealTime now() const noexcept { return queue_.now(); }
+  RealTime now() const noexcept {
+    return engine_ != nullptr ? engine_->now() : queue_.now();
+  }
   sim::EventQueue& queue() noexcept { return queue_; }
   ServiceNetwork& network() noexcept { return *network_; }
   sim::Trace& trace() noexcept { return trace_; }
   const sim::Trace& trace() const noexcept { return trace_; }
+
+  // Pre-sizes every trace buffer (the merged service trace and, in sharded
+  // mode, each shard's private buffer) so steady-state recording never
+  // reallocates.  Used by the zero-allocation test and the benches.
+  void reserve_trace(std::size_t samples, std::size_t events);
+
+  // Sharded mode introspection (null/0 on the legacy engine).
+  bool sharded() const noexcept { return engine_ != nullptr; }
+  sim::ShardedEngine* sharded_engine() noexcept { return engine_.get(); }
   const ServiceConfig& config() const noexcept { return config_; }
   sim::Rng& rng() noexcept { return rng_; }
 
@@ -67,7 +79,16 @@ class TimeService {
  private:
   void build();
   void sample();
+  void sample_shard(std::uint32_t shard);
   std::unique_ptr<core::Clock> make_clock(const ServerSpec& spec);
+
+  // Sharded mode helpers: the shard (queue, RNG, trace) a server id maps to.
+  std::uint32_t shard_of(ServerId id) const noexcept {
+    return id % config_.sim_shards;
+  }
+  sim::EventQueue& queue_for(ServerId id);
+  sim::Trace* trace_for(ServerId id);
+  sim::Rng fork_rng_for(ServerId id);
 
   ServiceConfig config_;
   sim::EventQueue queue_;
@@ -75,6 +96,24 @@ class TimeService {
   std::unique_ptr<sim::DelayModel> delay_model_;
   std::unique_ptr<ServiceNetwork> network_;
   sim::Trace trace_;
+
+  // Sharded engine state (empty/null on the legacy path).  Each shard owns
+  // an event queue, an RNG stream forked from the root seed in shard order,
+  // and a private trace buffer merged into trace_ at run_until barriers.
+  // Declared BEFORE servers_: a dying TimeServer still records its leave
+  // event into its shard's trace, so the shards must outlive the servers
+  // (exactly as queue_/trace_/network_ outlive them on the legacy path).
+  // engine_ follows shards_ so its worker threads stop before the queues
+  // they execute are torn down.
+  struct Shard {
+    sim::EventQueue queue;
+    sim::Rng rng{0};
+    sim::Trace trace;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  std::unique_ptr<sim::TraceMerger> trace_merger_;
+
   std::vector<std::unique_ptr<TimeServer>> servers_;
   std::vector<std::vector<ServerId>> adjacency_;
 };

@@ -19,11 +19,16 @@ class DelayModel {
  public:
   virtual ~DelayModel() = default;
 
-  // Samples a one-way delay; must satisfy 0 <= delay <= max_delay().
+  // Samples a one-way delay; must satisfy min_delay() <= delay <= max_delay().
   virtual Duration sample(Rng& rng) const = 0;
 
   // Hard upper bound on one-way delay.
   virtual Duration max_delay() const noexcept = 0;
+
+  // Hard lower bound on one-way delay (the paper's sigma_j >= min network
+  // delay).  The sharded engine uses the minimum over all links as its
+  // conservative lookahead window; zero is always sound and is the default.
+  virtual Duration min_delay() const noexcept { return Duration{0.0}; }
 };
 
 // Constant delay (degenerate but useful in tests and worst-case setups).
@@ -32,6 +37,7 @@ class FixedDelay final : public DelayModel {
   explicit FixedDelay(Duration d);
   Duration sample(Rng&) const override { return delay_; }
   Duration max_delay() const noexcept override { return delay_; }
+  Duration min_delay() const noexcept override { return delay_; }
 
  private:
   Duration delay_;
@@ -44,6 +50,7 @@ class UniformDelay final : public DelayModel {
   UniformDelay(Duration lo, Duration hi);
   Duration sample(Rng& rng) const override;
   Duration max_delay() const noexcept override { return hi_; }
+  Duration min_delay() const noexcept override { return lo_; }
 
  private:
   Duration lo_, hi_;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "core/time_types.h"
 #include "util/slab_heap.h"
@@ -73,6 +74,52 @@ class EventQueue {
     std::size_t executed = 0;
     while (executed < max_events && pop_one()) ++executed;
     return executed;
+  }
+
+  // Window primitives for the sharded engine (sharded_engine.h).  A shard
+  // executes its queue in conservative-lookahead windows: run_before() for a
+  // strict window [now, t_end) when the lookahead is positive, run_at() for
+  // one lockstep timestamp when it is zero.  Both match run_until's FIFO
+  // (time, seq) order exactly - they just stop earlier.
+
+  // Runs every event with time < t_end (strict), then advances now to t_end.
+  std::size_t run_before(RealTime t_end) {
+    std::size_t executed = 0;
+    for (;;) {
+      const Priority* top = heap_.peek();
+      if (top == nullptr || top->time >= t_end) break;
+      if (pop_one()) ++executed;
+    }
+    if (t_end > now_) now_ = t_end;
+    return executed;
+  }
+
+  // Runs every event with time == t, including events they schedule at t,
+  // then advances now to t.  Events earlier than t must not exist (callers
+  // pass the global minimum next_time()).
+  std::size_t run_at(RealTime t) {
+    std::size_t executed = 0;
+    for (;;) {
+      const Priority* top = heap_.peek();
+      if (top == nullptr || top->time != t) break;
+      if (pop_one()) ++executed;
+    }
+    if (t > now_) now_ = t;
+    return executed;
+  }
+
+  // Time of the next live event, or +infinity when the queue is empty.
+  RealTime next_time() {
+    const Priority* top = heap_.peek();
+    return top != nullptr
+               ? top->time
+               : RealTime{std::numeric_limits<double>::infinity()};
+  }
+
+  // Advances now without executing anything (the sharded engine aligns all
+  // shard clocks at the end of a run; events must all lie beyond t).
+  void advance_to(RealTime t) noexcept {
+    if (t > now_) now_ = t;
   }
 
   RealTime now() const noexcept { return now_; }

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 #include <utility>
@@ -29,6 +30,7 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "util/log.h"
+#include "util/spsc_ring.h"
 
 namespace mtds::sim {
 
@@ -62,6 +64,63 @@ class Network {
   // them and must outlive the network.
   Network(EventQueue& queue, const DelayModel& delays, Rng& rng)
       : queue_(&queue), delays_(&delays), rng_(&rng) {}
+
+  // --- sharded mode (sharded_engine.h) -----------------------------------
+  //
+  // enable_sharding() switches send() from the single global queue/RNG to a
+  // per-shard router: the sender's shard (from % S) supplies the RNG stream
+  // for loss and delay draws and the stats bucket; a same-shard message is
+  // scheduled directly on the receiver's queue, a cross-shard one is posted
+  // to the (sender, receiver) SPSC mailbox and scheduled by
+  // flush_mailboxes() at the next epoch barrier.  All mutating control
+  // methods (register/unregister, partitions, link delays, loss) remain
+  // barrier-only: they touch tables that the parallel windows read.
+  //
+  // Determinism: shard RNG streams, mailbox indices and the flush order
+  // (receiver-major, then sender, each in push order) are all functions of
+  // the shard count alone - never of the worker thread count.
+
+  void enable_sharding(std::uint32_t num_shards,
+                       std::vector<EventQueue*> shard_queues,
+                       std::vector<Rng*> shard_rngs,
+                       std::size_t mailbox_capacity = 256) {
+    router_ = std::make_unique<ShardRouter>();
+    router_->num_shards = num_shards;
+    router_->queues = std::move(shard_queues);
+    router_->rngs = std::move(shard_rngs);
+    router_->stats.resize(num_shards);
+    router_->mailboxes.reserve(static_cast<std::size_t>(num_shards) *
+                               num_shards);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(num_shards) *
+                                    num_shards;
+         ++i) {
+      router_->mailboxes.emplace_back(mailbox_capacity);
+    }
+  }
+
+  bool sharded() const noexcept { return router_ != nullptr; }
+
+  std::uint32_t shard_of(ServerId id) const noexcept {
+    return id % router_->num_shards;
+  }
+
+  // Epoch-barrier drain: schedules every mailboxed message on its receiver
+  // shard's queue.  Coordinating thread only; workers must be idle.
+  void flush_mailboxes() {
+    const std::uint32_t s = router_->num_shards;
+    for (std::uint32_t dst = 0; dst < s; ++dst) {
+      EventQueue* q = router_->queues[dst];
+      for (std::uint32_t src = 0; src < s; ++src) {
+        router_->mailboxes[src * s + dst].drain([this, q](InFlight&& item) {
+          q->at(item.t, [this, q, to = item.to, m = std::move(item.msg)]() {
+            deliver(*q, shard_stats(to), to, m);
+          });
+        });
+      }
+    }
+  }
+
+  // -----------------------------------------------------------------------
 
   void register_node(ServerId id, Handler handler) {
     if (id >= handlers_.size()) handlers_.resize(id + 1);
@@ -116,6 +175,7 @@ class Network {
   // Sends msg from -> to.  Returns the sampled delay, or nullopt when the
   // message was dropped (loss, partition, or missing receiver at send time).
   std::optional<Duration> send(ServerId from, ServerId to, Msg msg) {
+    if (router_ != nullptr) return send_sharded(from, to, std::move(msg));
     ++stats_.sent;
     if (is_partitioned(from, to)) {
       ++stats_.dropped_partition;
@@ -125,22 +185,10 @@ class Network {
       ++stats_.dropped_loss;
       return std::nullopt;
     }
-    const DelayModel* model = delays_;
-    if (!link_delays_.empty()) {
-      const LinkKey key = directed_key(from, to);
-      const auto it = std::lower_bound(
-          link_delays_.begin(), link_delays_.end(), key,
-          [](const auto& entry, LinkKey k) { return entry.first < k; });
-      if (it != link_delays_.end() && it->first == key) model = it->second;
-    }
+    const DelayModel* model = pick_model(from, to);
     const Duration delay = model->sample(*rng_);
     queue_->after(delay, [this, to, m = std::move(msg)]() {
-      if (to >= handlers_.size() || !handlers_[to]) {
-        ++stats_.dropped_no_handler;
-        return;
-      }
-      ++stats_.delivered;
-      handlers_[to](queue_->now(), m);
+      deliver(*queue_, stats_, to, m);
     });
     return delay;
   }
@@ -168,7 +216,32 @@ class Network {
   // 2 * max_one_way_delay() as their round-trip bound xi.
   Duration max_one_way_delay() const noexcept { return delays_->max_delay(); }
 
-  const NetworkStats& stats() const noexcept { return stats_; }
+  // Smallest one-way delay any link (default model or per-link override) can
+  // produce: the sharded engine's sound conservative lookahead.
+  Duration min_one_way_delay() const noexcept {
+    Duration lo = delays_->min_delay();
+    for (const auto& entry : link_delays_) {
+      const Duration m = entry.second->min_delay();
+      if (m < lo) lo = m;
+    }
+    return lo;
+  }
+
+  const NetworkStats& stats() const noexcept {
+    if (router_ == nullptr) return stats_;
+    // Sharded mode: fold the per-shard buckets into one view (barrier-time
+    // only; workers own the buckets during parallel windows).
+    agg_stats_ = stats_;
+    for (const PaddedStats& p : router_->stats) {
+      agg_stats_.sent += p.s.sent;
+      agg_stats_.delivered += p.s.delivered;
+      agg_stats_.dropped_loss += p.s.dropped_loss;
+      agg_stats_.dropped_partition += p.s.dropped_partition;
+      agg_stats_.dropped_no_handler += p.s.dropped_no_handler;
+      agg_stats_.skipped_self += p.s.skipped_self;
+    }
+    return agg_stats_;
+  }
 
  private:
   using LinkKey = std::uint64_t;  // packed (ServerId, ServerId)
@@ -182,6 +255,84 @@ class Network {
     return (static_cast<LinkKey>(from) << 32) | to;
   }
 
+  const DelayModel* pick_model(ServerId from, ServerId to) const noexcept {
+    if (!link_delays_.empty()) {
+      const LinkKey key = directed_key(from, to);
+      const auto it = std::lower_bound(
+          link_delays_.begin(), link_delays_.end(), key,
+          [](const auto& entry, LinkKey k) { return entry.first < k; });
+      if (it != link_delays_.end() && it->first == key) return it->second;
+    }
+    return delays_;
+  }
+
+  // Delivery tail shared by the legacy and sharded paths: `q` is the queue
+  // the closure executes on (its now() is the arrival time) and `st` the
+  // stats bucket owned by the thread running the closure.
+  void deliver(EventQueue& q, NetworkStats& st, ServerId to, const Msg& m) {
+    if (to >= handlers_.size() || !handlers_[to]) {
+      ++st.dropped_no_handler;
+      return;
+    }
+    ++st.delivered;
+    handlers_[to](q.now(), m);
+  }
+
+  // A cross-shard message parked in a mailbox until the next barrier.
+  struct InFlight {
+    RealTime t;    // arrival time (sender-shard now + sampled delay)
+    ServerId to = 0;
+    Msg msg{};
+  };
+
+  // Per-shard stats buckets are cacheline-padded: shard k's bucket is
+  // written by whichever worker owns shard k (send-side counters at send
+  // time, receive-side counters at delivery time - both shard-k events).
+  struct alignas(64) PaddedStats {
+    NetworkStats s;
+  };
+
+  struct ShardRouter {
+    std::uint32_t num_shards = 1;
+    std::vector<EventQueue*> queues;  // per shard, borrowed
+    std::vector<Rng*> rngs;           // per shard, borrowed
+    std::vector<PaddedStats> stats;
+    std::vector<util::SpscRing<InFlight>> mailboxes;  // [src * S + dst]
+  };
+
+  NetworkStats& shard_stats(ServerId id) noexcept {
+    return router_->stats[shard_of(id)].s;
+  }
+
+  std::optional<Duration> send_sharded(ServerId from, ServerId to, Msg msg) {
+    const std::uint32_t src = shard_of(from);
+    NetworkStats& st = router_->stats[src].s;
+    ++st.sent;
+    if (is_partitioned(from, to)) {
+      ++st.dropped_partition;
+      return std::nullopt;
+    }
+    Rng& rng = *router_->rngs[src];
+    if (loss_probability_ > 0 && rng.bernoulli(loss_probability_)) {
+      ++st.dropped_loss;
+      return std::nullopt;
+    }
+    const Duration delay = pick_model(from, to)->sample(rng);
+    EventQueue* sq = router_->queues[src];
+    const RealTime arrival = sq->now() + delay;
+    const std::uint32_t dst = shard_of(to);
+    if (dst == src) {
+      sq->at(arrival, [this, sq, to, m = std::move(msg)]() {
+        deliver(*sq, shard_stats(to), to, m);
+      });
+    } else {
+      router_->mailboxes[static_cast<std::size_t>(src) * router_->num_shards +
+                         dst]
+          .push(InFlight{arrival, to, std::move(msg)});
+    }
+    return delay;
+  }
+
   EventQueue* queue_;
   const DelayModel* delays_;
   Rng* rng_;
@@ -190,6 +341,8 @@ class Network {
   std::vector<LinkKey> partitions_;                                 // sorted
   double loss_probability_ = 0.0;
   NetworkStats stats_;
+  std::unique_ptr<ShardRouter> router_;  // null = legacy single-queue mode
+  mutable NetworkStats agg_stats_;       // stats() scratch in sharded mode
 };
 
 }  // namespace mtds::sim

@@ -1,0 +1,103 @@
+#include "sim/sharded_engine.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mtds::sim {
+
+ShardedEngine::ShardedEngine(std::vector<EventQueue*> queues,
+                             unsigned num_threads)
+    : queues_(std::move(queues)) {
+  if (queues_.empty()) {
+    throw std::invalid_argument("ShardedEngine: no shard queues");
+  }
+  const unsigned t = num_threads == 0 ? 1 : num_threads;
+  stride_ = t;  // published before any worker starts; workers only read it
+  workers_.reserve(t);
+  for (unsigned w = 0; w < t; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    util::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardedEngine::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_ready_.wait(mu_);
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    // Static shard-cyclic schedule: worker w owns shards w, w+T, w+2T, ...
+    // The assignment affects load balance only, never results - each shard's
+    // window is self-contained.
+    for (std::size_t s = worker; s < queues_.size(); s += stride_) (*job)(s);
+    {
+      util::MutexLock lock(mu_);
+      if (--remaining_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ShardedEngine::run_window(const std::function<void(std::size_t)>& job) {
+  {
+    util::MutexLock lock(mu_);
+    job_ = &job;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  util::MutexLock lock(mu_);
+  while (remaining_ != 0) work_done_.wait(mu_);
+}
+
+void ShardedEngine::run_until(RealTime t_target, Duration lookahead) {
+  const Duration L = lookahead < Duration{0.0} ? Duration{0.0} : lookahead;
+  last_windows_ = 0;
+  for (;;) {
+    RealTime t_min{std::numeric_limits<double>::infinity()};
+    for (EventQueue* q : queues_) {
+      const RealTime t = q->next_time();
+      if (t < t_min) t_min = t;
+    }
+    if (t_min > t_target) break;
+
+    ++last_windows_;
+    if (L > Duration{0.0} && t_min + L <= t_target) {
+      // Exclusive window [t_min, t_min + L): cross-shard arrivals land at
+      // >= t_min + L, past the window end, so shards are independent.
+      const RealTime w_end = t_min + L;
+      run_window([&](std::size_t s) { queues_[s]->run_before(w_end); });
+    } else if (L > Duration{0.0}) {
+      // Final stretch: horizon closer than one window.  Every remaining
+      // event at u <= t_target sends arrivals at >= t_min + L > t_target,
+      // beyond this run entirely - drain to the horizon in one pass.
+      run_window([&](std::size_t s) { queues_[s]->run_until(t_target); });
+    } else {
+      // Zero lookahead: lockstep over one timestamp.  Events at exactly
+      // t_min run in parallel across shards; their cross-shard sends arrive
+      // at >= t_min and are scheduled at the barrier for later rounds,
+      // matching the sequential engine's behavior of processing same-time
+      // arrivals after their senders.
+      run_window([&](std::size_t s) { queues_[s]->run_at(t_min); });
+    }
+    if (barrier_hook_) barrier_hook_();
+  }
+  // All pending events now lie beyond t_target; align every shard clock so
+  // barrier-time observations and membership actions see a consistent now.
+  for (EventQueue* q : queues_) q->advance_to(t_target);
+  if (t_target > now_) now_ = t_target;
+}
+
+}  // namespace mtds::sim

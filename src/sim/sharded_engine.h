@@ -1,0 +1,107 @@
+// ShardedEngine: conservative-lookahead parallel discrete-event execution.
+//
+// The server population is split across S shards, each owning its own
+// SlabHeap-backed EventQueue, RNG stream and trace buffer (the owners live
+// in the service layer; the engine only sees the queues).  A pool of T
+// worker threads executes the shards in epoch windows:
+//
+//   Tmin = min over shards of next_time()
+//   if lookahead L > 0:  every shard runs its events in [Tmin, Tmin + L)
+//   if L == 0:           every shard runs exactly the events at time Tmin
+//
+// with a barrier between windows at which the coordinating thread drains
+// the cross-shard mailboxes (the barrier hook) and recomputes Tmin.  The
+// scheme is conservative in the classical PDES sense: L is the minimum
+// one-way link delay, so an event executing at u >= Tmin can only produce a
+// cross-shard arrival at u + delay >= Tmin + L - beyond the window - and
+// events inside one window on different shards can never interact.  With
+// L == 0 (the paper's default "minimum delay zero" networks) the engine
+// degenerates to deterministic lockstep over distinct timestamps, which is
+// correct but only parallel across shards sharing a timestamp.
+//
+// Determinism invariants (pinned by determinism_test's sharded goldens):
+//   * the shard count S - not the thread count T - partitions all state:
+//     shard assignment, RNG streams, mailbox indices and trace buffers are
+//     all functions of S alone;
+//   * a shard's window execution is single-threaded and FIFO-ordered, so it
+//     is identical whichever worker runs it;
+//   * mailboxes are drained only at barriers, by the coordinating thread,
+//     in canonical (receiver, sender) order, each preserving push order.
+// Hence the observable run is a pure function of (scenario, S): T in
+// {1, 2, 4, ...} only changes which OS thread executes a shard's window.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/time_types.h"
+#include "sim/event_queue.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mtds::sim {
+
+using core::Duration;
+using core::RealTime;
+
+class ShardedEngine {
+ public:
+  // Borrows the shard queues (the service owns them; they must outlive the
+  // engine).  Spawns max(1, num_threads) workers; shard s is always
+  // executed by worker s % T, though which worker is irrelevant to the
+  // result (see determinism invariants above).
+  ShardedEngine(std::vector<EventQueue*> queues, unsigned num_threads);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Invoked by the coordinating thread at every epoch barrier, after all
+  // workers have finished the window: drain cross-shard mailboxes into the
+  // shard queues.  Must be set before run_until when mailboxes are in use.
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  // Runs every shard's events with time <= t_target under the epoch scheme,
+  // then aligns every shard clock (and now()) to t_target.  `lookahead` is
+  // the window width L; it must not exceed the minimum one-way delay of any
+  // cross-shard link.  Monotone like EventQueue::run_until.
+  void run_until(RealTime t_target, Duration lookahead);
+
+  RealTime now() const noexcept { return now_; }
+  std::size_t num_shards() const noexcept { return queues_.size(); }
+  unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  // Epoch windows executed by the last run_until (scheduling diagnostics).
+  std::size_t last_windows() const noexcept { return last_windows_; }
+
+ private:
+  // Dispatches one window job to the pool and blocks until every worker is
+  // done.  `job` receives a shard index and must only touch that shard.
+  void run_window(const std::function<void(std::size_t)>& job);
+  void worker_loop(unsigned worker);
+
+  std::vector<EventQueue*> queues_;
+  std::function<void()> barrier_hook_;
+  RealTime now_ = 0.0;
+  std::size_t last_windows_ = 0;
+  std::size_t stride_ = 1;  // == worker count; set before workers spawn
+
+  // Generation-counted barrier: the coordinator bumps `generation_` to
+  // publish a job, workers report back through `remaining_`.
+  util::Mutex mu_;
+  util::CondVar work_ready_;
+  util::CondVar work_done_;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  std::size_t remaining_ GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* job_ GUARDED_BY(mu_) = nullptr;
+  bool stop_ GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mtds::sim

@@ -70,6 +70,42 @@ void Trace::clear() {
   events_.clear();
 }
 
+TraceMerger::TraceMerger(std::vector<const Trace*> shards)
+    : shards_(std::move(shards)),
+      sample_pos_(shards_.size(), 0),
+      event_pos_(shards_.size(), 0) {}
+
+void TraceMerger::merge_into(Trace& out) {
+  // Linear scan over shards per emitted entry: S is small (single digits by
+  // default) and the streams are consumed incrementally, so this beats a
+  // heap's bookkeeping in practice.
+  const std::size_t n = shards_.size();
+  for (;;) {
+    std::size_t best = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (sample_pos_[k] >= shards_[k]->samples().size()) continue;
+      if (best == n || shards_[k]->samples()[sample_pos_[k]].t <
+                           shards_[best]->samples()[sample_pos_[best]].t) {
+        best = k;  // strict <: ties resolve to the lowest shard index
+      }
+    }
+    if (best == n) break;
+    out.record(shards_[best]->samples()[sample_pos_[best]++]);
+  }
+  for (;;) {
+    std::size_t best = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (event_pos_[k] >= shards_[k]->events().size()) continue;
+      if (best == n || shards_[k]->events()[event_pos_[k]].t <
+                           shards_[best]->events()[event_pos_[best]].t) {
+        best = k;
+      }
+    }
+    if (best == n) break;
+    out.record(shards_[best]->events()[event_pos_[best]++]);
+  }
+}
+
 std::string Trace::samples_csv() const {
   std::string out = "t,server,clock,error,offset\n";
   char buf[160];

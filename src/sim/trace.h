@@ -52,6 +52,13 @@ class Trace {
   void record(const Sample& s) { samples_.push_back(s); }
   void record(const TraceEvent& e) { events_.push_back(e); }
 
+  // Pre-sizes the backing vectors (steady-state recording then allocates
+  // nothing until the reservation is exhausted; see tests/alloc_test.cc).
+  void reserve(std::size_t samples, std::size_t events) {
+    samples_.reserve(samples);
+    events_.reserve(events);
+  }
+
   const std::vector<Sample>& samples() const noexcept { return samples_; }
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
 
@@ -75,6 +82,29 @@ class Trace {
  private:
   std::vector<Sample> samples_;
   std::vector<TraceEvent> events_;
+};
+
+// Incremental k-way merge of per-shard traces into one deterministic
+// stream, ordered by (t, shard index) with per-shard append order preserved
+// for ties.  Each shard records its own servers' samples and events in
+// nondecreasing time (its event queue executes in time order), so the merge
+// is a classic sorted-runs merge; the shard index tie-break makes the
+// result independent of worker-thread scheduling - the sharded determinism
+// goldens hash the merged stream.
+//
+// merge_into() consumes only entries recorded since the previous call, so
+// the service can merge at every run_until barrier without rescanning.
+class TraceMerger {
+ public:
+  explicit TraceMerger(std::vector<const Trace*> shards);
+
+  // Appends all newly recorded shard entries to `out` in merged order.
+  void merge_into(Trace& out);
+
+ private:
+  std::vector<const Trace*> shards_;
+  std::vector<std::size_t> sample_pos_;
+  std::vector<std::size_t> event_pos_;
 };
 
 }  // namespace mtds::sim

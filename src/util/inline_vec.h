@@ -1,0 +1,96 @@
+// InlineVec: a tiny vector whose first N elements live inside the object.
+//
+// The protocol engine's hot path builds a handful of small id lists per
+// round (a reset's source servers, the peers a round was inconsistent
+// with).  std::vector heap-allocates on the very first push_back, which
+// made every clock reset pay a malloc/free pair; the lists almost never
+// exceed two entries.  InlineVec keeps up to N elements in inline storage
+// and only spills to a heap vector beyond that - and a spilled instance
+// keeps its heap capacity across clear(), so even the spilling user is
+// allocation-free at steady state.
+//
+// Deliberately minimal: trivially copyable element types only (the engine
+// stores ids), no erase/insert, iteration is over contiguous storage.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace mtds::util {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "InlineVec needs at least one inline slot");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for small trivially copyable values");
+
+ public:
+  InlineVec() = default;
+
+  // Invariant: heap_ is non-empty exactly when the vector has spilled;
+  // clear() drops back to inline storage but keeps heap_'s capacity.
+  void push_back(const T& v) {
+    if (!heap_.empty()) {
+      heap_.push_back(v);
+      return;
+    }
+    if (inline_size_ < N) {
+      inline_[inline_size_++] = v;
+      return;
+    }
+    heap_.reserve(2 * N);
+    heap_.assign(inline_.begin(), inline_.end());
+    heap_.push_back(v);
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    inline_size_ = 0;
+  }
+
+  std::size_t size() const noexcept {
+    return heap_.empty() ? inline_size_ : heap_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  T* data() noexcept { return heap_.empty() ? inline_.data() : heap_.data(); }
+  const T* data() const noexcept {
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size(); }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  T& front() noexcept { return data()[0]; }
+  const T& front() const noexcept { return data()[0]; }
+
+ private:
+  std::array<T, N> inline_{};
+  std::size_t inline_size_ = 0;
+  std::vector<T> heap_;
+};
+
+template <typename T, std::size_t N>
+bool operator==(const InlineVec<T, N>& a, const InlineVec<T, N>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Tests compare against std::vector literals.
+template <typename T, std::size_t N>
+bool operator==(const InlineVec<T, N>& a, const std::vector<T>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+template <typename T, std::size_t N>
+bool operator==(const std::vector<T>& a, const InlineVec<T, N>& b) {
+  return b == a;
+}
+
+}  // namespace mtds::util

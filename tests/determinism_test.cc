@@ -84,6 +84,21 @@ std::uint64_t run_and_hash(const std::string& name) {
   return hash_trace(runner.run().trace());
 }
 
+// Same scenario, forced onto the sharded parallel engine.  The sharded
+// hashes differ from the legacy ones by design (per-shard RNG streams draw
+// differently from one global stream), but they are their own goldens: a
+// function of (scenario, shard count) only, byte-identical across worker
+// thread counts.
+std::uint64_t run_and_hash_sharded(const std::string& name,
+                                   std::uint32_t shards,
+                                   std::uint32_t threads) {
+  Scenario scenario = parse_scenario(read_scenario(name));
+  scenario.config.sim_shards = shards;
+  scenario.config.sim_threads = threads;
+  ScenarioRunner runner(std::move(scenario));
+  return hash_trace(runner.run().trace());
+}
+
 void check_golden(const std::string& name, std::uint64_t expected) {
   const std::uint64_t got = run_and_hash(name);
   if (std::getenv("MTDS_PRINT_TRACE_HASH") != nullptr) {
@@ -104,6 +119,34 @@ TEST(DeterminismGolden, BasicMM) {
 
 TEST(DeterminismGolden, Chaos) {
   check_golden("chaos.mtds", 0xaead831eaeffa401ull);
+}
+
+// Sharded engine: the pinned hash must hold at EVERY worker thread count -
+// this is the determinism contract of sim/sharded_engine.h (results are a
+// function of the shard count, never of the thread count or OS scheduling).
+void check_sharded_golden(const std::string& name, std::uint32_t shards,
+                          std::uint64_t expected) {
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    const std::uint64_t got = run_and_hash_sharded(name, shards, threads);
+    if (std::getenv("MTDS_PRINT_TRACE_HASH") != nullptr) {
+      printf("golden %s shards=%u threads=%u = 0x%016llxull\n", name.c_str(),
+             shards, threads, static_cast<unsigned long long>(got));
+    }
+    EXPECT_EQ(got, expected)
+        << name << " (shards=" << shards << ", threads=" << threads
+        << "): sharded trace hash changed - either the engine lost "
+        << "thread-count independence (hashes differ between thread counts: "
+        << "a scheduling leak) or a deliberate change needs a re-pin (all "
+        << "three thread counts report the same new value)";
+  }
+}
+
+TEST(DeterminismGolden, BasicMMSharded) {
+  check_sharded_golden("basic_mm.mtds", 8, 0x3eb12895ee90f253ull);
+}
+
+TEST(DeterminismGolden, ChaosSharded) {
+  check_sharded_golden("chaos.mtds", 8, 0xbfdda371c84a1226ull);
 }
 
 }  // namespace

@@ -64,5 +64,50 @@ TEST(Scale, ThousandServerServiceRunsToCompletion) {
   EXPECT_GT(service.network().stats().delivered, 10u * kServers);
 }
 
+// The sharded engine at an order of magnitude more servers: 10,000 servers
+// split over 16 shards, driven by the conservative-lookahead epoch loop
+// (delay_lo > 0 gives the engine a real window width).  Checks the same
+// service-level invariants as the legacy scale test plus the sharded
+// plumbing itself: per-shard traces merged into a coherent report, the
+// aggregated network stats, and the epoch counter.
+TEST(Scale, TenThousandServerShardedServiceRunsToCompletion) {
+  constexpr std::size_t kServers = 10'000;
+  ServiceConfig cfg;
+  cfg.seed = 777;
+  cfg.delay_lo = 0.002;  // positive minimum: conservative lookahead = 2 ms
+  cfg.delay_hi = 0.01;
+  cfg.sample_interval = 50.0;
+  cfg.topology = Topology::kRing;
+  cfg.sim_shards = 16;
+  cfg.sim_threads = 2;
+
+  sim::Rng rng(321);
+  for (std::size_t i = 0; i < kServers; ++i) {
+    ServerSpec s;
+    s.algo = i % 3 == 0   ? core::SyncAlgorithm::kMM
+             : i % 3 == 1 ? core::SyncAlgorithm::kIM
+                          : core::SyncAlgorithm::kIMFT;
+    s.claimed_delta = 2e-5;
+    s.actual_drift = rng.uniform(-0.9, 0.9) * s.claimed_delta;
+    s.initial_error = rng.uniform(0.01, 0.05);
+    s.initial_offset = core::Offset{rng.uniform(-0.005, 0.005)};
+    s.poll_period = 30.0;
+    cfg.servers.push_back(s);
+  }
+  TimeService service(cfg);
+  ASSERT_TRUE(service.sharded());
+
+  service.run_until(90.0);
+  EXPECT_TRUE(service.all_correct());
+  EXPECT_GT(service.sharded_engine()->last_windows(), 0u);
+
+  const auto report = build_report(service);
+  EXPECT_TRUE(report.correctness.ok())
+      << report.correctness.violations.size() << " violations";
+  EXPECT_EQ(report.joins, kServers);
+  EXPECT_GT(report.resets, report.joins);
+  EXPECT_GT(service.network().stats().delivered, 5u * kServers);
+}
+
 }  // namespace
 }  // namespace mtds::service

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint gate: protocol-level rules clang cannot express.
 
-Five rules, each a pure function over file text so --self-test can exercise
+Six rules, each a pure function over file text so --self-test can exercise
 them on synthetic inputs:
 
   bare-double         public time-quantity signatures in src/service and
@@ -23,6 +23,16 @@ them on synthetic inputs:
                       timer_mutex_ is held, and std::recursive_mutex must
                       not reappear in src/ (the audit replaced it with an
                       annotated util::Mutex).
+  cross-thread        shared-state primitives outside src/util must go
+                      through the annotated wrappers: raw std::mutex /
+                      std::condition_variable declarations are banned
+                      (util::Mutex and util::CondVar carry the clang
+                      thread-safety attributes the analysis job enforces),
+                      and every std::atomic must carry an
+                      `mtds:lock-free(...)` comment tag on its line or
+                      within the three lines above, naming the protocol
+                      that makes the lock-free access safe (util/spsc_ring.h
+                      shows the idiom).
   bench-items         every google-benchmark in bench/ must call
                       SetItemsProcessed: items/sec is the regression metric
                       tools/bench_report.py tracks in BENCH_core.json, and a
@@ -218,7 +228,49 @@ def check_lock_order(path: str, text: str) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
-# Rule 5: bench-items
+# Rule 5: cross-thread
+# --------------------------------------------------------------------------
+
+_ATOMIC = re.compile(r"\bstd::atomic\b")
+_RAW_SYNC = re.compile(r"\bstd::(mutex|condition_variable(?:_any)?)\b")
+_LOCKFREE_TAG = "mtds:lock-free("
+
+
+def check_cross_thread(path: str, text: str) -> list[Violation]:
+    """Cross-thread primitives outside src/util: annotated wrappers or a
+    documented lock-free protocol, nothing in between."""
+    out = []
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        m = _RAW_SYNC.search(code)
+        if m:
+            out.append(
+                Violation(
+                    path, lineno, "cross-thread",
+                    f"raw std::{m.group(1)} outside src/util; use the "
+                    "annotated util::Mutex / util::CondVar so the clang "
+                    "thread-safety job sees the locking contract",
+                )
+            )
+        if _ATOMIC.search(code):
+            window = lines[max(0, lineno - 4):lineno]
+            if not any(_LOCKFREE_TAG in w for w in window):
+                out.append(
+                    Violation(
+                        path, lineno, "cross-thread",
+                        "std::atomic without an 'mtds:lock-free(...)' tag "
+                        "on the line or within the three lines above; "
+                        "document the protocol that makes unlocked access "
+                        "safe (see util/spsc_ring.h) or guard the state "
+                        "with util::Mutex + GUARDED_BY",
+                    )
+                )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule 6: bench-items
 # --------------------------------------------------------------------------
 
 _BENCH_REG = re.compile(r"\bBENCHMARK\s*\(\s*(\w+)\s*\)")
@@ -292,6 +344,16 @@ def run_repo() -> list[Violation]:
     for cc in sorted((REPO / "src").rglob("*.cc")):
         out += check_lock_order(str(cc.relative_to(REPO)), cc.read_text())
 
+    util_dir = REPO / "src" / "util"
+    for source in sorted(
+        list((REPO / "src").rglob("*.h")) + list((REPO / "src").rglob("*.cc"))
+    ):
+        if util_dir in source.parents:
+            continue  # util/ is where the wrappers themselves live
+        out += check_cross_thread(
+            str(source.relative_to(REPO)), source.read_text()
+        )
+
     for cc in sorted((REPO / "bench").glob("*.cc")):
         text = cc.read_text()
         if "benchmark::State" in text:
@@ -356,6 +418,25 @@ def self_test() -> int:
            "lock-order: sequential locking flagged")
     got = check_lock_order("fake.cc", "std::recursive_mutex m;\n")
     expect(len(got) == 1, "lock-order: recursive_mutex not caught")
+
+    bad_sync = (
+        "class Pool {\n"
+        "  std::mutex mu_;\n"
+        "  std::atomic<bool> stop_{false};\n"
+        "};\n"
+    )
+    good_sync = (
+        "class Pool {\n"
+        "  util::Mutex mu_;\n"
+        "  // mtds:lock-free(flag: set once at shutdown, workers only poll)\n"
+        "  std::atomic<bool> stop_{false};\n"
+        "};\n"
+    )
+    got = check_cross_thread("fake.h", bad_sync)
+    expect(len(got) == 2,
+           f"cross-thread: expected 2 hits, got {len(got)}")
+    expect(not check_cross_thread("fake.h", good_sync),
+           "cross-thread: tagged atomic / util::Mutex flagged")
 
     bad_bench = (
         "void BM_Quiet(benchmark::State& state) {\n"
