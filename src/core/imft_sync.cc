@@ -36,9 +36,13 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
                                : (n > max_faulty_ ? n - max_faulty_ : 1);
 
   if (!found || best_.coverage < quorum) {
-    // Not enough agreement to trust any region.
+    // Not enough agreement to trust any region - and, symmetrically, no
+    // basis to blame any individual server: a no-quorum round implicates
+    // the round, not a peer.  (Blaming every owner here used to feed all
+    // of them - honest majority included - into PeerHealth's Section 4
+    // quarantine streaks; only exclusion by a *successful* cover carries
+    // individual blame, below.)
     out.round_inconsistent = true;
-    for (std::size_t i = 1; i < n; ++i) out.inconsistent_with.push_back(owners_[i]);
     return out;
   }
 

@@ -1,0 +1,75 @@
+#include "runtime/adversary.h"
+
+namespace mtds::runtime {
+
+namespace {
+
+bool is_response(const ServiceMessage& msg) noexcept {
+  return msg.type == ServiceMessage::Type::kTimeResponse;
+}
+
+}  // namespace
+
+ForgeResult TwoFaced::rewrite(ServerId /*self*/, ServerId to,
+                              ServiceMessage& msg, RealTime /*now*/) {
+  if (!is_response(msg)) return {};
+  msg.c += (to % 2 == 0 ? magnitude_ : -magnitude_);
+  msg.e = claimed_error_;
+  return {.forged = true, .equivocated = true};
+}
+
+ForgeResult DriftAmplifier::rewrite(ServerId /*self*/, ServerId /*to*/,
+                                    ServiceMessage& msg, RealTime now) {
+  if (!is_response(msg)) return {};
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  }
+  msg.c += rate_ * (now - start_);
+  if (claimed_error_ > 0) msg.e = claimed_error_;
+  // Same lie to every destination: a rate attack, not an equivocation.
+  return {.forged = true, .equivocated = false};
+}
+
+ForgeResult Collusion::rewrite(ServerId /*self*/, ServerId to,
+                               ServiceMessage& msg, RealTime now) {
+  if (!is_response(msg)) return {};
+  if (plan_->is_member(to)) return {};  // the truth, to co-conspirators
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  }
+  msg.c += CollusionPlan::direction(to) * plan_->rate * (now - start_);
+  msg.e = plan_->claimed_error;
+  return {.forged = true, .equivocated = true};
+}
+
+void Adaptive::on_observe(ServerId /*self*/, TrafficDir dir, ServerId peer,
+                          const ServiceMessage& msg, RealTime /*now*/) {
+  if (dir != TrafficDir::kInbound || !is_response(msg)) return;
+  for (VictimBound& b : bounds_) {
+    if (b.peer == peer) {
+      b.e = msg.e;
+      return;
+    }
+  }
+  bounds_.push_back({peer, msg.e});
+}
+
+ForgeResult Adaptive::rewrite(ServerId /*self*/, ServerId to,
+                              ServiceMessage& msg, RealTime /*now*/) {
+  if (!is_response(msg)) return {};
+  for (const VictimBound& b : bounds_) {
+    if (b.peer == to) {
+      // Just inside the victim's own transmitted window: a single-reading
+      // consistency check accepts this by construction.
+      msg.c += margin_ * b.e;
+      msg.e = claimed_error_;
+      return {.forged = true, .equivocated = false};
+    }
+  }
+  // Victim's bound not yet observed: stay honest (stealth over speed).
+  return {};
+}
+
+}  // namespace mtds::runtime

@@ -104,6 +104,21 @@ void FaultInjector::process(Dir dir, ServerId peer, ServiceMessage msg,
     ++stats_.dropped_crash;
     return;
   }
+  if (plan_.adversary != nullptr) {
+    // Byzantine takeover: the strategy sees every copy the endpoint's
+    // network stack sees (even ones the gauntlet below then drops) and
+    // forges outbound copies before they face the ordinary fault gauntlet.
+    AdversaryStrategy& adversary = *plan_.adversary;
+    adversary.on_observe(self_,
+                         dir == Dir::kOutbound ? TrafficDir::kOutbound
+                                               : TrafficDir::kInbound,
+                         peer, msg, t);
+    if (dir == Dir::kOutbound) {
+      const ForgeResult result = adversary.rewrite(self_, peer, msg, t);
+      if (result.forged) ++stats_.forged;
+      if (result.equivocated) ++stats_.equivocations;
+    }
+  }
   const auto& blocked =
       dir == Dir::kOutbound ? blocked_outbound_ : blocked_inbound_;
   if (blocked.count(peer) > 0) {

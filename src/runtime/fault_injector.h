@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "runtime/adversary.h"
 #include "runtime/runtime.h"
 #include "sim/rng.h"
 
@@ -45,8 +47,15 @@ struct FaultPlan {
   double corrupt = 0.0;        // P(corrupt a field before dispatch)
   std::uint64_t seed = 0x5EED;
 
+  // Byzantine takeover: the strategy observes every copy in both directions
+  // and may rewrite outbound copies per destination (see runtime/adversary.h).
+  // Shared ownership lets colluding endpoints be configured from one plan
+  // while each holds its own strategy instance.
+  std::shared_ptr<AdversaryStrategy> adversary;
+
   bool active() const noexcept {
-    return enabled || drop > 0 || duplicate > 0 || delay > 0 || corrupt > 0;
+    return enabled || drop > 0 || duplicate > 0 || delay > 0 || corrupt > 0 ||
+           adversary != nullptr;
   }
 };
 
@@ -66,6 +75,14 @@ struct FaultStats {
   std::uint64_t duplicated = 0;         // extra copies minted
   std::uint64_t delayed = 0;            // copies held for a delay spike
   std::uint64_t corrupted = 0;          // copies with a field corrupted
+
+  // Adversary plane (attributes of outbound copies, not copy classes: a
+  // forged copy is still counted once in outbound and once in its fate, so
+  // the balance equation above is untouched; forged <= outbound and
+  // equivocations <= forged always hold).
+  std::uint64_t forged = 0;             // copies rewritten by the strategy
+  std::uint64_t equivocations = 0;      // forged copies whose lie depends on
+                                        // the destination
 
   bool operator==(const FaultStats&) const = default;
 };

@@ -65,6 +65,39 @@ ConsistencyReport check_pairwise_consistency(const sim::Trace& trace,
   return report;
 }
 
+GradientReport check_gradient(
+    const sim::Trace& trace,
+    const std::vector<std::pair<ServerId, ServerId>>& edges, Duration bound,
+    double tol) {
+  GradientReport report;
+  for (const auto& [t, samples] : by_time(trace)) {
+    for (const auto& [a, b] : edges) {
+      const sim::Sample* si = nullptr;
+      const sim::Sample* sj = nullptr;
+      for (const auto& s : samples) {
+        if (s.server == a) si = &s;
+        if (s.server == b) sj = &s;
+      }
+      if (si == nullptr || sj == nullptr) continue;  // not co-sampled here
+      ++report.edges_checked;
+      const Duration sep = abs(si->clock - sj->clock);
+      if (sep > report.max_edge_spread) {
+        report.max_edge_spread = sep;
+        report.worst_time = t;
+        report.worst_i = a;
+        report.worst_j = b;
+      }
+      if (sep > bound + tol) {
+        report.violations.push_back(
+            {t, a, b, sep - bound,
+             fmt("edge |C_i - C_j| = %.6g > gradient bound %.6g",
+                 sep.seconds(), bound.seconds())});
+      }
+    }
+  }
+  return report;
+}
+
 AsynchronismReport measure_asynchronism(const sim::Trace& trace) {
   AsynchronismReport report;
   for (const auto& [t, samples] : by_time(trace)) {

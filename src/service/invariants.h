@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/time_types.h"
@@ -61,6 +62,31 @@ struct AsynchronismReport {
 
 // max over sample times of max_ij |C_i - C_j|.
 AsynchronismReport measure_asynchronism(const sim::Trace& trace);
+
+struct GradientReport {
+  std::size_t edges_checked = 0;  // (edge, sample-time) pairs examined
+  std::vector<Violation> violations;
+  Duration max_edge_spread = 0.0;  // worst |C_i - C_j| over any edge
+  RealTime worst_time = 0.0;
+  ServerId worst_i = core::kInvalidServer;
+  ServerId worst_j = core::kInvalidServer;
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+// Gradient clock synchronization invariant (Kuhn et al., PAPERS.md): the
+// asynchronism checkers above bound the *global* spread; gradient sync
+// demands more - every pair of network *neighbors* stays within a
+// neighbor-distance bound at all times, so close-by nodes never disagree
+// badly even while far-apart ones legitimately drift.  Sweeps every
+// co-sampled topology edge (i, j) in `edges` and reports each instant where
+// |C_i - C_j| > bound.  Works on any merged trace, so both the legacy and
+// the sharded engines are covered by the same sweep.  Pass only the edges
+// between servers the bound should govern (e.g. the honest subgraph when
+// adversaries are present).
+GradientReport check_gradient(
+    const sim::Trace& trace,
+    const std::vector<std::pair<ServerId, ServerId>>& edges, Duration bound,
+    double tol = 1e-9);
 
 struct ErrorGrowthReport {
   // Smallest / largest error across servers at each sample time.

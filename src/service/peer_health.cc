@@ -94,6 +94,13 @@ void PeerHealth::note_consistent(core::ServerId peer) {
   peers_[peer].inconsistent_streak = 0;
 }
 
+void PeerHealth::note_byzantine(core::ServerId peer) {
+  if (policy_.quarantine_after == 0) return;  // quarantine disabled by policy
+  Entry& entry = peers_[peer];
+  if (entry.state == PeerState::kQuarantined) return;
+  transition(peer, entry, PeerState::kQuarantined);
+}
+
 PeerState PeerHealth::state(core::ServerId peer) const {
   const auto it = peers_.find(peer);
   return it == peers_.end() ? PeerState::kHealthy : it->second.state;

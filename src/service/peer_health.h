@@ -78,6 +78,13 @@ class PeerHealth {
   void note_inconsistent(core::ServerId peer);
   void note_consistent(core::ServerId peer);
 
+  // Proof-grade evidence: the peer's successive readings were mutually
+  // impossible under the declared drift bound (cross-round equivocation).
+  // Unlike note_inconsistent - statistical suspicion that must accumulate a
+  // streak - a physical impossibility quarantines immediately.  Policies
+  // with quarantine_after == 0 ("never quarantine") are still honored.
+  void note_byzantine(core::ServerId peer);
+
   // Membership change: drop all state for `peer`.
   void forget(core::ServerId peer) { peers_.erase(peer); }
 

@@ -23,6 +23,11 @@ constexpr std::uint32_t kRecoveryTimeoutRounds = 2;
 constexpr std::uint32_t kMaxRecoveryAttempts = 3;
 constexpr std::uint32_t kMaxRecoveryBackoffRounds = 8;
 
+// Absolute slack in the cross-round equivocation budget, covering float
+// noise in the clock arithmetic (the budget itself covers all honest
+// physics: error bounds, declared drift, and sampling uncertainty).
+constexpr core::Duration kEquivocationSlack{1e-6};
+
 }  // namespace
 
 ProtocolEngine::ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
@@ -91,6 +96,7 @@ void ProtocolEngine::stop() {
   running_ = false;
   transport_->close();
   pending_.clear();
+  reading_memory_.clear();  // a restart must not compare across incarnations
   round_open_ = false;
   if (degraded_) set_degraded(false);
   recovery_attempts_ = 0;
@@ -114,6 +120,14 @@ void ProtocolEngine::remove_neighbor(ServerId peer) {
   neighbors_.erase(std::remove(neighbors_.begin(), neighbors_.end(), peer),
                    neighbors_.end());
   if (health_ != nullptr) health_->forget(peer);
+  // Drop the equivocation memory too: a later server reusing the id must
+  // not be judged against its predecessor's clock.
+  for (auto it = reading_memory_.begin(); it != reading_memory_.end(); ++it) {
+    if (it->peer == peer) {
+      reading_memory_.erase(it);
+      break;
+    }
+  }
 }
 
 ClockTime ProtocolEngine::read_clock(RealTime t) { return clock_->read(t); }
@@ -285,10 +299,12 @@ void ProtocolEngine::end_round() {
   if (outcome.reset) {
     apply_reset(*outcome.reset, /*is_recovery=*/false);
   }
-  if (health_ != nullptr) {
-    // Section 4 consistency streaks: every contributor this round either
-    // extends its inconsistency streak (below, via note_inconsistency) or
-    // resets it here.
+  if (health_ != nullptr && !outcome.round_inconsistent) {
+    // Section 4 consistency streaks: on a round that produced a trusted
+    // region, every contributor either extends its inconsistency streak
+    // (below, via note_inconsistency) or resets it here.  A failed round
+    // credits nobody: with no quorum there is no basis to call any single
+    // contributor consistent.
     for (const auto& reading : round_input) {
       if (std::find(outcome.inconsistent_with.begin(),
                     outcome.inconsistent_with.end(),
@@ -296,6 +312,13 @@ void ProtocolEngine::end_round() {
         health_->note_consistent(reading.from);
       }
     }
+  }
+  if (outcome.reset && !outcome.inconsistent_with.empty()) {
+    // Servers excluded by a successful Marzullo cover: the round reset went
+    // ahead on the quorum region and these peers' intervals were outside
+    // it.  Their note_inconsistent streak (via note_inconsistency below) is
+    // what escalates a persistent liar to quarantine.
+    counters_.marzullo_exclusions += outcome.inconsistent_with.size();
   }
   if (outcome.round_inconsistent || !outcome.inconsistent_with.empty()) {
     ++counters_.inconsistencies;
@@ -403,6 +426,16 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
       reading.rtt_own = std::max(Duration{0.0}, local - pend.sent_local);
       reading.local_receive = local;
 
+      if (note_reading_impossible(reading) && health_ != nullptr) {
+        // A proven equivocator is quarantined on the spot (the Section 4
+        // group-exclusion path, skipping the statistical streak) and the
+        // reading discarded.  Without the health layer the conviction is
+        // recorded but the reading still faces the ordinary per-reading
+        // consistency checks - existing configurations keep their behavior.
+        health_->note_byzantine(msg.from);
+        if (health_->state(msg.from) == PeerState::kQuarantined) return;
+      }
+
       if (rate_monitor_ != nullptr) rate_monitor_->observe(reading);
       if (pend.recovery) {
         // Third-server recovery (Section 3): reset unconditionally to the
@@ -421,6 +454,58 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
       return;
     }
   }
+}
+
+bool ProtocolEngine::note_reading_impossible(const TimeReading& reading) {
+  PeerReadingMemory* mem = nullptr;
+  for (PeerReadingMemory& m : reading_memory_) {
+    if (m.peer == reading.from) {
+      mem = &m;
+      break;
+    }
+  }
+  bool impossible = false;
+  Duration excess{0.0};
+  if (mem == nullptr) {
+    reading_memory_.push_back({});
+    mem = &reading_memory_.back();
+    mem->peer = reading.from;
+  } else {
+    const Duration elapsed = reading.local_receive - mem->local;
+    if (elapsed >= 0) {
+      // An honest peer whose bound is valid satisfies |C_p - t| <= E_p at
+      // both readings (even across its own resets), and our elapsed measure
+      // is off by at most the declared drift budget of both parties plus
+      // each reading's sampling uncertainty (its own-clock round trip).
+      // An advance outside that envelope is physically impossible under the
+      // declared bounds - the peer contradicted itself.
+      const Duration advance = reading.c - mem->c;
+      const Duration budget = mem->e + reading.e +
+                              2.0 * spec_.claimed_delta * elapsed + mem->rtt +
+                              reading.rtt_own + kEquivocationSlack;
+      const Duration gap = abs(advance - elapsed);
+      if (gap > budget) {
+        impossible = true;
+        excess = gap - budget;
+      }
+    }
+  }
+  mem->c = reading.c;
+  mem->e = reading.e;
+  mem->local = reading.local_receive;
+  mem->rtt = reading.rtt_own;
+  if (impossible) {
+    ++counters_.byzantine_suspects;
+    const RealTime now = wall_->now();
+    if (observer_ != nullptr) {
+      observer_->on_byzantine_suspect(now, id_, reading.from, excess);
+    }
+    util::logt(LogLevel::kInfo, now.seconds(),
+               "S%u byzantine-suspect S%u: cross-round advance impossible "
+               "by %.6g s",
+               id_, reading.from, excess.seconds());
+  }
+  return impossible;
 }
 
 void ProtocolEngine::process_reading(const TimeReading& reading) {
@@ -464,6 +549,11 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   const Duration jump = reset.clock - clock_->read(now);
   for (Pending& pend : pending_) {
     pend.sent_local += jump;
+  }
+  // The equivocation memory's receipt stamps live on the same axis; rebase
+  // them too or every peer would look like it jumped by -jump next round.
+  for (PeerReadingMemory& mem : reading_memory_) {
+    mem.local += jump;
   }
   broadcast_sent_local_ += jump;
   if (filter_ != nullptr) filter_->on_local_reset(jump);

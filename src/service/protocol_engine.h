@@ -53,6 +53,15 @@ struct ServerCounters {
   // Third-server recovery bookkeeping (Section 3).
   std::uint64_t recovery_timeouts = 0; // recovery requests that expired
                                        // unanswered (then retried w/ backoff)
+
+  // Byzantine defenses.
+  std::uint64_t byzantine_suspects = 0;   // readings whose cross-round advance
+                                          // was impossible under the declared
+                                          // drift bound (equivocation)
+  std::uint64_t marzullo_exclusions = 0;  // readings a successful IMFT round
+                                          // excluded by coverage (the round's
+                                          // quorum reset went ahead without
+                                          // them)
 };
 
 // Lifecycle notifications for embedders (the simulated shell adapts these
@@ -77,6 +86,12 @@ class EngineObserver {
   // runs and the reported error grows at the drift bound.
   virtual void on_degraded(core::RealTime, core::ServerId /*id*/,
                            bool /*entered*/) {}
+  // Cross-round equivocation detected: `peer`'s latest reading is mutually
+  // impossible with its previous one under the declared drift bound;
+  // `excess` is how far past the drift/error/rtt budget the advance landed.
+  virtual void on_byzantine_suspect(core::RealTime, core::ServerId /*id*/,
+                                    core::ServerId /*peer*/,
+                                    core::Duration /*excess*/) {}
 };
 
 class ProtocolEngine {
@@ -150,6 +165,11 @@ class ProtocolEngine {
   void begin_round();
   void end_round();
   void process_reading(const core::TimeReading& reading);
+  // Cross-round equivocation detector: compares `reading` against the same
+  // peer's previous reading and returns true when the pair is mutually
+  // impossible under the declared drift bound (then also records the trace
+  // event and updates counters).  Always refreshes the per-peer memory.
+  bool note_reading_impossible(const core::TimeReading& reading);
   void apply_reset(const core::ClockReset& reset, bool is_recovery);
   void note_inconsistency(const core::ServerIdVec& peers);
   void request_recovery(ServerId exclude);
@@ -194,6 +214,19 @@ class ProtocolEngine {
   // Peer-health layer (null unless spec.health.enabled).
   std::unique_ptr<PeerHealth> health_;
   bool degraded_ = false;
+
+  // Cross-round equivocation detection: the last reading accepted from each
+  // peer, on the local clock axis (rebased across local resets exactly like
+  // pending_).  Flat and append-only - one entry per peer ever heard from,
+  // so steady state touches no allocator once every peer has replied.
+  struct PeerReadingMemory {
+    ServerId peer = core::kInvalidServer;
+    core::ClockTime c{0.0};      // the peer's transmitted clock value
+    core::Duration e{0.0};       // the peer's transmitted error bound
+    core::ClockTime local{0.0};  // our clock at receipt
+    Duration rtt{0.0};           // own-clock round trip of that reading
+  };
+  std::vector<PeerReadingMemory> reading_memory_;
 
   // Third-server recovery retry state: attempts this burst, rounds left of
   // backoff before the next attempt, and the peer the burst excludes.

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/adversary.h"
 
 namespace mtds::service {
 namespace {
@@ -200,6 +203,72 @@ Scenario parse_scenario(const std::string& text) {
       fault.start = parse_double(tokens[3], line);
       fault.param = tokens.size() == 5 ? parse_double(tokens[4], line) : 2.0;
       cfg.servers[id].fault = fault;
+    } else if (cmd == "adversary") {
+      // Byzantine takeover of already-declared servers: the strategy
+      // observes all their traffic and forges what they send (see
+      // runtime/adversary.h).  Must follow the `server` lines it names.
+      if (tokens.size() < 3) {
+        fail(line, "usage: adversary <strategy> <server...> [key=value...]");
+      }
+      const std::string& strategy = tokens[1];
+      std::vector<core::ServerId> ids;
+      std::size_t tok = 2;
+      for (; tok < tokens.size(); ++tok) {
+        if (tokens[tok].find('=') != std::string::npos) break;
+        ids.push_back(parse_server_id(tokens[tok], line, cfg.servers.size()));
+      }
+      if (ids.empty()) fail(line, "adversary needs at least one server id");
+      double magnitude = 0.02;  // twofaced skew, seconds
+      double rate = 0.002;      // drift/collusion lie growth, s/s
+      double claimed = 0.005;   // claimed error bound on every lie
+      double margin = 0.8;      // adaptive: fraction of the victim's bound
+      for (; tok < tokens.size(); ++tok) {
+        const auto eq = tokens[tok].find('=');
+        if (eq == std::string::npos) {
+          fail(line, "expected key=value, got: " + tokens[tok]);
+        }
+        const std::string key = tokens[tok].substr(0, eq);
+        const double value = parse_double(tokens[tok].substr(eq + 1), line);
+        if (key == "magnitude") {
+          magnitude = value;
+        } else if (key == "rate") {
+          rate = value;
+        } else if (key == "error") {
+          claimed = value;
+        } else if (key == "margin") {
+          margin = value;
+        } else {
+          fail(line, "unknown adversary attribute: " + key);
+        }
+      }
+      // Collusion: every listed server shares one immutable plan (so their
+      // lies corroborate) but owns its private strategy instance (so
+      // mutable per-endpoint state never crosses shard threads).
+      std::shared_ptr<const runtime::CollusionPlan> plan;
+      if (strategy == "collusion") {
+        auto p = std::make_shared<runtime::CollusionPlan>();
+        p->members = ids;
+        p->rate = rate;
+        p->claimed_error = core::Duration{claimed};
+        plan = std::move(p);
+      }
+      for (core::ServerId id : ids) {
+        auto& adversary = cfg.servers[id].chaos.adversary;
+        if (strategy == "twofaced") {
+          adversary = std::make_shared<runtime::TwoFaced>(
+              core::Duration{magnitude}, core::Duration{claimed});
+        } else if (strategy == "drift") {
+          adversary = std::make_shared<runtime::DriftAmplifier>(
+              rate, core::Duration{claimed});
+        } else if (strategy == "collusion") {
+          adversary = std::make_shared<runtime::Collusion>(plan);
+        } else if (strategy == "adaptive") {
+          adversary = std::make_shared<runtime::Adaptive>(
+              margin, core::Duration{claimed});
+        } else {
+          fail(line, "unknown adversary strategy: " + strategy);
+        }
+      }
     } else if (cmd == "at") {
       if (tokens.size() < 3) fail(line, "usage: at <t> <action> ...");
       ScenarioAction action;

@@ -29,6 +29,16 @@
 // quarantine=N (consecutive inconsistencies before quarantine; implies
 // health=1).
 //
+// Byzantine adversaries (runtime/adversary.h) attach to declared servers:
+//
+//   adversary collusion 5 6 rate=0.002 error=0.005   # f colluding liars
+//   adversary twofaced 4 magnitude=0.02 error=0.005  # equivocator
+//   adversary drift 3 rate=0.001                     # rate-steering liar
+//   adversary adaptive 4 margin=0.8 error=0.002      # lies inside bounds
+//
+// The directive must follow the `server` lines it names.  Strategies are
+// deterministic (no randomness), so a seed replays an identical attack.
+//
 // parse_scenario() validates aggressively and reports the offending line;
 // ScenarioRunner executes the timeline against a TimeService.
 #pragma once

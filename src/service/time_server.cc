@@ -73,4 +73,14 @@ void TimeServer::TraceObserver::on_degraded(core::RealTime t,
   }
 }
 
+void TimeServer::TraceObserver::on_byzantine_suspect(core::RealTime t,
+                                                     core::ServerId id,
+                                                     core::ServerId peer,
+                                                     core::Duration excess) {
+  if (trace_ != nullptr) {
+    trace_->record({t, id, sim::TraceEventKind::kByzantineSuspect, peer,
+                    excess.seconds()});
+  }
+}
+
 }  // namespace mtds::service

@@ -109,6 +109,9 @@ class TimeServer {
                        PeerState from, PeerState to) override;
     void on_degraded(core::RealTime t, core::ServerId id,
                      bool entered) override;
+    void on_byzantine_suspect(core::RealTime t, core::ServerId id,
+                              core::ServerId peer,
+                              core::Duration excess) override;
 
    private:
     sim::Trace* trace_;

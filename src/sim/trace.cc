@@ -15,6 +15,7 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kLeave: return "leave";
     case TraceEventKind::kPeerState: return "peer-state";
     case TraceEventKind::kDegraded: return "degraded";
+    case TraceEventKind::kByzantineSuspect: return "byzantine-suspect";
   }
   return "?";
 }

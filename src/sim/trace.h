@@ -34,7 +34,11 @@ enum class TraceEventKind : std::uint8_t {
   kLeave,          // server left the service
   kPeerState,      // peer-health transition (peer = subject, detail = new
                    // service::PeerState as a double)
-  kDegraded        // degraded mode toggled (detail = 1 enter, 0 exit)
+  kDegraded,       // degraded mode toggled (detail = 1 enter, 0 exit)
+  kByzantineSuspect  // cross-round equivocation detected: peer's successive
+                     // readings are mutually impossible under the declared
+                     // drift bound (detail = excess seconds beyond the
+                     // drift/error/rtt budget)
 };
 
 struct TraceEvent {

@@ -12,11 +12,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/bounds.h"
 #include "net/udp_server.h"
+#include "runtime/adversary.h"
 #include "service/time_service.h"
 
 namespace mtds {
@@ -59,6 +61,12 @@ service::ServiceConfig soak_config() {
   cfg.servers[kLiar].actual_drift = 0.0;
   cfg.servers[kLiar].initial_offset = core::Offset{-40.0};
   cfg.servers[kLiar].initial_error = 0.001;
+  // The liar also equivocates (+/-20 ms by destination parity) through the
+  // same fault gauntlet, so the soak exercises the Byzantine plane riding
+  // loss/duplication/delay.  Forged is an attribute of outbound copies, not
+  // a new copy class - the balance equation must be untouched.
+  cfg.servers[kLiar].chaos.adversary =
+      std::make_shared<runtime::TwoFaced>(0.02, 0.001);
   return cfg;
 }
 
@@ -142,6 +150,16 @@ TEST(ChaosSoak, SimSurvivorsStayCorrectAndBounded) {
               s.forwarded + s.dropped_loss + s.dropped_partition +
                   s.dropped_crash)
         << "S" << i;
+    // Adversary-plane accounting: forged copies are attributes, never extra
+    // copies, and only the liar's strategy rewrote anything.
+    EXPECT_LE(s.equivocations, s.forged) << "S" << i;
+    EXPECT_LE(s.forged, s.outbound) << "S" << i;
+    if (i == kLiar) {
+      EXPECT_GT(s.forged, 0u);
+      EXPECT_GT(s.equivocations, 0u);
+    } else {
+      EXPECT_EQ(s.forged, 0u) << "S" << i;
+    }
   }
 }
 
@@ -170,6 +188,9 @@ TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
   liar_cfg.claimed_delta = 1e-6;
   liar_cfg.initial_error = 0.0005;
   liar_cfg.initial_offset = core::Offset{-5.0};
+  // The liar equivocates over real sockets too: same Byzantine plane, UDP
+  // serialization domain (the injector runs under the runtime's mutex).
+  liar_cfg.chaos.adversary = std::make_shared<runtime::TwoFaced>(0.02, 0.0005);
   net::UdpTimeServer liar(liar_cfg);
   liar.start();
 
@@ -286,6 +307,21 @@ TEST(ChaosSoak, UdpSurvivorsStayCorrectAndHeal) {
                          s.dropped_crash;
     EXPECT_GE(entered, settled) << "learner " << i;
     EXPECT_LE(entered - settled, s.delayed) << "learner " << i;
+  }
+
+  // The liar's strategy rewrote its responses, destination-dependently,
+  // without minting or losing copies.
+  {
+    const auto s = liar.fault_stats();
+    EXPECT_GT(s.forged, 0u);
+    EXPECT_GT(s.equivocations, 0u);
+    EXPECT_LE(s.equivocations, s.forged);
+    EXPECT_LE(s.forged, s.outbound);
+    const auto entered = s.outbound + s.inbound + s.duplicated;
+    const auto settled = s.forwarded + s.dropped_loss + s.dropped_partition +
+                         s.dropped_crash;
+    EXPECT_GE(entered, settled);
+    EXPECT_LE(entered - settled, s.delayed);
   }
 
   for (auto& l : learners) l->stop();

@@ -149,5 +149,27 @@ TEST(DeterminismGolden, ChaosSharded) {
   check_sharded_golden("chaos.mtds", 8, 0xbfdda371c84a1226ull);
 }
 
+// Byzantine runs are part of the determinism contract too: adversary
+// strategies draw no randomness (lies are pure functions of observed
+// traffic and the wall clock), so a seeded attack replays bit-for-bit -
+// including the equivocation-detector convictions and quarantine
+// transitions recorded in the trace.
+TEST(DeterminismGolden, ByzantineIMFT) {
+  check_golden("byzantine_collusion_imft.mtds", 0x38155ee1dc5ce3ecull);
+}
+
+TEST(DeterminismGolden, ByzantineAdaptive) {
+  check_golden("byzantine_adaptive.mtds", 0x9c1c9d212edcff11ull);
+}
+
+TEST(DeterminismGolden, ByzantineIMFTSharded) {
+  check_sharded_golden("byzantine_collusion_imft.mtds", 8,
+                       0x77e8ab974c7190c9ull);
+}
+
+TEST(DeterminismGolden, ByzantineAdaptiveSharded) {
+  check_sharded_golden("byzantine_adaptive.mtds", 8, 0x73da45987ca94569ull);
+}
+
 }  // namespace
 }  // namespace mtds::service

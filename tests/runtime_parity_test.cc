@@ -20,6 +20,7 @@
 #include "net/udp_client.h"
 #include "net/udp_server.h"
 #include "net/udp_socket.h"
+#include "runtime/adversary.h"
 #include "service/time_server.h"
 #include "sim/delay_model.h"
 
@@ -442,6 +443,100 @@ TEST(RuntimeParity, ChaosWrappedLearnerConvergesOverUdp) {
 
   learner.stop();
   reference.stop();
+}
+
+// --- Byzantine plane on both runtimes ------------------------------------
+//
+// A DriftAmplifier adversary controls the responder's network stack: the
+// first reply is honest (the lie's epoch), every later reply runs away at
+// 0.5 s/s while claiming a 1 ms bound.  The cross-round equivocation
+// detector must convict on the second reading on BOTH runtimes - the
+// advance between readings is impossible under the declared drift bound -
+// and quarantine on the spot, so the learner keeps its honest clock.
+
+TEST(RuntimeParity, ByzantineResponderConvictedInSim) {
+  sim::EventQueue queue;
+  sim::Rng rng{41};
+  sim::FixedDelay delay{0.01};
+  service::ServiceNetwork network{queue, delay, rng};
+  sim::Trace trace;
+
+  auto make = [&](ServerId id, const service::ServerSpec& spec,
+                  double offset) {
+    auto clock = std::make_unique<core::DriftingClock>(
+        0.0, core::ClockTime{queue.now().seconds() + offset}, queue.now());
+    return std::make_unique<service::TimeServer>(
+        id, std::move(clock), spec, queue, network, &trace, rng.fork());
+  };
+
+  service::ServerSpec responder;
+  responder.algo = core::SyncAlgorithm::kNone;
+  responder.claimed_delta = 0.0;
+  responder.initial_error = 0.001;
+  responder.chaos.adversary =
+      std::make_shared<runtime::DriftAmplifier>(0.5, 0.001);
+  auto liar = make(1, responder, /*offset=*/0.0);
+  liar->start({});
+
+  service::ServerSpec spec;
+  spec.algo = core::SyncAlgorithm::kMM;
+  spec.claimed_delta = 1e-5;
+  spec.initial_error = 0.05;
+  spec.poll_period = 1.0;
+  spec.health.enabled = true;
+  spec.health.quarantine_after = 1;
+  auto learner = make(0, spec, /*offset=*/0.0);
+  learner->start({1});
+
+  queue.run_until(20.0);
+
+  EXPECT_GT(liar->fault_injector()->stats().forged, 0u);
+  const auto& c = learner->counters();
+  EXPECT_GE(c.byzantine_suspects, 1u);
+  EXPECT_EQ(learner->peer_state(1), service::PeerState::kQuarantined);
+  EXPECT_GT(c.polls_suppressed, 0u);  // quarantined = not polled again
+  EXPECT_TRUE(learner->correct(queue.now()));
+  EXPECT_GT(trace.count_events(sim::TraceEventKind::kByzantineSuspect), 0u);
+}
+
+TEST(RuntimeParity, ByzantineResponderConvictedOverUdp) {
+  net::UdpServerConfig ref;
+  ref.id = 1;
+  ref.claimed_delta = 1e-6;
+  ref.initial_error = 0.0005;
+  ref.algo = core::SyncAlgorithm::kNone;
+  ref.chaos.adversary = std::make_shared<runtime::DriftAmplifier>(1.0, 0.0005);
+  net::UdpTimeServer liar(ref);
+  liar.start();
+
+  net::UdpServerConfig cfg;
+  cfg.id = 0;
+  cfg.claimed_delta = 1e-4;
+  cfg.initial_error = 0.01;
+  cfg.algo = core::SyncAlgorithm::kMM;
+  cfg.poll_period = 0.02;
+  cfg.reply_timeout = 0.01;
+  cfg.health.enabled = true;
+  cfg.health.quarantine_after = 1;
+  net::UdpTimeServer learner(cfg);
+  learner.set_peers({liar.port()});
+  learner.start();
+
+  const ServerId liar_id = net::UdpTimeServer::peer_engine_id(0);
+  for (int i = 0;
+       i < 300 && learner.peer_state(liar_id) != service::PeerState::kQuarantined;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_GT(liar.fault_stats().forged, 0u);
+  EXPECT_GE(learner.counters().byzantine_suspects, 1u);
+  EXPECT_EQ(learner.peer_state(liar_id), service::PeerState::kQuarantined);
+  EXPECT_LE(std::abs(learner.true_offset().seconds()),
+            learner.current_error().seconds() + 1e-9);
+
+  learner.stop();
+  liar.stop();
 }
 
 TEST(RuntimeParity, EngineExtensionsRunOverUdp) {

@@ -118,6 +118,81 @@ TEST(ScenarioCorpus, ChaosCrashLossAndHealing) {
   EXPECT_GT(service.trace().count_events(sim::TraceEventKind::kPeerState), 0u);
 }
 
+// The byzantine_* corpus is asserted in depth (theorem bounds, detector
+// true/false positives, sharded stability) by adversary_test; these entries
+// keep every shipped scenario executable-documented with its headline.
+
+TEST(ScenarioCorpus, ByzantineCollusionCapturesMM) {
+  const auto report = run_file("byzantine_collusion_mm.mtds");
+  // Incremental capture dragged the camps ~0.5 s apart: orders past any
+  // honest spread, with the Section 2.3 check never firing along the way.
+  EXPECT_GT(report.asynchronism.max_observed.seconds(), 0.3);
+  EXPECT_FALSE(report.healthy());
+}
+
+TEST(ScenarioCorpus, ByzantineCollusionStallsIM) {
+  const auto report = run_file("byzantine_collusion_im.mtds");
+  // Denial of sync: the liars empty the intersection, resets stop, errors
+  // then grow honestly - everyone ends correct but far out of Theorem 7.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(report.servers[i].correct) << "S" << i;
+  }
+  EXPECT_GT(report.inconsistencies, 300u);
+  EXPECT_GT(report.asynchronism.max_observed.seconds(), 0.0062);
+}
+
+TEST(ScenarioCorpus, ByzantineCollusionCollapsesAgainstIMFT) {
+  ScenarioRunner runner(parse_scenario(read_scenario("byzantine_collusion_imft.mtds")));
+  const auto report = build_report(runner.run());
+  // The majority quorum covers without the liars; exclusion streaks become
+  // quarantine and the honest servers end correct and tightly synchronized.
+  std::uint64_t exclusions = 0, quarantines = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(report.servers[i].correct) << "S" << i;
+    exclusions += report.servers[i].counters.marzullo_exclusions;
+    quarantines += report.servers[i].counters.quarantines;
+  }
+  EXPECT_GT(exclusions, 0u);
+  EXPECT_GT(quarantines, 0u);
+  EXPECT_LT(report.asynchronism.max_observed.seconds(), 0.0062);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(runner.service().server(i).peer_state(5),
+              PeerState::kQuarantined) << "S" << i;
+    EXPECT_EQ(runner.service().server(i).peer_state(6),
+              PeerState::kQuarantined) << "S" << i;
+  }
+}
+
+TEST(ScenarioCorpus, ByzantineTwoFacedSplitsCampsSilently) {
+  const auto report = run_file("byzantine_twofaced.mtds");
+  // Equivocation defeats purely-local checking: zero inconsistencies, zero
+  // convictions, yet the camps end past the consistency budget.
+  std::uint64_t incons = 0, suspects = 0;
+  for (const auto& s : report.servers) {
+    incons += s.counters.inconsistencies;
+    suspects += s.counters.byzantine_suspects;
+  }
+  EXPECT_EQ(incons, 0u);
+  EXPECT_EQ(suspects, 0u);
+  EXPECT_FALSE(report.consistency.ok());
+  EXPECT_GT(report.servers[2].offset.seconds() -
+                report.servers[1].offset.seconds(),
+            0.03);
+}
+
+TEST(ScenarioCorpus, ByzantineAdaptiveLiarConvicted) {
+  const auto report = run_file("byzantine_adaptive.mtds");
+  // The bound-hugging liar is convicted by the cross-round detector when
+  // its lie jumps with a victim's collapsing bound.
+  std::uint64_t suspects = 0, quarantines = 0;
+  for (const auto& s : report.servers) {
+    suspects += s.counters.byzantine_suspects;
+    quarantines += s.counters.quarantines;
+  }
+  EXPECT_GE(suspects, 1u);
+  EXPECT_GE(quarantines, 1u);
+}
+
 TEST(ScenarioCorpus, ChurnEndsHealthyForSurvivors) {
   const auto report = run_file("churn.mtds");
   EXPECT_EQ(report.joins, 5u);   // 3 initial + 2 timeline joins

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint gate: protocol-level rules clang cannot express.
 
-Six rules, each a pure function over file text so --self-test can exercise
+Seven rules, each a pure function over file text so --self-test can exercise
 them on synthetic inputs:
 
   bare-double         public time-quantity signatures in src/service and
@@ -38,6 +38,13 @@ them on synthetic inputs:
                       tools/bench_report.py tracks in BENCH_core.json, and a
                       benchmark that forgets it silently drops out of the
                       tracked baseline (see docs/PERFORMANCE.md).
+  adversary-docs      every class deriving publicly from AdversaryStrategy
+                      must carry a `fault-bound:` line in the comment block
+                      above it, stating the assumption under which the
+                      attack works and the defense that defeats it - an
+                      attack whose failure boundary is undocumented reads
+                      as unconditionally fatal (see runtime/adversary.h and
+                      docs/FAULTS.md).
 
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage.
 Run from anywhere: paths are resolved relative to the repo root (the parent
@@ -312,6 +319,39 @@ def check_bench_items(path: str, text: str) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
+# Rule 7: adversary-docs
+# --------------------------------------------------------------------------
+
+_ADVERSARY_IMPL = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*[^({;]*\bpublic\s+AdversaryStrategy\b"
+)
+_FAULT_BOUND_TAG = "fault-bound:"
+
+
+def check_adversary_docs(path: str, text: str) -> list[Violation]:
+    """Every AdversaryStrategy subclass documents its failure boundary: a
+    'fault-bound:' comment line within the 15 lines above the class."""
+    out = []
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        m = _ADVERSARY_IMPL.search(line.split("//", 1)[0])
+        if not m:
+            continue
+        window = lines[max(0, lineno - 16):lineno - 1]
+        if not any("//" in w and _FAULT_BOUND_TAG in w for w in window):
+            out.append(
+                Violation(
+                    path, lineno, "adversary-docs",
+                    f"adversary strategy '{m.group(1)}' has no "
+                    f"'{_FAULT_BOUND_TAG}' line in the comment above it; "
+                    "state the assumption the attack needs and the defense "
+                    "that defeats it (see runtime/adversary.h for the idiom)",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -358,6 +398,13 @@ def run_repo() -> list[Violation]:
         text = cc.read_text()
         if "benchmark::State" in text:
             out += check_bench_items(str(cc.relative_to(REPO)), text)
+
+    for source in sorted(
+        list((REPO / "src").rglob("*.h")) + list((REPO / "src").rglob("*.cc"))
+    ):
+        out += check_adversary_docs(
+            str(source.relative_to(REPO)), source.read_text()
+        )
     return out
 
 
@@ -456,6 +503,24 @@ def self_test() -> int:
            "bench-items: missing SetItemsProcessed not caught")
     expect(not check_bench_items("fake_bench.cc", good_bench),
            "bench-items: counted benchmark flagged")
+
+    bad_adversary = (
+        "// A very scary attack with no documented boundary.\n"
+        "class Silent final : public AdversaryStrategy {\n"
+        "};\n"
+    )
+    good_adversary = (
+        "// A scary attack.\n"
+        "//\n"
+        "// fault-bound: defeated by IMFT coverage whenever f < n/2.\n"
+        "class Documented final : public AdversaryStrategy {\n"
+        "};\n"
+    )
+    got = check_adversary_docs("fake.h", bad_adversary)
+    expect(len(got) == 1 and "Silent" in got[0].message,
+           "adversary-docs: undocumented strategy not caught")
+    expect(not check_adversary_docs("fake.h", good_adversary),
+           "adversary-docs: documented strategy flagged")
 
     if failures:
         for f in failures:
