@@ -44,6 +44,7 @@ SyncOutcome MaxSync::on_round(const LocalState& local,
   return out;
 }
 
+// mtds:alloc-ok(baseline comparator, not the paper protocol; the per-round offsets scratch is tolerable off the MM/IM hot path)
 SyncOutcome MedianSync::on_round(const LocalState& local,
                                  std::span<const TimeReading> replies) const {
   SyncOutcome out;

@@ -24,6 +24,7 @@ void DriftingClock::set(RealTime t, ClockTime value) {
 
 void DriftingClock::set_drift(RealTime t, double drift) {
   if (drift <= -1.0) {
+    // mtds:alloc-ok(cold guard; drift specs are validated at scenario parse time, a running clock never crosses -1)
     throw std::invalid_argument("DriftingClock: drift must be > -1");
   }
   // Rebase so the clock value is continuous across the rate change.

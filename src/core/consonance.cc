@@ -9,6 +9,7 @@ RateEstimator::RateEstimator(std::size_t window)
     : window_(std::max<std::size_t>(window, 2)) {}
 
 void RateEstimator::add(const RateObservation& obs) {
+  // mtds:alloc-ok(sliding window bounded by window_; after warm-up the erase below keeps size and capacity constant)
   observations_.push_back(obs);
   if (observations_.size() > window_) {
     observations_.erase(observations_.begin());

@@ -43,6 +43,7 @@ class ErrorTracker {
   // r <- C_j; rule IM-2: eps <- (b-a)/2, r <- midpoint).
   void reset(ClockTime new_clock, ErrorBound new_epsilon) {
     if (new_epsilon < Duration{0.0}) {
+      // mtds:alloc-ok(cold guard; both MM-2 and IM-2 derive the inherited error from non-negative terms, so a correct caller never reaches this)
       throw std::invalid_argument("ErrorTracker: negative inherited error");
     }
     epsilon_ = new_epsilon;

@@ -13,8 +13,9 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
   // aged to now; the local interval participates as entry 0.
   intervals_.clear();
   owners_.clear();
+  // mtds:alloc-ok(member scratch; clear() keeps capacity, so these reserves only allocate when the peer count grows)
   intervals_.reserve(replies.size() + 1);
-  owners_.reserve(replies.size() + 1);
+  owners_.reserve(replies.size() + 1);  // mtds:alloc-ok(same retained-capacity scratch as the line above)
   intervals_.push_back(TimeInterval::from_center_error(0.0, local.error.seconds()));
   owners_.push_back(kInvalidServer);  // self
   for (const TimeReading& r : replies) {
@@ -25,8 +26,9 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
         offset_between(r.c + r.e + (1.0 + local.delta) * r.rtt_own,
                        r.local_receive) +
         pad;
+    // mtds:alloc-ok(writes into the capacity reserved at round start; both vectors hold exactly replies+1 entries)
     intervals_.push_back(TimeInterval::from_edges(t_j.seconds(), l_j.seconds()));
-    owners_.push_back(r.from);
+    owners_.push_back(r.from);  // mtds:alloc-ok(same reservation as the interval above)
   }
 
   const bool found = best_intersection(intervals_, scratch_, best_);
@@ -48,6 +50,7 @@ SyncOutcome FaultTolerantIntersectionSync::on_round(
 
   // Excluded servers (their interval does not contain the chosen region)
   // are reported for recovery/diagnosis even though the round succeeds.
+  // mtds:alloc-ok(membership scratch sized to replies+1; capacity is retained across rounds like the interval buffers)
   member_.assign(n, false);
   for (std::size_t idx : best_.members) member_[idx] = true;
   for (std::size_t i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@ namespace mtds::core {
 
 TimeInterval TimeInterval::from_edges(double lo, double hi) {
   if (!(lo <= hi)) {
+    // mtds:alloc-ok(cold guard; an inverted interval is a caller bug and never occurs on the checked sweep paths)
     throw std::invalid_argument("TimeInterval: lo must be <= hi");
   }
   return TimeInterval(lo, hi);
@@ -16,6 +17,7 @@ TimeInterval TimeInterval::from_edges(double lo, double hi) {
 
 TimeInterval TimeInterval::from_center_error(double c, double e) {
   if (!(e >= 0)) {
+    // mtds:alloc-ok(cold guard; negative error bounds are rejected at the protocol boundary before reaching interval math)
     throw std::invalid_argument("TimeInterval: error must be >= 0");
   }
   return TimeInterval(c - e, c + e);

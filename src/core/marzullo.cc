@@ -7,14 +7,16 @@ namespace {
 
 // Starts sort before ends at equal values so intervals touching at a point
 // count as overlapping there (consistency admits |C_i - C_j| = E_i + E_j).
+// mtds:no-alloc
 void fill_sorted_edges(std::span<const TimeInterval> intervals,
                        std::vector<MarzulloScratch::Edge>& edges) {
   edges.clear();
+  // mtds:alloc-ok(scratch capacity; grows to 2n on first use and is reused every round thereafter - alloc_test gates the steady state)
   edges.reserve(intervals.size() * 2);
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const auto idx = static_cast<std::uint32_t>(i);
-    edges.push_back({intervals[i].lo(), +1, idx});
-    edges.push_back({intervals[i].hi(), -1, idx});
+    edges.push_back({intervals[i].lo(), +1, idx});   // mtds:alloc-ok(within the reservation above)
+    edges.push_back({intervals[i].hi(), -1, idx});   // mtds:alloc-ok(within the reservation above)
   }
   std::sort(edges.begin(), edges.end(),
             [](const MarzulloScratch::Edge& a, const MarzulloScratch::Edge& b) {
@@ -25,6 +27,7 @@ void fill_sorted_edges(std::span<const TimeInterval> intervals,
 
 }  // namespace
 
+// mtds:no-alloc
 bool best_intersection(std::span<const TimeInterval> intervals,
                        MarzulloScratch& scratch, BestIntersection& out) {
   if (intervals.empty()) return false;
@@ -63,6 +66,7 @@ bool best_intersection(std::span<const TimeInterval> intervals,
   // agrees.  Collecting by scanning the flags emits members in ascending
   // index order for free.
   auto& flag = scratch.active_flag;
+  // mtds:alloc-ok(scratch capacity; assign reuses the flag buffer once it has grown to n)
   flag.assign(intervals.size(), 0);
   for (std::size_t i = 0; i <= best_edge; ++i) {
     const auto& e = edges[i];
@@ -70,7 +74,7 @@ bool best_intersection(std::span<const TimeInterval> intervals,
   }
   out.members.clear();
   for (std::size_t i = 0; i < intervals.size(); ++i) {
-    if (flag[i] != 0) out.members.push_back(i);
+    if (flag[i] != 0) out.members.push_back(i);  // mtds:alloc-ok(caller-owned result vector; IMFT reuses one BestIntersection across rounds so capacity persists)
   }
   return true;
 }

@@ -17,8 +17,9 @@ namespace {
 
 // Default on: the vectored syscalls are strictly a fast path; the knob
 // exists so tests can pin the fallback.
-// mtds:lock-free(config flag: tests flip it before traffic starts; the send
-// path reads it with no ordering requirement - either value is correct)
+// mtds:lock-free(config flag set before traffic starts; either value is correct)
+// Tests flip it up front; the send path reads it with no ordering
+// requirement.
 std::atomic<bool> g_batching_enabled{true};
 
 }  // namespace

@@ -53,7 +53,7 @@ void Adaptive::on_observe(ServerId /*self*/, TrafficDir dir, ServerId peer,
       return;
     }
   }
-  bounds_.push_back({peer, msg.e});
+  bounds_.push_back({peer, msg.e});  // mtds:alloc-ok(one entry per observed victim, bounded by the peer count; later observations update in place above)
 }
 
 ForgeResult Adaptive::rewrite(ServerId /*self*/, ServerId to,

@@ -141,7 +141,7 @@ void FaultInjector::process(Dir dir, ServerId peer, ServiceMessage msg,
     // it - possibly after the requesting round closed (a stale reply).
     ++stats_.delayed;
     const Duration spike =
-        rng_.uniform(plan_.delay_lo.seconds(), plan_.delay_hi.seconds());
+        rng_.uniform(plan_.delay_lo, plan_.delay_hi);
     timers_->after(spike, [this, dir, peer, msg] {
       if (crashed_) {
         ++stats_.dropped_crash;

@@ -104,6 +104,7 @@ void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
   socket_.send_to(addr->second, net::encode(resp));
 }
 
+// mtds:alloc-ok(wall-clock runtime plane; the address scratch keeps its capacity across polls and a real sendmmsg dwarfs any residual growth)
 std::size_t UdpRuntime::broadcast(const std::vector<ServerId>& targets,
                                   const ServiceMessage& msg) {
   // Requests carry no per-target state, so the payload is encoded once and
@@ -140,6 +141,7 @@ Duration UdpRuntime::max_one_way_delay() const {
   return config_.reply_window / 3.0;
 }
 
+// mtds:alloc-ok(wall-clock runtime plane; timers here fire per poll period over real UDP, and the std::function it stores already allocates - the no-alloc contract covers the simulator plane)
 TimerId UdpRuntime::after(Duration delay, std::function<void()> cb) {
   util::MutexLock lock(timer_mutex_);
   const double deadline =

@@ -64,6 +64,7 @@ void TimeClient::handle(core::RealTime t, const ServiceMessage& msg) {
   reading.c = msg.c;
   reading.e = msg.e;
   reading.rtt_own = t - it->second;  // the client clock is real time here
+  // mtds:seconds-ok(the client has no drifting clock; its clock axis is defined as real time and this constructs that identity)
   reading.local_receive = core::ClockTime{t.seconds()};
   pending_.erase(it);
   replies_.push_back(reading);

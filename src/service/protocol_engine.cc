@@ -88,7 +88,7 @@ void ProtocolEngine::start(const std::vector<ServerId>& neighbors) {
   if (observer_ != nullptr) observer_->on_join(wall_->now(), id_);
   if (sync_ != nullptr && !neighbors_.empty()) {
     // Jitter the first round so the service's rounds don't run in lockstep.
-    schedule_next_poll(rng_.uniform(0.0, spec_.poll_period.seconds()));
+    schedule_next_poll(rng_.uniform(core::Duration{0.0}, spec_.poll_period));
   }
 }
 
@@ -111,7 +111,7 @@ void ProtocolEngine::add_neighbor(ServerId peer) {
     neighbors_.push_back(peer);
     // A previously isolated server starts polling once it has a neighbour.
     if (running_ && sync_ != nullptr && neighbors_.size() == 1) {
-      schedule_next_poll(rng_.uniform(0.0, spec_.poll_period.seconds()));
+      schedule_next_poll(rng_.uniform(core::Duration{0.0}, spec_.poll_period));
     }
   }
 }
@@ -144,6 +144,7 @@ bool ProtocolEngine::correct(RealTime t) {
   return abs(true_offset(t)) <= current_error(t) + Duration{1e-12};
 }
 
+// mtds:no-alloc
 void ProtocolEngine::schedule_next_poll(Duration own_clock_delay) {
   // The poll timer is driven by the server's own oscillator, so a drifting
   // clock polls slightly faster or slower in real time.  A (faulty) stopped
@@ -155,6 +156,7 @@ void ProtocolEngine::schedule_next_poll(Duration own_clock_delay) {
   });
 }
 
+// mtds:no-alloc
 void ProtocolEngine::begin_round() {
   if (!running_) return;
   // A still-open round (possible when tau is close to the reply wait) is
@@ -190,6 +192,7 @@ void ProtocolEngine::begin_round() {
       }
       if (probe) ++counters_.probes_sent;
     }
+    // mtds:alloc-ok(per-round target list bounded by the neighbour count; clear() keeps its capacity across rounds)
     round_targets_.push_back(peer);
   }
 
@@ -200,6 +203,7 @@ void ProtocolEngine::begin_round() {
     req.from = id_;
     req.tag = broadcast_tag_ = next_tag_++;
     broadcast_sent_local_ = local;
+    // mtds:alloc-ok(awaiting set sized to the round targets; its capacity, like theirs, is retained across rounds)
     broadcast_awaiting_.assign(round_targets_.begin(), round_targets_.end());
     std::sort(broadcast_awaiting_.begin(), broadcast_awaiting_.end());
     counters_.requests_sent += transport_->broadcast(round_targets_, req);
@@ -210,6 +214,7 @@ void ProtocolEngine::begin_round() {
       req.from = id_;
       req.to = peer;
       req.tag = next_tag_++;
+      // mtds:alloc-ok(in-flight request list bounded by the neighbour count; entries are erased on reply and the capacity persists)
       pending_.push_back(Pending{req.tag, local, /*recovery=*/false, peer});
       ++counters_.requests_sent;
       transport_->send(peer, req);
@@ -240,6 +245,7 @@ void ProtocolEngine::begin_round() {
   schedule_next_poll(current_period_);
 }
 
+// mtds:no-alloc
 void ProtocolEngine::end_round() {
   if (!round_open_) return;
   round_open_ = false;
@@ -327,6 +333,7 @@ void ProtocolEngine::end_round() {
   round_replies_.clear();
 }
 
+// mtds:no-alloc
 void ProtocolEngine::age_recovery_requests() {
   auto keep = pending_.begin();
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
@@ -363,6 +370,7 @@ void ProtocolEngine::set_degraded(bool degraded) {
              degraded ? "entered" : "left");
 }
 
+// mtds:no-alloc
 void ProtocolEngine::note_peer_replied(ServerId peer) {
   if (health_ == nullptr) return;
   health_->note_reply(peer);
@@ -371,6 +379,7 @@ void ProtocolEngine::note_peer_replied(ServerId peer) {
   }
 }
 
+// mtds:no-alloc
 void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
   if (!running_) return;
   switch (msg.type) {
@@ -456,6 +465,7 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
   }
 }
 
+// mtds:no-alloc
 bool ProtocolEngine::note_reading_impossible(const TimeReading& reading) {
   PeerReadingMemory* mem = nullptr;
   for (PeerReadingMemory& m : reading_memory_) {
@@ -467,7 +477,7 @@ bool ProtocolEngine::note_reading_impossible(const TimeReading& reading) {
   bool impossible = false;
   Duration excess{0.0};
   if (mem == nullptr) {
-    reading_memory_.push_back({});
+    reading_memory_.push_back({});  // mtds:alloc-ok(first contact with a new peer; the memory is keyed per peer and reused for every later reading)
     mem = &reading_memory_.back();
     mem->peer = reading.from;
   } else {
@@ -508,10 +518,12 @@ bool ProtocolEngine::note_reading_impossible(const TimeReading& reading) {
   return impossible;
 }
 
+// mtds:no-alloc
 void ProtocolEngine::process_reading(const TimeReading& reading) {
   if (sync_ == nullptr) return;
   if (filter_ != nullptr) filter_->add(reading);
   if (sync_->mode() == SyncMode::kPerRound) {
+    // mtds:alloc-ok(per-round reply buffer; clear() keeps its capacity, so after the first full round this never reallocates)
     if (round_open_) round_replies_.push_back(reading);
     return;
   }
@@ -538,6 +550,7 @@ void ProtocolEngine::process_reading(const TimeReading& reading) {
   }
 }
 
+// mtds:no-alloc
 void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   const RealTime now = wall_->now();
   // Outstanding requests recorded their send time on the pre-reset clock;
@@ -594,6 +607,7 @@ void ProtocolEngine::note_inconsistency(const core::ServerIdVec& peers) {
   }
 }
 
+// mtds:alloc-ok(recovery burst, not steady state; runs at most kMaxRecoveryAttempts times per §4 reset event and the candidate list is bounded by the pool size)
 void ProtocolEngine::request_recovery(ServerId exclude) {
   // At most one recovery request in flight.
   for (const Pending& pend : pending_) {
@@ -641,6 +655,7 @@ void ProtocolEngine::request_recovery(ServerId exclude) {
   transport_->send(target, req);
 }
 
+// mtds:no-alloc
 LocalState ProtocolEngine::local_state(RealTime t) {
   LocalState state;
   state.clock = clock_->read(t);

@@ -10,6 +10,7 @@ SampleFilter::SampleFilter(std::size_t window, core::Duration max_age)
 void SampleFilter::add(const core::TimeReading& reading) {
   Window& w = samples_[reading.from];
   if (w.buf.size() < window_) {
+    // mtds:alloc-ok(window warm-up; after `window_` readings per peer the circular buffer overwrites in place forever)
     w.buf.push_back(reading);  // still filling; next stays at 0
     return;
   }
@@ -60,6 +61,7 @@ void SampleFilter::best_all_into(core::ClockTime local_now, double delta,
                                  core::Readings& out) const {
   out.clear();
   for (const auto& [from, w] : samples_) {
+    // mtds:alloc-ok(appends into the caller's round scratch; its capacity is retained across rounds and bounded by the peer count)
     if (auto r = best(from, local_now, delta)) out.push_back(*r);
   }
 }

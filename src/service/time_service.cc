@@ -91,6 +91,7 @@ std::unique_ptr<core::Clock> TimeService::make_clock(const ServerSpec& spec) {
   } else {
     // The one sanctioned axis crossing: seed the clock at true time plus
     // the configured offset.
+    // mtds:seconds-ok(clock genesis; a new clock's initial reading is defined to equal true time before drift accumulates)
     clock = std::make_unique<core::DriftingClock>(
         spec.actual_drift, core::ClockTime{t.seconds()} + spec.initial_offset,
         t);

@@ -16,7 +16,7 @@ UniformDelay::UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
 }
 
 Duration UniformDelay::sample(Rng& rng) const {
-  return rng.uniform(lo_.seconds(), hi_.seconds());
+  return rng.uniform(lo_, hi_);
 }
 
 TruncatedExponentialDelay::TruncatedExponentialDelay(Duration mean, Duration cap)
@@ -27,7 +27,7 @@ TruncatedExponentialDelay::TruncatedExponentialDelay(Duration mean, Duration cap
 }
 
 Duration TruncatedExponentialDelay::sample(Rng& rng) const {
-  return std::min(Duration{rng.exponential(mean_.seconds())}, cap_);
+  return std::min(rng.exponential(mean_), cap_);
 }
 
 std::unique_ptr<DelayModel> make_uniform_delay(Duration lo, Duration hi) {

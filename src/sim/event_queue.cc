@@ -8,10 +8,12 @@ namespace mtds::sim {
 // compare-and-branch; the exception machinery stays out of the hot TUs.
 
 void EventQueue::throw_past() {
+  // mtds:alloc-ok(cold guard path; scheduling in the past is a caller bug and the throw is deliberately out of line)
   throw std::invalid_argument("EventQueue: cannot schedule in the past");
 }
 
 void EventQueue::throw_negative() {
+  // mtds:alloc-ok(cold guard path; a negative delay is a caller bug and the throw is deliberately out of line)
   throw std::invalid_argument("EventQueue: negative delay");
 }
 

@@ -36,12 +36,14 @@ class EventQueue {
 
   // Schedules `cb` at absolute time t (>= now, checked).  Returns the event
   // id, usable with cancel().
+  // mtds:no-alloc
   std::uint64_t at(RealTime t, Callback cb) {
     if (t < now_) throw_past();
     return heap_.push(Priority{t, next_seq_++}, std::move(cb));
   }
 
   // Schedules `cb` after `d` (>= 0) from now.
+  // mtds:no-alloc
   std::uint64_t after(Duration d, Callback cb) {
     if (d < 0) throw_negative();
     return at(now_ + d, std::move(cb));
@@ -50,6 +52,7 @@ class EventQueue {
   // Cancels a pending event; returns false if it already ran or was
   // cancelled.  O(1): the callback is destroyed immediately, the heap entry
   // is skipped lazily when it surfaces.
+  // mtds:no-alloc
   bool cancel(std::uint64_t id) { return heap_.cancel(id); }
 
   // Runs the next event; returns false when the queue is empty.
@@ -57,6 +60,7 @@ class EventQueue {
 
   // Runs every event with time <= t_end, then advances now to t_end.
   // Returns the number of events executed.
+  // mtds:no-alloc
   std::size_t run_until(RealTime t_end) {
     std::size_t executed = 0;
     for (;;) {
@@ -83,6 +87,7 @@ class EventQueue {
   // (time, seq) order exactly - they just stop earlier.
 
   // Runs every event with time < t_end (strict), then advances now to t_end.
+  // mtds:no-alloc
   std::size_t run_before(RealTime t_end) {
     std::size_t executed = 0;
     for (;;) {
@@ -97,6 +102,7 @@ class EventQueue {
   // Runs every event with time == t, including events they schedule at t,
   // then advances now to t.  Events earlier than t must not exist (callers
   // pass the global minimum next_time()).
+  // mtds:no-alloc
   std::size_t run_at(RealTime t) {
     std::size_t executed = 0;
     for (;;) {
@@ -109,6 +115,7 @@ class EventQueue {
   }
 
   // Time of the next live event, or +infinity when the queue is empty.
+  // mtds:no-alloc
   RealTime next_time() {
     const Priority* top = heap_.peek();
     return top != nullptr
@@ -142,6 +149,7 @@ class EventQueue {
   // never moves, even when the callback schedules more events), and
   // invoke_once fuses invoke + destroy into one dispatch - so a drained
   // event costs exactly one relocation (into the slot at schedule time).
+  // mtds:no-alloc
   bool pop_one() {
     Priority pri;
     return heap_.consume_top(pri, [this, &pri](Callback& cb) {

@@ -326,9 +326,10 @@ class Network {
         deliver(*sq, shard_stats(to), to, m);
       });
     } else {
-      router_->mailboxes[static_cast<std::size_t>(src) * router_->num_shards +
-                         dst]
-          .push(InFlight{arrival, to, std::move(msg)});
+      const std::size_t box =
+          static_cast<std::size_t>(src) * router_->num_shards + dst;
+      // mtds:alloc-ok(SpscRing push into the shard mailbox; its only allocating branch is the hatched overflow lane in spsc_ring.h)
+      router_->mailboxes[box].push(InFlight{arrival, to, std::move(msg)});
     }
     return delay;
   }

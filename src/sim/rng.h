@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "core/time_types.h"
+
 namespace mtds::sim {
 
 class Rng {
@@ -28,6 +30,16 @@ class Rng {
 
   // Exponential with the given mean (> 0).
   double exponential(double mean) noexcept;
+
+  // Typed draws: built on Duration scaling, so sampled intervals never
+  // round-trip through bare seconds (the seconds-escape analyzer rejects
+  // such laundering elsewhere).
+  core::Duration uniform(core::Duration lo, core::Duration hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+  core::Duration exponential(core::Duration mean) noexcept {
+    return mean * exponential(1.0);
+  }
 
   // Standard normal via Box-Muller (no cached spare: keeps state minimal
   // and replay trivial).

@@ -50,6 +50,7 @@ void ShardedEngine::worker_loop(unsigned worker) {
   }
 }
 
+// mtds:no-alloc
 void ShardedEngine::run_window(const std::function<void(std::size_t)>& job) {
   {
     util::MutexLock lock(mu_);
@@ -62,6 +63,7 @@ void ShardedEngine::run_window(const std::function<void(std::size_t)>& job) {
   while (remaining_ != 0) work_done_.wait(mu_);
 }
 
+// mtds:no-alloc
 void ShardedEngine::run_until(RealTime t_target, Duration lookahead) {
   const Duration L = lookahead < Duration{0.0} ? Duration{0.0} : lookahead;
   last_windows_ = 0;

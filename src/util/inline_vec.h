@@ -32,25 +32,29 @@ class InlineVec {
 
   // Invariant: heap_ is non-empty exactly when the vector has spilled;
   // clear() drops back to inline storage but keeps heap_'s capacity.
+  // mtds:no-alloc
   void push_back(const T& v) {
     if (!heap_.empty()) {
-      heap_.push_back(v);
+      heap_.push_back(v);  // mtds:alloc-ok(spilled capacity is kept across clear(); amortized to zero at steady state, gated by alloc_test)
       return;
     }
     if (inline_size_ < N) {
       inline_[inline_size_++] = v;
       return;
     }
+    // mtds:alloc-ok(first spill past N inline slots; capacity survives clear() so a spilling user allocates once per lifetime)
     heap_.reserve(2 * N);
-    heap_.assign(inline_.begin(), inline_.end());
-    heap_.push_back(v);
+    heap_.assign(inline_.begin(), inline_.end());  // mtds:alloc-ok(writes into the capacity reserved one line up)
+    heap_.push_back(v);  // mtds:alloc-ok(within the 2N reservation: size here is exactly N+1)
   }
 
+  // mtds:no-alloc
   void clear() noexcept {
     heap_.clear();
     inline_size_ = 0;
   }
 
+  // mtds:no-alloc
   std::size_t size() const noexcept {
     return heap_.empty() ? inline_size_ : heap_.size();
   }

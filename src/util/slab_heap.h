@@ -45,6 +45,7 @@ class SlabHeap {
   // generation advances on each release, and the generation occupies the
   // handle's high 32 bits.  The payload is forwarded, so the schedule path
   // relocates a moved-in callback exactly once (into the slot).
+  // mtds:no-alloc
   template <typename P = Payload>
   Id push(const Priority& pri, P&& payload) {
     std::uint32_t slot;
@@ -53,6 +54,7 @@ class SlabHeap {
       free_head_ = slot_ref(slot).next_free;
     } else {
       if ((slot_count_ & (kChunkSize - 1)) == 0) {
+        // mtds:alloc-ok(chunk growth; chunks are never freed while the queue lives, so a warmed queue reuses slots via the free list - alloc_test pins the steady state)
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
       }
       slot = slot_count_++;
@@ -60,7 +62,7 @@ class SlabHeap {
     Slot& s = slot_ref(slot);
     s.live = true;
     s.payload = std::forward<P>(payload);
-    heap_.push_back(Entry{pri, slot});
+    heap_.push_back(Entry{pri, slot});  // mtds:alloc-ok(vector growth is amortized and capacity is retained across pops; steady state appends into existing capacity)
     sift_up(heap_.size() - 1);
     ++live_;
     return make_id(s.gen, slot);
@@ -68,6 +70,7 @@ class SlabHeap {
 
   // O(1): kills the entry and destroys its payload now; the heap entry is
   // purged lazily.  Returns false for ids that already popped or cancelled.
+  // mtds:no-alloc
   bool cancel(Id id) {
     const std::uint32_t slot = static_cast<std::uint32_t>(id);
     const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
@@ -83,6 +86,7 @@ class SlabHeap {
 
   // Priority of the next live entry, or nullptr when empty.  Purges any
   // cancelled entries that have surfaced at the top.
+  // mtds:no-alloc
   const Priority* peek() {
     purge_dead_tops();
     return heap_.empty() ? nullptr : &heap_.front().pri;
@@ -100,6 +104,7 @@ class SlabHeap {
 
   // Single-call peek+pop: one purge pass, no second top lookup.  Returns
   // false when the heap is empty.
+  // mtds:no-alloc
   bool try_pop(Priority& pri_out, Payload& payload_out) {
     return consume_top(pri_out, [&payload_out](Payload& p) {
       payload_out = std::move(p);
@@ -113,6 +118,7 @@ class SlabHeap {
   // handed its own slot back) and may cancel ids freely (this entry is
   // already dead to cancel()).  `pri_out` is assigned before f runs.
   // Returns false when the heap is empty, without calling f.
+  // mtds:no-alloc
   template <typename F>
   bool consume_top(Priority& pri_out, F&& f) {
     purge_dead_tops();

@@ -16,9 +16,9 @@
 // the consumer always observes the producer's exact push order.
 #pragma once
 
-// mtds:lock-free(SPSC ring: one producer worker per parallel window, one
-// consumer at the epoch barrier; acquire/release on head_/tail_ order the
-// slot payloads, and the engine's barrier mutex orders the overflow lane)
+// mtds:lock-free(SPSC ring; acquire/release on head_/tail_ order the slots)
+// One producer worker per parallel window, one consumer at the epoch
+// barrier; the engine's barrier mutex orders the overflow lane.
 #include <atomic>
 #include <cstddef>
 #include <utility>
@@ -45,12 +45,14 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   // Producer side.  Never blocks; spills to the overflow lane when full.
+  // mtds:no-alloc
   void push(T item) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t next = (tail + 1) % slots_.size();
     if (next == head_.load(std::memory_order_acquire) || !overflow_.empty()) {
       // Once anything has spilled, keep spilling: push order must stay
       // intact across the ring/overflow seam until the next drain.
+      // mtds:alloc-ok(overflow lane; fills only when a window outruns ring capacity, and the vector keeps its capacity across drains so repeat spills are allocation-free)
       overflow_.push_back(std::move(item));
       return;
     }
@@ -59,6 +61,7 @@ class SpscRing {
   }
 
   // Consumer side: pops every queued item in push order into `fn`.
+  // mtds:no-alloc
   template <typename Fn>
   void drain(Fn&& fn) {
     std::size_t head = head_.load(std::memory_order_relaxed);

@@ -49,6 +49,7 @@ class RunningStats {
 // Stores all samples; exact quantiles.
 class Sampler {
  public:
+  // mtds:alloc-ok(telemetry store with amortized doubling; steady-state users pre-size it through reserve())
   void add(double x) { samples_.push_back(x); sorted_ = false; }
   void reserve(std::size_t n) { samples_.reserve(n); }
 

@@ -1,0 +1,43 @@
+// Corpus file driver for the fuzz harnesses.
+//
+// Under the sanitizer CI job the harnesses build with clang's
+// -fsanitize=fuzzer, which supplies main() and mutates inputs; everywhere
+// else (gcc, local builds) this header provides a main() that replays each
+// file named on the command line through LLVMFuzzerTestOneInput once.  The
+// ctest smoke targets use that mode to run the committed scenarios/ corpus
+// through the harnesses on every build, so a crash in the parse/decode
+// paths is caught even where libFuzzer is unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifndef MTDS_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fuzz driver: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in),
+                                          std::istreambuf_iterator<char>{});
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %d corpus file(s)\n", replayed);
+  return 0;
+}
+
+#endif  // MTDS_FUZZ_LIBFUZZER

@@ -1,0 +1,42 @@
+// Fuzz entry for the wire-protocol decoders.
+//
+// Contract under test: decode_request/decode_response validate magic,
+// version, type and size, returning nullopt on any mismatch - never
+// reading past `size`.  When a decode succeeds, re-encoding must
+// round-trip to an identical packet; a mismatch means the decoder
+// accepted bytes the encoder would never produce.
+#include <cstdlib>
+#include <cstring>
+
+#include "net/protocol.h"
+
+#include "fuzz/file_driver.h"
+
+namespace {
+
+void check_request_roundtrip(const std::uint8_t* data, std::size_t size) {
+  const auto pkt = mtds::net::decode_request(data, size);
+  if (!pkt) return;
+  const auto wire = mtds::net::encode(*pkt);
+  if (size != wire.size() || std::memcmp(wire.data(), data, wire.size()) != 0) {
+    std::abort();  // decoder accepted a non-canonical request
+  }
+}
+
+void check_response_roundtrip(const std::uint8_t* data, std::size_t size) {
+  const auto pkt = mtds::net::decode_response(data, size);
+  if (!pkt) return;
+  const auto wire = mtds::net::encode(*pkt);
+  if (size != wire.size() || std::memcmp(wire.data(), data, wire.size()) != 0) {
+    std::abort();  // decoder accepted a non-canonical response
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  check_request_roundtrip(data, size);
+  check_response_roundtrip(data, size);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fuzz entry for the scenario DSL parser.
+//
+// Contract under test: parse_scenario() either returns a Scenario or
+// throws std::invalid_argument with a "line N:" diagnostic - it must never
+// crash, hang, or trip a sanitizer on arbitrary bytes.  The committed
+// scenarios/*.mtds files seed the corpus, so mutations start from inputs
+// that reach deep into the grammar instead of dying at the first token.
+#include <stdexcept>
+#include <string>
+
+#include "service/scenario.h"
+
+#include "fuzz/file_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)mtds::service::parse_scenario(text);
+  } catch (const std::invalid_argument&) {
+    // Rejection with a diagnostic is the documented behaviour for
+    // malformed input; anything else escaping is a bug worth the crash.
+  }
+  return 0;
+}

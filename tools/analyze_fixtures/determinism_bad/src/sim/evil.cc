@@ -1,0 +1,28 @@
+// analyze-expect: determinism-taint
+//
+// Lives under src/sim/ (the domain is path-keyed): iterating an unordered
+// container and reading a wall clock both poison trace determinism.
+
+#include <chrono>
+#include <unordered_map>
+
+namespace sim {
+
+struct Registry {
+  int sum() {
+    int total = 0;
+    for (const auto& kv : table_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  double wall_now() {
+    return static_cast<double>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  std::unordered_map<int, int> table_;
+};
+
+}  // namespace sim

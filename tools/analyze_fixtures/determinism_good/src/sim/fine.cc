@@ -1,0 +1,26 @@
+// analyze-expect: clean
+//
+// Ordered iteration is deterministic, and the one genuine entropy source
+// carries a mtds:nondet-ok hatch with its reason.
+
+#include <map>
+#include <random>
+
+namespace sim {
+
+struct Registry {
+  int sum() {
+    int total = 0;
+    for (const auto& kv : table_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  // mtds:nondet-ok(seed capture for crash reproduction; never feeds the trace)
+  unsigned seed_entropy() { return std::random_device{}(); }
+
+  std::map<int, int> table_;
+};
+
+}  // namespace sim

@@ -1,0 +1,23 @@
+// analyze-expect: callback-lock-discipline
+//
+// The lambda escapes arm_timer() (stored, fired later on the timer thread)
+// and reads a GUARDED_BY member.  -Wthread-safety checks the lambda where
+// it is written — under no lock requirement — so only the whole-program
+// view catches this.
+
+#define GUARDED_BY(x)
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct Server {
+  void arm_timer() {
+    timer_cb_ = [this] { open_ = open_ + 1; };
+  }
+
+  Mutex mu_;
+  int open_ GUARDED_BY(mu_);
+  int timer_cb_ = 0;  // stand-in for the stored callable
+};

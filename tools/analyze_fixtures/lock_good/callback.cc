@@ -1,0 +1,35 @@
+// analyze-expect: clean
+//
+// Two sanctioned shapes: the lambda acquires the mutex in its own body, or
+// carries a mtds:lock-held contract naming the mutex and the mechanism
+// that delivers it.
+
+#define GUARDED_BY(x)
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+struct Server {
+  void arm_locked() {
+    cb_ = [this] {
+      MutexLock lock(mu_);
+      open_ = open_ + 1;
+    };
+  }
+
+  void arm_contract() {
+    // mtds:lock-held(mu_: the timer thread fires callbacks with mu_ already held)
+    cb2_ = [this] { open_ = open_ + 1; };
+  }
+
+  Mutex mu_;
+  int open_ GUARDED_BY(mu_);
+  int cb_ = 0;   // stand-ins for the stored callables
+  int cb2_ = 0;
+};

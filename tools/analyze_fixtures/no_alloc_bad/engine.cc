@@ -1,0 +1,20 @@
+// analyze-expect: no-alloc-reachability
+//
+// The tagged round() never allocates directly; the violation is two call
+// edges away, which is exactly what lint.py's line regexes cannot see.
+
+namespace demo {
+
+struct Buffer {
+  void grow() { data_ = new int[16]; }
+  int* data_ = nullptr;
+};
+
+struct Engine {
+  // mtds:no-alloc
+  void round() { helper(); }
+  void helper() { buf_.grow(); }
+  Buffer buf_;
+};
+
+}  // namespace demo

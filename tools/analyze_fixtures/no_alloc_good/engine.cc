@@ -1,0 +1,30 @@
+// analyze-expect: clean
+//
+// Both hatch levels: a function-level mtds:alloc-ok makes grow() a barrier
+// (proven amortized-free elsewhere), and a site-level hatch suppresses one
+// std-container growth call while the rest of the function stays checked.
+
+#include <vector>
+
+namespace demo {
+
+struct Buffer {
+  // mtds:alloc-ok(one-time arena growth; alloc_test pins steady-state reuse)
+  void grow() { data_ = new int[16]; }
+  int* data_ = nullptr;
+};
+
+struct Engine {
+  // mtds:no-alloc
+  void round() { helper(); }
+  void helper() { buf_.grow(); }
+
+  // mtds:no-alloc
+  void record(std::vector<int>& v, int x) {
+    v.push_back(x);  // mtds:alloc-ok(capacity reserved at startup; steady state reuses it)
+  }
+
+  Buffer buf_;
+};
+
+}  // namespace demo

@@ -1,0 +1,25 @@
+// analyze-expect: seconds-escape
+//
+// Two launderings of the typed clock algebra: .seconds() re-wrapped in a
+// Duration constructor in the same expression, and .seconds() flowing into
+// a time-typed parameter of a model function.
+
+struct Duration {
+  explicit Duration(double s);
+  double seconds() const;
+};
+
+namespace demo {
+
+Duration scaled(Duration d) {
+  return Duration(d.seconds() * 2.0);
+}
+
+struct Poller {
+  void schedule(Duration next) {}
+  void arm(Duration period) {
+    schedule(period.seconds());
+  }
+};
+
+}  // namespace demo

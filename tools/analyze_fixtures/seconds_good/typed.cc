@@ -1,0 +1,25 @@
+// analyze-expect: clean
+//
+// Leaving the time axis for telemetry is the sanctioned use of .seconds();
+// a genuine boundary crossing carries mtds:seconds-ok with its reason.
+
+struct Duration {
+  explicit Duration(double s);
+  double seconds() const;
+};
+
+namespace demo {
+
+double log_value(Duration d) {
+  return d.seconds();
+}
+
+struct Poller {
+  void schedule(Duration next) {}
+  void arm(Duration period) {
+    // mtds:seconds-ok(scenario DSL speaks raw seconds; this is the parse boundary)
+    schedule(Duration(period.seconds()));
+  }
+};
+
+}  // namespace demo

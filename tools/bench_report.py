@@ -18,6 +18,13 @@ Typical uses:
   tools/bench_report.py --before old.json    # explicit baseline (either a
                                              # google-benchmark JSON dump or
                                              # an earlier BENCH_core.json)
+  tools/bench_report.py --annotate-env       # refresh only the recorded
+                                             # machine context (cores, CPU
+                                             # model, governor); no run
+
+Every run stamps an "environment" block (core count, CPU model, scaling
+governor) into the file: an items/sec figure is only comparable against a
+baseline taken on a comparable machine.
 
 Exit status: 0 on success (regressions do NOT fail the run - the file is a
 tracked record, not a gate), 1 when the benchmark binary is missing,
@@ -28,12 +35,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO / "BENCH_core.json"
+
+
+def collect_env() -> dict:
+    """Machine context a number is meaningless without: comparing an
+    items/sec figure taken on 4 throttled laptop cores against one from a
+    32-core performance-governor box is how phantom regressions happen."""
+    env: dict = {"cpu_count": os.cpu_count()}
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                env["cpu_model"] = line.split(":", 1)[1].strip()
+                break
+    except OSError:
+        pass
+    gov = Path("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+    try:
+        env["scaling_governor"] = gov.read_text().strip()
+    except OSError:
+        env["scaling_governor"] = None  # no cpufreq (VMs, containers)
+    return env
 
 
 def extract_items_per_sec(doc: dict) -> dict[str, float]:
@@ -95,7 +123,22 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help="output path (default: repo-root "
                              "BENCH_core.json)")
+    parser.add_argument("--annotate-env", action="store_true",
+                        help="refresh only the 'environment' block of the "
+                             "existing output file; no benchmarks run")
     args = parser.parse_args(argv)
+
+    if args.annotate_env:
+        out_path = Path(args.out)
+        if not out_path.exists():
+            print(f"--annotate-env: {out_path} does not exist",
+                  file=sys.stderr)
+            return 1
+        doc = json.loads(out_path.read_text())
+        doc["environment"] = collect_env()
+        out_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"refreshed environment block in {out_path}")
+        return 0
 
     binary = Path(args.build_dir) / "bench" / "micro_core"
     if not binary.exists():
@@ -134,6 +177,7 @@ def main(argv: list[str]) -> int:
         "schema": 1,
         "metric": "items_per_second",
         "quick": args.quick,
+        "environment": collect_env(),
         "benchmarks": merged,
     }
     Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")

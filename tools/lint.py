@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project lint gate: protocol-level rules clang cannot express.
 
-Seven rules, each a pure function over file text so --self-test can exercise
+Eight rules, each a pure function over file text so --self-test can exercise
 them on synthetic inputs:
 
   bare-double         public time-quantity signatures in src/service and
@@ -38,6 +38,14 @@ them on synthetic inputs:
                       tools/bench_report.py tracks in BENCH_core.json, and a
                       benchmark that forgets it silently drops out of the
                       tracked baseline (see docs/PERFORMANCE.md).
+  tag-grammar         `mtds:` analysis tags must be well-formed: the bare
+                      tag (mtds:no-alloc) takes no argument, the reason
+                      tags (mtds:alloc-ok, mtds:nondet-ok, mtds:seconds-ok,
+                      mtds:lock-held, mtds:lock-free) require a non-empty
+                      `(reason)` closed on the same line, and unknown
+                      mtds: tags are rejected outright - a misspelt tag
+                      would otherwise silently fail to suppress (or seed)
+                      anything in tools/analyze.py.
   adversary-docs      every class deriving publicly from AdversaryStrategy
                       must carry a `fault-bound:` line in the comment block
                       above it, stating the assumption under which the
@@ -319,7 +327,70 @@ def check_bench_items(path: str, text: str) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
-# Rule 7: adversary-docs
+# Rule 7: tag-grammar
+# --------------------------------------------------------------------------
+
+# Shared with tools/analyze.py: its parser only honours a reason tag whose
+# closing paren sits on the same line, so this rule enforces exactly that.
+_TAG_SCAN = re.compile(r"mtds:[\w-]+")
+_BARE_TAGS = {"mtds:no-alloc"}
+_REASON_TAGS = {
+    "mtds:alloc-ok", "mtds:nondet-ok", "mtds:seconds-ok",
+    "mtds:lock-held", "mtds:lock-free",
+}
+
+
+def check_tag_grammar(path: str, text: str) -> list[Violation]:
+    """Malformed mtds: tags never suppress (or seed) anything in
+    tools/analyze.py; reject them before they can lie silently."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "//" not in line:
+            continue
+        comment = line.split("//", 1)[1]
+        for m in _TAG_SCAN.finditer(comment):
+            tag = m.group(0)
+            rest = comment[m.end():]
+            if tag in _BARE_TAGS:
+                if rest.lstrip().startswith("("):
+                    out.append(
+                        Violation(
+                            path, lineno, "tag-grammar",
+                            f"'{tag}' is a bare tag and takes no argument",
+                        )
+                    )
+            elif tag in _REASON_TAGS:
+                pm = re.match(r"\(([^)]*)\)", rest)
+                if pm is None:
+                    out.append(
+                        Violation(
+                            path, lineno, "tag-grammar",
+                            f"'{tag}' requires a (reason) closed on the "
+                            "same line; tools/analyze.py ignores anything "
+                            "else",
+                        )
+                    )
+                elif not pm.group(1).strip():
+                    out.append(
+                        Violation(
+                            path, lineno, "tag-grammar",
+                            f"'{tag}' has an empty reason; say why the "
+                            "suppression is sound",
+                        )
+                    )
+            else:
+                known = ", ".join(sorted(_BARE_TAGS | _REASON_TAGS))
+                out.append(
+                    Violation(
+                        path, lineno, "tag-grammar",
+                        f"unknown tag '{tag}' (known: {known})",
+                    )
+                )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule 8: adversary-docs
 # --------------------------------------------------------------------------
 
 _ADVERSARY_IMPL = re.compile(
@@ -354,6 +425,20 @@ def check_adversary_docs(path: str, text: str) -> list[Violation]:
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
+
+RULES = {
+    "bare-double": "public time-quantity signatures use core:: strong types",
+    "transport-coverage": "every Transport impl is exercised by the parity "
+                          "test",
+    "trace-docs": "every trace event name is documented in docs/",
+    "lock-order": "state_mutex_ before timer_mutex_, never the reverse",
+    "cross-thread": "annotated wrappers or a documented lock-free protocol",
+    "bench-items": "every benchmark reports items/sec for the tracked "
+                   "baseline",
+    "tag-grammar": "mtds: analysis tags are well-formed (bare vs (reason))",
+    "adversary-docs": "every adversary strategy documents its fault-bound",
+}
+
 
 def run_repo() -> list[Violation]:
     out = []
@@ -403,6 +488,15 @@ def run_repo() -> list[Violation]:
         list((REPO / "src").rglob("*.h")) + list((REPO / "src").rglob("*.cc"))
     ):
         out += check_adversary_docs(
+            str(source.relative_to(REPO)), source.read_text()
+        )
+
+    for source in sorted(
+        list((REPO / "src").rglob("*.h"))
+        + list((REPO / "src").rglob("*.cc"))
+        + list((REPO / "tests").rglob("*.cc"))
+    ):
+        out += check_tag_grammar(
             str(source.relative_to(REPO)), source.read_text()
         )
     return out
@@ -522,6 +616,25 @@ def self_test() -> int:
     expect(not check_adversary_docs("fake.h", good_adversary),
            "adversary-docs: documented strategy flagged")
 
+    bad_tags = (
+        "// mtds:no-alloc(engine)\n"          # bare tag with argument
+        "// mtds:alloc-ok\n"                  # reason tag without reason
+        "// mtds:alloc-ok()\n"                # empty reason
+        "// mtds:alloc-ok(spans two\n"        # paren not closed on the line
+        "// mtds:no-aloc\n"                   # misspelt tag
+    )
+    good_tags = (
+        "// mtds:no-alloc\n"
+        "// mtds:alloc-ok(capacity reserved at round start)\n"
+        "int x;  // mtds:lock-free(set once at shutdown, workers poll)\n"
+        "// prose without any tag at all\n"
+    )
+    got = check_tag_grammar("fake.h", bad_tags)
+    expect(len(got) == 5,
+           f"tag-grammar: expected 5 hits, got {len(got)}")
+    expect(not check_tag_grammar("fake.h", good_tags),
+           "tag-grammar: well-formed tags flagged")
+
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)
@@ -534,7 +647,13 @@ def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--self-test", action="store_true",
                         help="verify each rule catches a seeded violation")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names with one-line summaries")
     args = parser.parse_args(argv)
+    if args.list_rules:
+        for name, summary in RULES.items():
+            print(f"{name:20s} {summary}")
+        return 0
     if args.self_test:
         return self_test()
     violations = run_repo()
