@@ -62,6 +62,14 @@ int main(int argc, char** argv) {
         "  --chaos-delay-max=X  delay spike upper bound, seconds (default 0.1)\n"
         "  --chaos-corrupt=P ... corrupt fields w.p. P\n"
         "  --chaos-seed=N    chaos RNG seed (default 0x5EED)\n"
+        "  --client-threads=N serving plane: N SO_REUSEPORT shard threads\n"
+        "                    answering client time queries from the latest\n"
+        "                    seqlock snapshot (default 0 = off)\n"
+        "  --client-port=N   serving-plane UDP port (default: ephemeral)\n"
+        "  --client-batch=N  datagrams per recvmmsg/sendmmsg batch "
+        "(default 64)\n"
+        "  --io-uring        serve with the io_uring backend where the\n"
+        "                    kernel supports it (falls back to mmsg)\n"
         "  --seconds=X       run time; 0 = until signal (default 0)\n"
         "  --status-every=X  status print period (default 1)\n");
     return 0;
@@ -109,6 +117,15 @@ int main(int argc, char** argv) {
   cfg.chaos.seed =
       static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0x5EED));
 
+  // Serving plane: lock-free client-query shards fed by engine snapshots.
+  cfg.client_threads =
+      static_cast<std::uint32_t>(flags.get_int("client-threads", 0));
+  cfg.client_port =
+      static_cast<std::uint16_t>(flags.get_int("client-port", 0));
+  cfg.client_batch =
+      static_cast<std::size_t>(flags.get_int("client-batch", 64));
+  cfg.client_io_uring = flags.get_bool("io-uring", false);
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
@@ -118,6 +135,11 @@ int main(int argc, char** argv) {
     server.start();
     std::printf("timeserverd: id=%u port=%u algo=%s peers=%zu\n", cfg.id,
                 server.port(), algo.c_str(), peers.size());
+    if (cfg.client_threads > 0) {
+      std::printf("  serving plane: port=%u threads=%u backend=%s\n",
+                  server.client_port(), cfg.client_threads,
+                  server.client_backend());
+    }
 
     const double run_seconds = flags.get_double("seconds", 0.0);
     const double status_every = flags.get_double("status-every", 1.0);
@@ -144,6 +166,12 @@ int main(int argc, char** argv) {
     std::printf("timeserverd: stopped (served %llu requests, %llu resets)\n",
                 static_cast<unsigned long long>(server.requests_served()),
                 static_cast<unsigned long long>(server.resets()));
+    if (cfg.client_threads > 0) {
+      std::printf(
+          "  serving plane: %llu client queries answered (%s backend)\n",
+          static_cast<unsigned long long>(server.client_queries_served()),
+          server.client_backend());
+    }
     if (cfg.chaos.active()) {
       const auto fs = server.fault_stats();
       std::printf("  chaos ledger: out=%llu in=%llu fwd=%llu loss=%llu "

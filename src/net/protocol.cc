@@ -81,6 +81,29 @@ ResponseBuffer encode(const TimeResponsePacket& packet) {
   return buf;
 }
 
+ClientRequestBuffer encode(const ClientTimeRequest& packet) {
+  ClientRequestBuffer buf{};
+  put_header(buf.data(), PacketType::kClientRequest, packet.tag,
+             packet.client_send_ns);
+  return buf;
+}
+
+// mtds:no-alloc
+void encode_into(const ClientTimeReply& packet, std::uint8_t* out) noexcept {
+  put_header(out, PacketType::kClientReply, packet.tag,
+             packet.client_send_ns);
+  put_u32(out + 24, packet.server_id);
+  put_u32(out + 28, 0);  // reserved
+  put_i64(out + 32, packet.clock_ns);
+  put_i64(out + 40, packet.error_ns);
+}
+
+ClientReplyBuffer encode(const ClientTimeReply& packet) {
+  ClientReplyBuffer buf{};
+  encode_into(packet, buf.data());
+  return buf;
+}
+
 std::optional<TimeRequestPacket> decode_request(const std::uint8_t* data,
                                                 std::size_t size) {
   if (!check_header(data, size, kRequestSize, PacketType::kRequest)) {
@@ -98,6 +121,32 @@ std::optional<TimeResponsePacket> decode_response(const std::uint8_t* data,
     return std::nullopt;
   }
   TimeResponsePacket packet;
+  packet.tag = get_u64(data + 8);
+  packet.client_send_ns = get_i64(data + 16);
+  packet.server_id = get_u32(data + 24);
+  packet.clock_ns = get_i64(data + 32);
+  packet.error_ns = get_i64(data + 40);
+  return packet;
+}
+
+std::optional<ClientTimeRequest> decode_client_request(
+    const std::uint8_t* data, std::size_t size) {
+  if (!check_header(data, size, kClientRequestSize,
+                    PacketType::kClientRequest)) {
+    return std::nullopt;
+  }
+  ClientTimeRequest packet;
+  packet.tag = get_u64(data + 8);
+  packet.client_send_ns = get_i64(data + 16);
+  return packet;
+}
+
+std::optional<ClientTimeReply> decode_client_reply(const std::uint8_t* data,
+                                                   std::size_t size) {
+  if (!check_header(data, size, kClientReplySize, PacketType::kClientReply)) {
+    return std::nullopt;
+  }
+  ClientTimeReply packet;
   packet.tag = get_u64(data + 8);
   packet.client_send_ns = get_i64(data + 16);
   packet.server_id = get_u32(data + 24);

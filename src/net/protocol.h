@@ -14,7 +14,15 @@ namespace mtds::net {
 inline constexpr std::uint32_t kMagic = 0x4D544453;  // "MTDS"
 inline constexpr std::uint8_t kVersion = 1;
 
-enum class PacketType : std::uint8_t { kRequest = 1, kResponse = 2 };
+enum class PacketType : std::uint8_t {
+  kRequest = 1,   // peer sync plane (rule MM-1 poll)
+  kResponse = 2,  // peer sync plane reply
+  // Client serving plane (net/serving_plane.h): same sizes and layout as the
+  // peer packets but distinct types, so a client datagram misdirected at the
+  // sync port (or vice versa) is rejected instead of half-understood.
+  kClientRequest = 3,
+  kClientReply = 4,
+};
 
 struct TimeRequestPacket {
   std::uint64_t tag = 0;            // echoed by the server
@@ -29,20 +37,52 @@ struct TimeResponsePacket {
   std::int64_t error_ns = 0;  // E_j at response time
 };
 
+// Client time query (serving plane).  Field-for-field the shape of the peer
+// packets: the fixed sizes are what make the serving plane's zero-allocation
+// batch decode/encode possible.
+struct ClientTimeRequest {
+  std::uint64_t tag = 0;            // echoed by the server
+  std::int64_t client_send_ns = 0;  // opaque to the server, echoed back
+};
+
+struct ClientTimeReply {
+  std::uint64_t tag = 0;
+  std::int64_t client_send_ns = 0;
+  std::uint32_t server_id = 0;
+  std::int64_t clock_ns = 0;  // C_i extrapolated from the published snapshot
+  std::int64_t error_ns = 0;  // E_i at the same instant
+};
+
 inline constexpr std::size_t kRequestSize = 4 + 1 + 1 + 2 + 8 + 8;       // 24
 inline constexpr std::size_t kResponseSize = kRequestSize + 4 + 8 + 8 + 4; // 48
+inline constexpr std::size_t kClientRequestSize = kRequestSize;    // 24
+inline constexpr std::size_t kClientReplySize = kResponseSize;     // 48
 
 using RequestBuffer = std::array<std::uint8_t, kRequestSize>;
 using ResponseBuffer = std::array<std::uint8_t, kResponseSize>;
+using ClientRequestBuffer = std::array<std::uint8_t, kClientRequestSize>;
+using ClientReplyBuffer = std::array<std::uint8_t, kClientReplySize>;
 
 RequestBuffer encode(const TimeRequestPacket& packet);
 ResponseBuffer encode(const TimeResponsePacket& packet);
+ClientRequestBuffer encode(const ClientTimeRequest& packet);
+ClientReplyBuffer encode(const ClientTimeReply& packet);
+
+// Hot-path variant: encodes straight into a caller-provided slot of
+// kClientReplySize bytes (the serving plane writes into its SendBatch
+// storage with no intermediate array).
+// mtds:no-alloc
+void encode_into(const ClientTimeReply& packet, std::uint8_t* out) noexcept;
 
 // Decoding validates magic, version, type and size; nullopt on any mismatch.
 std::optional<TimeRequestPacket> decode_request(const std::uint8_t* data,
                                                 std::size_t size);
 std::optional<TimeResponsePacket> decode_response(const std::uint8_t* data,
                                                   std::size_t size);
+std::optional<ClientTimeRequest> decode_client_request(
+    const std::uint8_t* data, std::size_t size);
+std::optional<ClientTimeReply> decode_client_reply(const std::uint8_t* data,
+                                                   std::size_t size);
 
 // Seconds <-> nanoseconds helpers (saturating on overflow).
 std::int64_t seconds_to_ns(double seconds) noexcept;

@@ -73,6 +73,18 @@ UdpTimeServer::UdpTimeServer(UdpServerConfig config)
                            : static_cast<runtime::Transport*>(runtime_.get()),
                        runtime_.get(), runtime_.get()},
       /*observer=*/nullptr, sim::Rng(0x5DEECE66Dull + config_.id));
+  if (config_.client_threads > 0) {
+    ServingPlaneConfig sp;
+    sp.port = config_.client_port;
+    sp.threads = config_.client_threads;
+    sp.batch = config_.client_batch;
+    sp.use_io_uring = config_.client_io_uring;
+    serving_ = std::make_unique<ServingPlane>(sp);
+    // Engine -> plane snapshot seam; every publication happens inside the
+    // runtime's serialization domain, so the plane's seqlock sees a single
+    // writer.
+    engine_->set_snapshot_sink(serving_.get());
+  }
 }
 
 UdpTimeServer::~UdpTimeServer() { stop(); }
@@ -91,13 +103,17 @@ void UdpTimeServer::start() {
       neighbors.push_back(id);
     }
   }
-  util::MutexLock lock(state_mu_);
-  engine_->start(neighbors);
+  {
+    util::MutexLock lock(state_mu_);
+    engine_->start(neighbors);  // publishes the first snapshot
+  }
+  if (serving_ != nullptr) serving_->start();
 }
 
 void UdpTimeServer::stop() {
   if (!running_.exchange(false)) return;
   stopped_ = true;
+  if (serving_ != nullptr) serving_->stop();
   {
     util::MutexLock lock(state_mu_);
     engine_->stop();
@@ -152,6 +168,18 @@ runtime::FaultStats UdpTimeServer::fault_stats() const {
 void UdpTimeServer::set_crashed(bool crashed) {
   util::MutexLock lock(state_mu_);
   if (chaos_ != nullptr) chaos_->set_crashed(crashed);
+}
+
+std::uint16_t UdpTimeServer::client_port() const noexcept {
+  return serving_ != nullptr ? serving_->port() : 0;
+}
+
+std::uint64_t UdpTimeServer::client_queries_served() const noexcept {
+  return serving_ != nullptr ? serving_->queries_served() : 0;
+}
+
+const char* UdpTimeServer::client_backend() const noexcept {
+  return serving_ != nullptr ? serving_->backend() : "off";
 }
 
 }  // namespace mtds::net

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/serving_plane.h"
 #include "runtime/fault_injector.h"
 #include "runtime/udp_runtime.h"
 #include "service/config.h"
@@ -59,6 +60,15 @@ struct UdpServerConfig {
   runtime::FaultPlan chaos;
   // Peer-health / graceful-degradation policy (see service/peer_health.h).
   service::PeerHealthPolicy health;
+
+  // Client serving plane (net/serving_plane.h): 0 = no client port.  With
+  // client_threads > 0 the server also answers ClientTimeRequest datagrams
+  // on client_port (0 = ephemeral) from the engine's published snapshot -
+  // lock-free and allocation-free, off the sync plane entirely.
+  std::uint32_t client_threads = 0;
+  std::uint16_t client_port = 0;
+  std::size_t client_batch = 64;       // datagrams per shard batch
+  bool client_io_uring = false;        // try io_uring; fall back to mmsg
 };
 
 class UdpTimeServer {
@@ -103,6 +113,13 @@ class UdpTimeServer {
   runtime::FaultStats fault_stats() const;
   void set_crashed(bool crashed);
 
+  // Client serving plane introspection (all valid only with
+  // config.client_threads > 0; client_port() is 0 otherwise).
+  std::uint16_t client_port() const noexcept;
+  std::uint64_t client_queries_served() const noexcept;
+  // "io_uring" or "mmsg"; "off" when the plane is not configured.
+  const char* client_backend() const noexcept;
+
  private:
   UdpServerConfig config_;
   std::vector<std::uint16_t> peer_ports_;
@@ -117,6 +134,10 @@ class UdpTimeServer {
   // below; the bare pointer from fault_injector() may be read freely).
   std::unique_ptr<runtime::FaultInjector> chaos_ PT_GUARDED_BY(state_mu_);
   std::unique_ptr<service::ProtocolEngine> engine_ PT_GUARDED_BY(state_mu_);
+  // Client serving plane (null unless config.client_threads > 0).  Not
+  // guarded: its own API is thread-safe (the engine writes through the
+  // SnapshotSink seam under state_mu_; shard readers are lock-free).
+  std::unique_ptr<ServingPlane> serving_;
   // mtds:lock-free(run flag: start()/stop() handshake with the receiver
   // loop; no data is published through it - closing the socket is what
   // actually unblocks the receiver)

@@ -53,6 +53,45 @@ RecvBatch::RecvBatch(std::size_t capacity, std::size_t datagram_size)
 #endif
 }
 
+SendBatch::SendBatch(std::size_t capacity, std::size_t datagram_size)
+    : capacity_(capacity == 0 ? 1 : capacity), datagram_size_(datagram_size) {
+  storage_.resize(capacity_ * datagram_size_);
+  lengths_.resize(capacity_);
+  tos_.resize(capacity_);
+#ifdef __linux__
+  iovecs_.resize(capacity_);
+  headers_.resize(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    iovecs_[i].iov_base = storage_.data() + i * datagram_size_;
+    iovecs_[i].iov_len = 0;  // set per send from lengths_
+    mmsghdr& h = headers_[i];
+    std::memset(&h, 0, sizeof(h));
+    h.msg_hdr.msg_name = &tos_[i];
+    h.msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    h.msg_hdr.msg_iov = &iovecs_[i];
+    h.msg_hdr.msg_iovlen = 1;
+  }
+#endif
+}
+
+// mtds:no-alloc
+std::uint8_t* SendBatch::append(const sockaddr_in& to,
+                                std::size_t len) noexcept {
+  if (count_ == capacity_ || len > datagram_size_) return nullptr;
+  tos_[count_] = to;
+  lengths_[count_] = len;
+  return storage_.data() + count_++ * datagram_size_;
+}
+
+// mtds:no-alloc
+bool SendBatch::push(const sockaddr_in& to,
+                     std::span<const std::uint8_t> payload) noexcept {
+  std::uint8_t* slot = append(to, payload.size());
+  if (slot == nullptr) return false;
+  std::memcpy(slot, payload.data(), payload.size());
+  return true;
+}
+
 sockaddr_in UdpSocket::loopback(std::uint16_t port) noexcept {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -61,10 +100,20 @@ sockaddr_in UdpSocket::loopback(std::uint16_t port) noexcept {
   return addr;
 }
 
-UdpSocket::UdpSocket(std::uint16_t port) {
+UdpSocket::UdpSocket(std::uint16_t port, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(std::string("setsockopt(SO_REUSEPORT): ") +
+                               std::strerror(err));
+    }
   }
   sockaddr_in addr = loopback(port);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
@@ -154,6 +203,34 @@ std::size_t UdpSocket::send_to_many(std::span<const sockaddr_in> addrs,
   std::size_t sent = 0;
   for (const sockaddr_in& addr : addrs) {
     if (send_to(addr, data)) ++sent;
+  }
+  return sent;
+}
+
+// mtds:no-alloc
+std::size_t UdpSocket::send_batch(SendBatch& batch) {
+  if (fd_ < 0 || batch.count_ == 0) return 0;
+#ifdef __linux__
+  if (batching_enabled()) {
+    for (std::size_t i = 0; i < batch.count_; ++i) {
+      batch.iovecs_[i].iov_len = batch.lengths_[i];
+      // sendmmsg may rewrite msg_len; name/iov stay bound to the slots.
+      batch.headers_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    std::size_t sent = 0;
+    while (sent < batch.count_) {
+      const int done = ::sendmmsg(fd_, batch.headers_.data() + sent,
+                                  static_cast<unsigned int>(batch.count_ - sent),
+                                  0);
+      if (done <= 0) break;
+      sent += static_cast<std::size_t>(done);
+    }
+    return sent;
+  }
+#endif
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < batch.count_; ++i) {
+    if (send_to(batch.tos_[i], batch.payload(i))) ++sent;
   }
   return sent;
 }

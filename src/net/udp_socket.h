@@ -60,11 +60,60 @@ class RecvBatch {
 #endif
 };
 
+// Reusable send buffers for UdpSocket::send_batch: per-slot payload and
+// destination (RecvBatch's twin for the reply direction, where every
+// datagram differs - send_to_many covers the one-payload fan-out case).
+// Fixed capacity; append() hands out slot storage so hot paths encode
+// replies in place and steady-state sending allocates nothing.
+class SendBatch {
+ public:
+  explicit SendBatch(std::size_t capacity = 32,
+                     std::size_t datagram_size = 2048);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return count_; }
+  bool full() const noexcept { return count_ == capacity_; }
+  // mtds:no-alloc
+  void clear() noexcept { count_ = 0; }
+
+  // Claims the next slot for `len` bytes to `to`; returns the slot's
+  // storage to encode into, or nullptr when full / oversized.
+  // mtds:no-alloc
+  std::uint8_t* append(const sockaddr_in& to, std::size_t len) noexcept;
+
+  // Copying convenience over append() for pre-encoded payloads.
+  // mtds:no-alloc
+  bool push(const sockaddr_in& to,
+            std::span<const std::uint8_t> payload) noexcept;
+
+  std::span<const std::uint8_t> payload(std::size_t i) const noexcept {
+    return {storage_.data() + i * datagram_size_, lengths_[i]};
+  }
+  const sockaddr_in& to(std::size_t i) const noexcept { return tos_[i]; }
+
+ private:
+  friend class UdpSocket;
+
+  std::size_t capacity_;
+  std::size_t datagram_size_;
+  std::size_t count_ = 0;
+  std::vector<std::uint8_t> storage_;  // capacity_ * datagram_size_ bytes
+  std::vector<std::size_t> lengths_;
+  std::vector<sockaddr_in> tos_;
+#ifdef __linux__
+  std::vector<iovec> iovecs_;
+  std::vector<mmsghdr> headers_;
+#endif
+};
+
 class UdpSocket {
  public:
   // Binds to 127.0.0.1:port; port 0 picks an ephemeral port.  Throws
-  // std::runtime_error on failure.
-  explicit UdpSocket(std::uint16_t port = 0);
+  // std::runtime_error on failure.  With reuse_port the socket sets
+  // SO_REUSEPORT before binding, so N sockets can share one port and the
+  // kernel spreads inbound datagrams across them (the serving plane's
+  // receive-side scaling; every sharing socket must set the flag).
+  explicit UdpSocket(std::uint16_t port = 0, bool reuse_port = false);
   ~UdpSocket();
 
   UdpSocket(UdpSocket&& other) noexcept;
@@ -83,6 +132,11 @@ class UdpSocket {
   // a send_to loop otherwise.  Returns the number reported sent.
   std::size_t send_to_many(std::span<const sockaddr_in> addrs,
                            std::span<const std::uint8_t> data);
+
+  // Sends every queued (payload, destination) pair in `batch` - one
+  // sendmmsg where available, a send_to loop otherwise.  Returns the number
+  // reported sent; does not clear the batch.
+  std::size_t send_batch(SendBatch& batch);
 
   // Blocks up to timeout_ms (0 = poll without blocking, negative = block
   // indefinitely); nullopt on timeout.  Allocates a payload per call -

@@ -1,0 +1,429 @@
+#include "net/uring_io.h"
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+// Raw-syscall io_uring driver.  The kernel shares the submission and
+// completion rings through mmap'd memory; the userspace side of that
+// protocol is a handful of acquire/release accesses on ring indices, done
+// here with the __atomic builtins (the mapped words are plain __u32 from
+// the kernel's point of view, so std::atomic members cannot be layered
+// over them).
+namespace mtds::net {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+std::uint32_t load_acquire(const std::uint32_t* p) noexcept {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void store_release(std::uint32_t* p, std::uint32_t v) noexcept {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+// Per-buffer layout of a multishot recvmsg completion: the kernel writes an
+// io_uring_recvmsg_out header, then msg_namelen bytes of source address,
+// then msg_controllen of ancillary data (zero here), then the payload.
+constexpr std::size_t kRecvPrefix =
+    sizeof(io_uring_recvmsg_out) + sizeof(sockaddr_in);
+
+// user_data tags: the armed multishot recv is 0, send slot i is 1 + i.
+constexpr std::uint64_t kRecvUserData = 0;
+
+// The provided-buffer ring is an array of io_uring_buf descriptors starting
+// at byte 0 of the mapping, with the ring tail overlaid on entry 0's resv
+// word (byte 14).  Do NOT index through io_uring_buf_ring::bufs here: the
+// header's __DECLARE_FLEX_ARRAY C++ fallback wraps the array behind an
+// empty struct, and C++ pads that to the descriptor alignment, placing
+// bufs at offset 8 - every descriptor would be skewed 8 bytes from where
+// the kernel reads it (observed as instant -ENOBUFS with garbage bids).
+io_uring_buf* buf_ring_entries(void* ring) noexcept {
+  return static_cast<io_uring_buf*>(ring);
+}
+
+std::uint16_t* buf_ring_tail_word(void* ring) noexcept {
+  return reinterpret_cast<std::uint16_t*>(static_cast<std::uint8_t*>(ring) +
+                                          offsetof(io_uring_buf, resv));
+}
+
+}  // namespace
+
+UringIo::~UringIo() { teardown(); }
+
+void UringIo::teardown() noexcept {
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_size_);
+  if (!single_mmap_ && cq_ring_ != nullptr) ::munmap(cq_ring_, cq_ring_size_);
+  if (buf_ring_ != nullptr) ::munmap(buf_ring_, buf_ring_size_);
+  if (buf_mem_ != nullptr) ::munmap(buf_mem_, buf_mem_size_);
+  sqes_ = sq_ring_ = cq_ring_ = buf_ring_ = buf_mem_ = nullptr;
+  ok_ = false;
+}
+
+bool UringIo::init(int fd, unsigned sq_entries, unsigned buf_count,
+                   std::size_t buf_size) {
+  if (fd < 0 || buf_count == 0 || (buf_count & (buf_count - 1)) != 0) {
+    return false;
+  }
+  sock_fd_ = fd;
+  buf_count_ = buf_count;
+  buf_size_ = buf_size;
+
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  ring_fd_ = sys_io_uring_setup(sq_entries, &params);
+  if (ring_fd_ < 0) return false;
+
+  // Map the rings.  With IORING_FEAT_SINGLE_MMAP one region covers both.
+  single_mmap_ = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  sq_ring_size_ =
+      params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+  cq_ring_size_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if (single_mmap_ && cq_ring_size_ > sq_ring_size_) {
+    sq_ring_size_ = cq_ring_size_;
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    teardown();
+    return false;
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      teardown();
+      return false;
+    }
+  }
+  sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    teardown();
+    return false;
+  }
+
+  auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+  auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+  sq_head_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.array);
+  cq_head_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+
+  // The timeout-bounded wait and the buffer ring both postdate the base
+  // interface; without them the mmsg path is the better backend.
+  if ((params.features & IORING_FEAT_EXT_ARG) == 0) {
+    teardown();
+    return false;
+  }
+
+  // Provided-buffer ring: one io_uring_buf descriptor per receive buffer,
+  // mapped by us and registered with the kernel.
+  buf_ring_size_ = buf_count_ * sizeof(io_uring_buf);
+  buf_ring_ = ::mmap(nullptr, buf_ring_size_, PROT_READ | PROT_WRITE,
+                     MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (buf_ring_ == MAP_FAILED) {
+    buf_ring_ = nullptr;
+    teardown();
+    return false;
+  }
+  buf_mem_size_ = buf_count_ * buf_size_;
+  buf_mem_ = ::mmap(nullptr, buf_mem_size_, PROT_READ | PROT_WRITE,
+                    MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (buf_mem_ == MAP_FAILED) {
+    buf_mem_ = nullptr;
+    teardown();
+    return false;
+  }
+  // Describe every buffer and publish the tail BEFORE registering: the
+  // kernel pins the ring pages at registration, so the descriptors must
+  // already live on their final pages.
+  io_uring_buf* bufs = buf_ring_entries(buf_ring_);
+  for (unsigned i = 0; i < buf_count_; ++i) {
+    io_uring_buf& slot = bufs[i & (buf_count_ - 1)];
+    slot.addr = reinterpret_cast<std::uint64_t>(
+        static_cast<std::uint8_t*>(buf_mem_) + i * buf_size_);
+    slot.len = static_cast<std::uint32_t>(buf_size_);
+    slot.bid = static_cast<std::uint16_t>(i);
+  }
+  buf_ring_tail_ = static_cast<std::uint16_t>(buf_count_);
+  __atomic_store_n(buf_ring_tail_word(buf_ring_), buf_ring_tail_,
+                   __ATOMIC_RELEASE);
+  io_uring_buf_reg reg;
+  std::memset(&reg, 0, sizeof(reg));
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_);
+  reg.ring_entries = buf_count_;
+  reg.bgid = 0;
+  if (sys_io_uring_register(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) !=
+      0) {
+    teardown();
+    return false;
+  }
+
+  // Harvest views and send pool: every capacity fixed here, so the serve
+  // loop never allocates.
+  payloads_.resize(buf_count_);
+  froms_.resize(buf_count_);
+  harvest_bids_.reserve(buf_count_);
+  const std::size_t send_slots = 2 * static_cast<std::size_t>(buf_count_);
+  send_bytes_.resize(send_slots * buf_size_);
+  send_tos_.resize(send_slots);
+  send_iovecs_.resize(send_slots);
+  send_msgs_.resize(send_slots);
+  send_free_.reserve(send_slots);
+  for (std::size_t i = 0; i < send_slots; ++i) {
+    send_iovecs_[i].iov_base = send_bytes_.data() + i * buf_size_;
+    send_iovecs_[i].iov_len = 0;
+    std::memset(&send_msgs_[i], 0, sizeof(msghdr));
+    send_msgs_[i].msg_name = &send_tos_[i];
+    send_msgs_[i].msg_namelen = sizeof(sockaddr_in);
+    send_msgs_[i].msg_iov = &send_iovecs_[i];
+    send_msgs_[i].msg_iovlen = 1;
+    send_free_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::memset(&recv_msg_, 0, sizeof(recv_msg_));
+  recv_msg_.msg_namelen = sizeof(sockaddr_in);
+
+  ok_ = true;
+  arm_recv();
+  submit(0, 0);
+  // A kernel that takes the SQE but fails multishot at completion time
+  // reports it on the first CQE; drain now so probe()/init callers learn
+  // synchronously when possible.
+  drain_cqes();
+  return ok_;
+}
+
+io_uring_sqe* UringIo::get_sqe() noexcept {
+  const std::uint32_t head = load_acquire(sq_head_);
+  const std::uint32_t tail = *sq_tail_;
+  if (tail - head >= sq_mask_ + 1) return nullptr;  // SQ full
+  auto* sqe = static_cast<io_uring_sqe*>(sqes_) + (tail & sq_mask_);
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[tail & sq_mask_] = tail & sq_mask_;
+  store_release(sq_tail_, tail + 1);
+  ++to_submit_;
+  return sqe;
+}
+
+void UringIo::arm_recv() noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    ok_ = false;
+    return;
+  }
+  sqe->opcode = IORING_OP_RECVMSG;
+  sqe->fd = sock_fd_;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&recv_msg_);
+  sqe->len = 1;  // iovec count convention for (SEND|RECV)MSG SQEs
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->buf_group = 0;
+  sqe->user_data = kRecvUserData;
+  recv_armed_ = true;
+}
+
+void UringIo::submit(unsigned wait_nr, int timeout_ms) noexcept {
+  unsigned flags = 0;
+  io_uring_getevents_arg arg;
+  const void* argp = nullptr;
+  std::size_t argsz = 0;
+  __kernel_timespec ts;
+  if (wait_nr > 0) {
+    flags |= IORING_ENTER_GETEVENTS;
+    if (timeout_ms >= 0) {
+      std::memset(&arg, 0, sizeof(arg));
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      flags |= IORING_ENTER_EXT_ARG;
+      argp = &arg;
+      argsz = sizeof(arg);
+    }
+  }
+  const int ret = sys_io_uring_enter(ring_fd_, to_submit_, wait_nr, flags,
+                                     argp, argsz);
+  if (ret >= 0) {
+    to_submit_ -= static_cast<unsigned>(ret) <= to_submit_
+                      ? static_cast<unsigned>(ret)
+                      : to_submit_;
+  } else if (errno != ETIME && errno != EINTR && errno != EBUSY) {
+    ok_ = false;
+  }
+}
+
+void UringIo::recycle_harvest() noexcept {
+  if (harvest_bids_.empty()) return;
+  io_uring_buf* bufs = buf_ring_entries(buf_ring_);
+  const std::uint16_t mask = static_cast<std::uint16_t>(buf_count_ - 1);
+  std::uint16_t tail = buf_ring_tail_;
+  for (const std::uint16_t bid : harvest_bids_) {
+    io_uring_buf& slot = bufs[tail & mask];
+    slot.addr = reinterpret_cast<std::uint64_t>(
+        static_cast<std::uint8_t*>(buf_mem_) + bid * buf_size_);
+    slot.len = static_cast<std::uint32_t>(buf_size_);
+    slot.bid = bid;
+    ++tail;
+  }
+  buf_ring_tail_ = tail;
+  __atomic_store_n(buf_ring_tail_word(buf_ring_), tail, __ATOMIC_RELEASE);
+  harvest_bids_.clear();
+}
+
+void UringIo::drain_cqes() noexcept {
+  std::uint32_t head = *cq_head_;
+  const std::uint32_t tail = load_acquire(cq_tail_);
+  bool rearm = false;
+  while (head != tail) {
+    const auto* cqe =
+        static_cast<const io_uring_cqe*>(cqes_) + (head & cq_mask_);
+    if (cqe->user_data == kRecvUserData) {
+      if ((cqe->flags & IORING_CQE_F_MORE) == 0) {
+        recv_armed_ = false;
+        rearm = true;
+      }
+      if (cqe->res < 0) {
+        if (cqe->res == -EINVAL || cqe->res == -EOPNOTSUPP) {
+          // Kernel without multishot recvmsg / buffer selection: hand the
+          // shard back to the mmsg path.
+          ok_ = false;
+          rearm = false;
+        }
+        // -ENOBUFS (harvest outstanding) just rearms once buffers return.
+      } else if ((cqe->flags & IORING_CQE_F_BUFFER) != 0 &&
+                 harvest_count_ < buf_count_) {
+        const std::uint16_t bid =
+            static_cast<std::uint16_t>(cqe->flags >> IORING_CQE_BUFFER_SHIFT);
+        const std::uint8_t* buf =
+            static_cast<const std::uint8_t*>(buf_mem_) + bid * buf_size_;
+        const auto* out = reinterpret_cast<const io_uring_recvmsg_out*>(buf);
+        const std::size_t total = static_cast<std::size_t>(cqe->res);
+        // Validate the kernel-reported geometry before trusting it.
+        if (total >= kRecvPrefix && out->namelen <= sizeof(sockaddr_in) &&
+            out->payloadlen <= total - kRecvPrefix) {
+          std::memcpy(&froms_[harvest_count_],
+                      buf + sizeof(io_uring_recvmsg_out), sizeof(sockaddr_in));
+          payloads_[harvest_count_] = {buf + kRecvPrefix, out->payloadlen};
+          ++harvest_count_;
+        }
+        harvest_bids_.push_back(bid);
+      }
+    } else {
+      // Send completion: return the slot to the pool.
+      const auto slot = static_cast<std::uint32_t>(cqe->user_data - 1);
+      if (slot < send_msgs_.size()) send_free_.push_back(slot);
+    }
+    ++head;
+  }
+  store_release(cq_head_, head);
+  if (rearm && ok_) {
+    arm_recv();
+    submit(0, 0);
+  }
+}
+
+std::size_t UringIo::receive_batch(int timeout_ms) {
+  if (!ok_) return 0;
+  // Buffers handed out last harvest are consumed by now; recycle them, then
+  // push any queued sends and wait for the next datagram.
+  recycle_harvest();
+  harvest_count_ = 0;
+  if (!recv_armed_) {
+    arm_recv();
+  }
+  submit(1, timeout_ms);
+  if (!ok_) return 0;
+  drain_cqes();
+  return harvest_count_;
+}
+
+bool UringIo::send(const sockaddr_in& to, const std::uint8_t* data,
+                   std::size_t len) {
+  if (!ok_ || len > buf_size_ || send_free_.empty()) return false;
+  const std::uint32_t slot = send_free_.back();
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    // SQ full: push what is queued and retry once.
+    submit(0, 0);
+    sqe = get_sqe();
+    if (sqe == nullptr) return false;
+  }
+  send_free_.pop_back();
+  std::memcpy(send_bytes_.data() + static_cast<std::size_t>(slot) * buf_size_,
+              data, len);
+  send_tos_[slot] = to;
+  send_iovecs_[slot].iov_len = len;
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = sock_fd_;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&send_msgs_[slot]);
+  sqe->user_data = 1 + slot;
+  return true;
+}
+
+void UringIo::flush() {
+  if (ok_ && to_submit_ > 0) submit(0, 0);
+}
+
+bool UringIo::probe() {
+  // mtds:lock-free(probe result cache: first caller wins, probe idempotent)
+  static std::atomic<int> g_probe_state{0};  // 0 unknown, 1 yes, -1 no
+  const int cached = g_probe_state.load(std::memory_order_acquire);
+  if (cached != 0) return cached > 0;
+
+  bool supported = false;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      UringIo trial;
+      supported = trial.init(fd, 16, 8, 512) && trial.ok();
+    }
+    ::close(fd);
+  }
+  g_probe_state.store(supported ? 1 : -1, std::memory_order_release);
+  return supported;
+}
+
+}  // namespace mtds::net

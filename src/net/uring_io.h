@@ -1,0 +1,142 @@
+// io_uring transport backend for the client serving plane (Linux only,
+// compiled when CMake finds <linux/io_uring.h>; see MTDS_IO_URING).
+//
+// One ring per serving-plane shard, driven with raw syscalls (no liburing
+// dependency):
+//
+//   * receive side: one multishot IORING_OP_RECVMSG SQE stays armed and
+//     produces a CQE per datagram, each completion picking a kernel-selected
+//     buffer from a registered provided-buffer ring
+//     (IORING_REGISTER_PBUF_RING + IOSQE_BUFFER_SELECT) - so the steady
+//     state posts zero receive SQEs and recycles buffers by bumping the
+//     buf-ring tail, never re-registering memory;
+//   * send side: replies are copied into a fixed slot pool and submitted as
+//     IORING_OP_SENDMSG SQEs; their CQEs are reaped opportunistically on
+//     the next harvest.
+//
+// Everything is sized at init and the hot path allocates nothing.  Any
+// setup step failing (seccomp'd syscall, old kernel, missing multishot)
+// makes init()/probe() return false and the serving plane falls back to
+// the recvmmsg/sendmmsg path - the fallback is a first-class backend, not
+// an error.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct io_uring_sqe;  // <linux/io_uring.h>, included by uring_io.cc only
+
+namespace mtds::net {
+
+class UringIo {
+ public:
+  UringIo() = default;
+  ~UringIo();
+
+  UringIo(const UringIo&) = delete;
+  UringIo& operator=(const UringIo&) = delete;
+
+  // One-shot process-wide probe: can we set up a ring, register a
+  // provided-buffer ring, and arm a multishot recvmsg?  Cached; cheap to
+  // call repeatedly.
+  static bool probe();
+
+  // Builds the ring over an already-bound datagram socket.  `buf_count`
+  // must be a power of two.  Returns false (leaving the object inert) if
+  // any step is unsupported.
+  bool init(int fd, unsigned sq_entries, unsigned buf_count,
+            std::size_t buf_size);
+
+  // Still serving: init succeeded and the multishot recv is armed (a
+  // multishot rejection downgrades ok() to false so the caller can fall
+  // back mid-run).
+  bool ok() const noexcept { return ok_; }
+
+  // Harvests completed receives: recycles the previous harvest's buffers,
+  // submits queued sends, waits up to timeout_ms for the first datagram,
+  // then drains the completion queue.  Returns the number of datagrams
+  // available through payload()/from().
+  std::size_t receive_batch(int timeout_ms);
+
+  std::span<const std::uint8_t> payload(std::size_t i) const noexcept {
+    return payloads_[i];
+  }
+  const sockaddr_in& from(std::size_t i) const noexcept { return froms_[i]; }
+
+  // Queues one reply SENDMSG (copying `data` into a pooled slot); false
+  // when the pool is exhausted (the reply is dropped - UDP semantics).
+  // Queued sends are submitted by flush() / the next receive_batch().
+  bool send(const sockaddr_in& to, const std::uint8_t* data, std::size_t len);
+
+  // Submits queued send SQEs without waiting for completions.
+  void flush();
+
+ private:
+  io_uring_sqe* get_sqe() noexcept;
+  void submit(unsigned wait_nr, int timeout_ms) noexcept;
+  void drain_cqes() noexcept;
+  void arm_recv() noexcept;
+  void recycle_harvest() noexcept;
+  void teardown() noexcept;
+
+  bool ok_ = false;
+  int ring_fd_ = -1;
+  int sock_fd_ = -1;
+
+  // SQ/CQ mappings (possibly one shared region, IORING_FEAT_SINGLE_MMAP).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_size_ = 0;
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_size_ = 0;
+  void* sqes_ = nullptr;
+  std::size_t sqes_size_ = 0;
+  bool single_mmap_ = false;
+
+  // Ring geometry resolved from io_uring_params offsets.
+  std::uint32_t* sq_head_ = nullptr;
+  std::uint32_t* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t* cq_head_ = nullptr;
+  std::uint32_t* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  void* cqes_ = nullptr;
+  unsigned to_submit_ = 0;
+
+  // Provided-buffer ring (receive side).
+  void* buf_ring_ = nullptr;      // io_uring_buf_ring mapping
+  std::size_t buf_ring_size_ = 0;
+  void* buf_mem_ = nullptr;       // buf_count_ * buf_size_ payload bytes
+  std::size_t buf_mem_size_ = 0;
+  unsigned buf_count_ = 0;
+  std::size_t buf_size_ = 0;
+  std::uint16_t buf_ring_tail_ = 0;
+
+  // Template msghdr for the multishot recvmsg (defines the per-buffer
+  // layout: recvmsg_out header, then msg_namelen bytes of source address,
+  // then payload).  Address-stable: the armed SQE points at it.
+  msghdr recv_msg_{};
+  bool recv_armed_ = false;
+
+  // Harvest views (valid until the next receive_batch call).
+  std::vector<std::span<const std::uint8_t>> payloads_;
+  std::vector<sockaddr_in> froms_;
+  std::vector<std::uint16_t> harvest_bids_;  // buffers to recycle next call
+  std::size_t harvest_count_ = 0;  // validated datagrams in payloads_/froms_
+
+  // Send slot pool, sized once at init: slot i owns bytes at
+  // send_bytes_[i * buf_size_], send_tos_[i], send_iovecs_[i],
+  // send_msgs_[i].  All address-stable while SQEs are in flight.
+  std::vector<std::uint8_t> send_bytes_;
+  std::vector<sockaddr_in> send_tos_;
+  std::vector<iovec> send_iovecs_;
+  std::vector<msghdr> send_msgs_;
+  std::vector<std::uint32_t> send_free_;  // indices of free slots
+};
+
+}  // namespace mtds::net

@@ -47,10 +47,13 @@ UdpRuntime::AddrKey UdpRuntime::addr_key(const sockaddr_in& addr) noexcept {
 
 void UdpRuntime::shutdown() {
   threads_running_.store(false);
-  socket_.close();
   timer_cv_.notify_all();
+  // The receive loop polls with a bounded timeout, so it observes the flag
+  // within one period; join BEFORE closing the socket - closing an fd the
+  // receiver is mid-recvmmsg on is a data race, not a wakeup.
   if (receiver_.joinable()) receiver_.join();
   if (timer_thread_.joinable()) timer_thread_.join();
+  socket_.close();
   util::MutexLock lock(timer_mutex_);
   timer_queue_.clear();
 }

@@ -86,6 +86,9 @@ void ProtocolEngine::start(const std::vector<ServerId>& neighbors) {
     handle(t, msg);
   });
   if (observer_ != nullptr) observer_->on_join(wall_->now(), id_);
+  // First publication: the serving plane answers from the start-up state
+  // until the first round lands a reset.
+  publish_snapshot(wall_->now());
   if (sync_ != nullptr && !neighbors_.empty()) {
     // Jitter the first round so the service's rounds don't run in lockstep.
     schedule_next_poll(rng_.uniform(core::Duration{0.0}, spec_.poll_period));
@@ -284,6 +287,10 @@ void ProtocolEngine::end_round() {
 
   if (sync_ == nullptr || sync_->mode() != SyncMode::kPerRound) {
     round_replies_.clear();
+    // Per-reply modes reset (and publish) from handle(); the round close
+    // still refreshes published_at so serving-plane staleness is bounded
+    // by the poll period, not by reply luck.
+    publish_snapshot(wall_->now());
     return;
   }
 
@@ -299,6 +306,7 @@ void ProtocolEngine::end_round() {
   }
   if (round_input.empty()) {
     round_replies_.clear();
+    publish_snapshot(now);
     return;
   }
   const auto outcome = sync_->on_round(local_state(now), round_input);
@@ -331,6 +339,9 @@ void ProtocolEngine::end_round() {
     note_inconsistency(outcome.inconsistent_with);
   }
   round_replies_.clear();
+  // Round complete (apply_reset already published the post-reset state if
+  // one landed; this refresh re-stamps published_at either way).
+  publish_snapshot(wall_->now());
 }
 
 // mtds:no-alloc
@@ -587,6 +598,26 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   util::logt(LogLevel::kDebug, now.seconds(), "S%u reset: C=%.6f eps=%.6g%s",
              id_, reset.clock.seconds(), reset.error.seconds(),
              is_recovery ? " (recovery)" : "");
+  // The serving plane must never answer from the pre-reset state longer
+  // than one publication.
+  publish_snapshot(now);
+}
+
+// Builds and publishes the affine snapshot the serving plane extrapolates
+// from (see service/snapshot.h for why per-query engine access is not
+// needed).  Single writer: every caller runs inside the runtime's
+// serialization domain.
+// mtds:no-alloc
+void ProtocolEngine::publish_snapshot(RealTime now) {
+  if (snapshot_sink_ == nullptr) return;
+  ClockSnapshot snap;
+  snap.base = clock_->read(now);
+  snap.error = tracker_.error_at(snap.base);
+  snap.published_at = now;
+  snap.rate = clock_->rate(now);
+  snap.delta = tracker_.delta();
+  snap.server_id = id_;
+  snapshot_sink_->publish_snapshot(snap);
 }
 
 void ProtocolEngine::note_inconsistency(const core::ServerIdVec& peers) {

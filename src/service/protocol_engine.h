@@ -28,6 +28,7 @@
 #include "service/peer_health.h"
 #include "service/rate_monitor.h"
 #include "service/sample_filter.h"
+#include "service/snapshot.h"
 #include "sim/rng.h"
 
 namespace mtds::service {
@@ -160,6 +161,14 @@ class ProtocolEngine {
   // reported error grows at the drift bound until a peer answers again.
   bool degraded() const noexcept { return degraded_; }
 
+  // Installs the snapshot publication sink (the serving plane's seqlock;
+  // see service/snapshot.h).  Call before start(); the engine publishes on
+  // start, after every completed round, and after every reset - all inside
+  // the runtime's serialization domain, so the sink sees a single writer.
+  void set_snapshot_sink(SnapshotSink* sink) noexcept {
+    snapshot_sink_ = sink;
+  }
+
  private:
   void schedule_next_poll(Duration own_clock_delay);
   void begin_round();
@@ -177,6 +186,7 @@ class ProtocolEngine {
   void note_peer_replied(ServerId peer);
   void age_recovery_requests();
   void set_degraded(bool degraded);
+  void publish_snapshot(RealTime now);
 
   ServerId id_;
   std::unique_ptr<core::Clock> clock_;
@@ -214,6 +224,9 @@ class ProtocolEngine {
   // Peer-health layer (null unless spec.health.enabled).
   std::unique_ptr<PeerHealth> health_;
   bool degraded_ = false;
+
+  // Snapshot sink (null = no serving plane attached); see set_snapshot_sink.
+  SnapshotSink* snapshot_sink_ = nullptr;
 
   // Cross-round equivocation detection: the last reading accepted from each
   // peer, on the local clock axis (rebased across local resets exactly like

@@ -1,0 +1,60 @@
+// The published clock snapshot: the serving plane's entire view of a server.
+//
+// Rule MM-1 says a server asked the time answers (C_i(t), E_i(t)).  Both are
+// affine in t between resets: C advances at the clock's rate and E grows at
+// the claimed drift bound delta_i (error_tracker.h).  So the sync plane does
+// not need to be consulted per query - after every round/reset it publishes
+// this POD through a util::Seqlock, and readers extrapolate exactly the
+// values the engine itself would report:
+//
+//     C(t) = base + (t - published_at) * rate
+//     E(t) = error + max(C(t) - base, 0) * delta
+//
+// which equals the engine's E(C) = eps + (C - r) * delta to the letter,
+// because error already carries the (base - r) * delta term accumulated at
+// publication time.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_types.h"
+
+namespace mtds::service {
+
+// Trivially copyable by design: it crosses the sync/serving seam through a
+// Seqlock, which copies it word-by-word.
+struct ClockSnapshot {
+  core::ClockTime base{0.0};         // C_i at publication
+  core::ErrorBound error{0.0};       // E_i at publication
+  core::RealTime published_at{0.0};  // host/runtime real-time axis
+  double rate = 1.0;                 // dC/dt of the virtual clock
+  double delta = 0.0;                // claimed drift bound delta_i
+  std::uint32_t server_id = 0;       // echoed in ClientTimeReply
+  std::uint32_t reserved = 0;        // keeps the struct densely packed
+};
+
+// Extrapolates (C_i, E_i) at real time `t` from a snapshot.  The elapsed
+// term is clamped at zero on both axes: a caller handing in a stale `t`
+// (clock stepped, snapshot republished concurrently) must neither read the
+// clock backward past the published base nor shrink the error bound.
+// mtds:no-alloc
+inline void extrapolate(const ClockSnapshot& snap, core::RealTime t,
+                        core::ClockTime& c, core::ErrorBound& e) noexcept {
+  const core::Duration elapsed = t - snap.published_at;
+  const core::Duration advance =
+      elapsed > core::Duration{0.0} ? elapsed * snap.rate : core::Duration{0.0};
+  c = snap.base + advance;
+  e = snap.error + advance * snap.delta;
+}
+
+// Publication sink, implemented by the serving plane (a Seqlock publish)
+// and installed on the engine with set_snapshot_sink().  Called inside the
+// runtime's serialization domain - i.e. single-writer - after start, every
+// completed round, and every reset.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void publish_snapshot(const ClockSnapshot& snap) = 0;
+};
+
+}  // namespace mtds::service

@@ -22,7 +22,12 @@
 
 #include <gtest/gtest.h>
 
+#include "net/protocol.h"
+#include "net/serving_plane.h"
+#include "net/udp_socket.h"
+#include "service/snapshot.h"
 #include "service/time_service.h"
+#include "util/seqlock.h"
 
 namespace {
 
@@ -133,6 +138,58 @@ TEST(AllocTest, SampleFilterSteadyStateIsAllocationFree) {
   ServiceConfig cfg = config(core::SyncAlgorithm::kIM, 4);
   for (auto& s : cfg.servers) s.use_sample_filter = true;
   expect_steady_state_alloc_free(std::move(cfg), "IM/filter");
+}
+
+// The serving plane's client reply path: seqlock publish + read, request
+// decode, snapshot extrapolation, reply encode into SendBatch storage.
+// Every step carries the mtds:no-alloc contract (tools/analyze.py proves
+// reachability statically); this pins it dynamically.  No warm-up beyond
+// constructing the batches: the serve path must be allocation-free from
+// the very first datagram.
+TEST(AllocTest, ClientReplyPathIsAllocationFree) {
+  util::Seqlock<ClockSnapshot> cell;
+  ClockSnapshot snap;
+  snap.base = core::ClockTime{500.0};
+  snap.error = core::ErrorBound{1e-3};
+  snap.published_at = core::RealTime{10.0};
+  snap.rate = 1.0 + 5e-5;
+  snap.delta = 1e-4;
+  snap.server_id = 1;
+
+  // Pre-encode a window of requests the loop replays (a RecvBatch can only
+  // be filled by a socket; the pure serve path takes the payload spans).
+  constexpr std::size_t kWindow = 32;
+  std::vector<net::ClientRequestBuffer> requests(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    net::ClientTimeRequest req;
+    req.tag = i;
+    req.client_send_ns = static_cast<std::int64_t>(i) * 1000;
+    requests[i] = net::encode(req);
+  }
+  net::SendBatch out(kWindow, 512);
+  const sockaddr_in from = net::UdpSocket::loopback(9);
+
+  const std::uint64_t before = allocation_count();
+  std::size_t served = 0;
+  for (int round = 0; round < 1000; ++round) {
+    snap.published_at = core::RealTime{10.0 + round * 0.01};
+    cell.publish(snap);
+    ClockSnapshot view;
+    ASSERT_TRUE(cell.read(view));
+    out.clear();
+    const core::RealTime now{view.published_at + core::Duration{0.005}};
+    for (const auto& buf : requests) {
+      if (net::serve_client_datagram({buf.data(), buf.size()}, from, view,
+                                     now, out)) {
+        ++served;
+      }
+    }
+  }
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "client reply path performed " << (after - before)
+      << " heap allocations over " << served << " replies";
+  EXPECT_EQ(served, 1000 * kWindow);
 }
 
 }  // namespace

@@ -32,11 +32,41 @@ void check_response_roundtrip(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+// The serving plane's client messages obey the same contract - and, since
+// they share sizes with the peer packets, the fuzzer also proves the type
+// byte alone keeps the two planes' decoders disjoint.
+void check_client_request_roundtrip(const std::uint8_t* data,
+                                    std::size_t size) {
+  const auto pkt = mtds::net::decode_client_request(data, size);
+  if (!pkt) return;
+  if (mtds::net::decode_request(data, size)) {
+    std::abort();  // one buffer accepted by both planes' request decoders
+  }
+  const auto wire = mtds::net::encode(*pkt);
+  if (size != wire.size() || std::memcmp(wire.data(), data, wire.size()) != 0) {
+    std::abort();  // decoder accepted a non-canonical client request
+  }
+}
+
+void check_client_reply_roundtrip(const std::uint8_t* data, std::size_t size) {
+  const auto pkt = mtds::net::decode_client_reply(data, size);
+  if (!pkt) return;
+  if (mtds::net::decode_response(data, size)) {
+    std::abort();  // one buffer accepted by both planes' response decoders
+  }
+  const auto wire = mtds::net::encode(*pkt);
+  if (size != wire.size() || std::memcmp(wire.data(), data, wire.size()) != 0) {
+    std::abort();  // decoder accepted a non-canonical client reply
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   check_request_roundtrip(data, size);
   check_response_roundtrip(data, size);
+  check_client_request_roundtrip(data, size);
+  check_client_reply_roundtrip(data, size);
   return 0;
 }

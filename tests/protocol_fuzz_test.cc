@@ -3,6 +3,7 @@
 // receives whatever the network delivers.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "net/protocol.h"
@@ -67,6 +68,103 @@ TEST(ProtocolFuzz, TruncationsAlwaysRejected) {
   for (std::size_t len = 0; len < resp.size(); ++len) {
     EXPECT_FALSE(decode_response(resp.data(), len).has_value());
   }
+}
+
+TEST(ProtocolFuzz, ClientRandomGarbageNeverDecodes) {
+  sim::Rng rng(0xCAFE);
+  int accepted = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t size = rng.uniform_index(128);
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    if (decode_client_request(bytes.data(), bytes.size())) ++accepted;
+    if (decode_client_reply(bytes.data(), bytes.size())) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(ProtocolFuzz, ClientTruncationsAlwaysRejected) {
+  const auto req = encode(ClientTimeRequest{});
+  for (std::size_t len = 0; len < req.size(); ++len) {
+    EXPECT_FALSE(decode_client_request(req.data(), len).has_value());
+  }
+  const auto reply = encode(ClientTimeReply{});
+  for (std::size_t len = 0; len < reply.size(); ++len) {
+    EXPECT_FALSE(decode_client_reply(reply.data(), len).has_value());
+  }
+}
+
+TEST(ProtocolFuzz, ClientCorruptHeadersAlwaysRejected) {
+  // Every single-bit corruption of the 6 header bytes (magic, version,
+  // type) must reject - in particular the type flips that would otherwise
+  // let a client frame impersonate a peer frame or vice versa.
+  ClientTimeReply original;
+  original.tag = 0x0102030405060708ull;
+  original.server_id = 9;
+  original.clock_ns = 77;
+  const auto buf = encode(original);
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = buf;
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(
+          decode_client_reply(mutated.data(), mutated.size()).has_value())
+          << "pos=" << pos << " bit=" << bit;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, ClientAndPeerDecodersAreDisjoint) {
+  // Same sizes, same layout - only the type byte separates the planes.  A
+  // sync-plane request must never decode as a client request (and the other
+  // three pairings likewise), so a datagram aimed at the wrong port dies at
+  // the decoder instead of producing a wrong-plane reply.
+  const auto peer_req = encode(TimeRequestPacket{.tag = 5});
+  const auto client_req = encode(ClientTimeRequest{.tag = 5});
+  EXPECT_TRUE(decode_request(peer_req.data(), peer_req.size()).has_value());
+  EXPECT_FALSE(
+      decode_client_request(peer_req.data(), peer_req.size()).has_value());
+  EXPECT_TRUE(
+      decode_client_request(client_req.data(), client_req.size()).has_value());
+  EXPECT_FALSE(decode_request(client_req.data(), client_req.size()).has_value());
+
+  const auto peer_resp = encode(TimeResponsePacket{.tag = 6});
+  const auto client_reply = encode(ClientTimeReply{.tag = 6});
+  EXPECT_FALSE(
+      decode_client_reply(peer_resp.data(), peer_resp.size()).has_value());
+  EXPECT_FALSE(
+      decode_response(client_reply.data(), client_reply.size()).has_value());
+}
+
+TEST(ProtocolFuzz, ClientRoundTripPreservesAllFields) {
+  ClientTimeRequest req;
+  req.tag = 0xDEADBEEFCAFEF00Dull;
+  req.client_send_ns = -123456789;  // negative survives (signed field)
+  const auto req_wire = encode(req);
+  const auto req_back = decode_client_request(req_wire.data(), req_wire.size());
+  ASSERT_TRUE(req_back.has_value());
+  EXPECT_EQ(req_back->tag, req.tag);
+  EXPECT_EQ(req_back->client_send_ns, req.client_send_ns);
+
+  ClientTimeReply reply;
+  reply.tag = 1;
+  reply.client_send_ns = 2;
+  reply.server_id = 3;
+  reply.clock_ns = -4;
+  reply.error_ns = 5;
+  const auto wire = encode(reply);
+  // encode_into must produce the identical bytes encode() does (it IS the
+  // hot path; encode() wraps it).
+  std::uint8_t direct[kClientReplySize];
+  encode_into(reply, direct);
+  EXPECT_EQ(std::memcmp(direct, wire.data(), wire.size()), 0);
+  const auto back = decode_client_reply(wire.data(), wire.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tag, reply.tag);
+  EXPECT_EQ(back->client_send_ns, reply.client_send_ns);
+  EXPECT_EQ(back->server_id, reply.server_id);
+  EXPECT_EQ(back->clock_ns, reply.clock_ns);
+  EXPECT_EQ(back->error_ns, reply.error_ns);
 }
 
 TEST(ProtocolFuzz, OversizedBuffersRejected) {

@@ -14,9 +14,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <thread>
+#include <vector>
 
+#include "net/protocol.h"
+#include "net/serving_plane.h"
 #include "net/udp_client.h"
 #include "net/udp_server.h"
 #include "net/udp_socket.h"
@@ -577,6 +581,77 @@ TEST(RuntimeParity, EngineExtensionsRunOverUdp) {
   EXPECT_NE(learner.poll_period(), cfg.poll_period);
   learner.stop();
   reference.stop();
+}
+
+// --- serving-plane backend parity -----------------------------------------
+//
+// The client serving plane has three interchangeable transports: batched
+// recvmmsg/sendmmsg, the single-datagram fallback syscalls, and io_uring.
+// With the wall clock frozen and one fixed snapshot published, a reply is a
+// pure function of the request - so every backend must produce byte-for-
+// byte identical replies.  This is the io_uring acceptance gate: the ring
+// backend is only correct if no client could ever tell it apart.
+
+std::map<std::uint64_t, std::vector<std::uint8_t>> serve_fixed_queries(
+    bool use_io_uring, std::size_t count) {
+  net::ServingPlaneConfig cfg;
+  cfg.threads = 1;
+  cfg.batch = 16;
+  cfg.use_io_uring = use_io_uring;
+  cfg.freeze_wall = true;
+  cfg.frozen_wall_seconds = 123.5;
+  net::ServingPlane plane(cfg);
+
+  service::ClockSnapshot snap;
+  snap.base = core::ClockTime{1000.25};
+  snap.error = core::ErrorBound{3e-3};
+  snap.published_at = core::RealTime{120.0};
+  snap.rate = 1.0 + 2e-5;
+  snap.delta = 1e-4;
+  snap.server_id = 17;
+  plane.publish_snapshot(snap);
+  plane.start();
+
+  std::map<std::uint64_t, std::vector<std::uint8_t>> replies;
+  net::UdpSocket client;
+  std::uint8_t buf[512];
+  for (std::uint64_t tag = 0; tag < count; ++tag) {
+    net::ClientTimeRequest req;
+    req.tag = tag;
+    req.client_send_ns = static_cast<std::int64_t>(tag * 31 + 7);
+    const auto bytes = net::encode(req);
+    EXPECT_TRUE(client.send_to(plane.port(), {bytes.data(), bytes.size()}));
+    const auto n = client.receive_into(buf, nullptr, 2000);
+    EXPECT_TRUE(n.has_value()) << "no reply for tag " << tag;
+    if (n.has_value()) replies[tag] = {buf, buf + *n};
+  }
+  plane.stop();
+  return replies;
+}
+
+TEST(ServingBackendParity, MmsgAndSingleDatagramBytesIdentical) {
+  const auto batched = serve_fixed_queries(/*use_io_uring=*/false, 64);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> single;
+  {
+    struct Guard {
+      Guard() { net::UdpSocket::set_batching_enabled(false); }
+      ~Guard() { net::UdpSocket::set_batching_enabled(true); }
+    } guard;
+    single = serve_fixed_queries(/*use_io_uring=*/false, 64);
+  }
+  ASSERT_EQ(batched.size(), 64u);
+  EXPECT_EQ(batched, single);
+}
+
+TEST(ServingBackendParity, IoUringAndMmsgBytesIdentical) {
+  if (!net::ServingPlane::io_uring_supported()) {
+    GTEST_SKIP() << "io_uring unavailable (build-gated or probe failed)";
+  }
+  const auto mmsg = serve_fixed_queries(/*use_io_uring=*/false, 64);
+  const auto uring = serve_fixed_queries(/*use_io_uring=*/true, 64);
+  ASSERT_EQ(mmsg.size(), 64u);
+  ASSERT_EQ(uring.size(), 64u);
+  EXPECT_EQ(mmsg, uring);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// net/serving_plane.h end to end: real SO_REUSEPORT sockets, real shard
+// threads, client queries answered from a published snapshot - plus the
+// pure serve_client_* helpers the hot loop is built from.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/serving_plane.h"
+#include "net/udp_server.h"
+#include "net/udp_socket.h"
+#include "service/snapshot.h"
+
+namespace mtds {
+namespace {
+
+service::ClockSnapshot test_snapshot() {
+  service::ClockSnapshot snap;
+  snap.base = core::ClockTime{1000.0};
+  snap.error = core::ErrorBound{5e-3};
+  snap.published_at = core::RealTime{0.0};
+  snap.rate = 1.0;
+  snap.delta = 1e-4;
+  snap.server_id = 42;
+  return snap;
+}
+
+net::ClientRequestBuffer encode_request(std::uint64_t tag) {
+  net::ClientTimeRequest req;
+  req.tag = tag;
+  req.client_send_ns = 123456789;
+  return net::encode(req);
+}
+
+TEST(ServeClientDatagram, RepliesToValidRequest) {
+  const auto bytes = encode_request(7);
+  net::SendBatch out(4, 512);
+  const sockaddr_in from = net::UdpSocket::loopback(1234);
+  ASSERT_TRUE(net::serve_client_datagram({bytes.data(), bytes.size()}, from,
+                                         test_snapshot(), core::RealTime{2.0},
+                                         out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.to(0).sin_port, from.sin_port);
+
+  const auto view = out.payload(0);
+  const auto reply = net::decode_client_reply(view.data(), view.size());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->tag, 7u);
+  EXPECT_EQ(reply->client_send_ns, 123456789);
+  EXPECT_EQ(reply->server_id, 42u);
+  // Two seconds after publication at rate 1: C = 1002, E = 5e-3 + 2*1e-4.
+  EXPECT_EQ(reply->clock_ns, net::seconds_to_ns(1002.0));
+  EXPECT_EQ(reply->error_ns, net::seconds_to_ns(5e-3 + 2e-4));
+}
+
+TEST(ServeClientDatagram, RejectsGarbageAndPeerPackets) {
+  net::SendBatch out(4, 512);
+  const sockaddr_in from = net::UdpSocket::loopback(1234);
+  const auto snap = test_snapshot();
+
+  const std::uint8_t garbage[24] = {1, 2, 3};
+  EXPECT_FALSE(net::serve_client_datagram({garbage, sizeof(garbage)}, from,
+                                          snap, core::RealTime{0.0}, out));
+
+  // A peer sync request (kRequest) at the client port must be rejected:
+  // same size, wrong type byte.
+  net::TimeRequestPacket peer;
+  peer.tag = 9;
+  const auto peer_bytes = net::encode(peer);
+  EXPECT_FALSE(net::serve_client_datagram(
+      {peer_bytes.data(), peer_bytes.size()}, from, snap, core::RealTime{0.0},
+      out));
+
+  // Truncated client request.
+  const auto good = encode_request(1);
+  EXPECT_FALSE(net::serve_client_datagram({good.data(), good.size() - 1}, from,
+                                          snap, core::RealTime{0.0}, out));
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(ServeClientBatch, FillsOneReplyPerValidRequest) {
+  net::RecvBatch recv(8, 512);
+  // RecvBatch is fill-by-socket only; go through a real socket pair.
+  net::UdpSocket rx;
+  net::UdpSocket tx;
+  const auto snap = test_snapshot();
+  for (std::uint64_t tag = 0; tag < 5; ++tag) {
+    const auto bytes = encode_request(tag);
+    ASSERT_TRUE(tx.send_to(rx.port(), {bytes.data(), bytes.size()}));
+  }
+  // All five are queued before the first drain; one recvmmsg gets them all
+  // (retry in case the kernel staged them across wakeups).
+  for (int tries = 0; tries < 50; ++tries) {
+    if (rx.receive_batch(recv, 100) == 5) break;
+  }
+  ASSERT_EQ(recv.size(), 5u);
+
+  net::SendBatch out(8, 512);
+  EXPECT_EQ(net::serve_client_batch(recv, snap, core::RealTime{1.0}, out), 5u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+// One round trip against a running plane, mmsg backend.
+TEST(ServingPlane, AnswersQueriesOverTheWire) {
+  net::ServingPlaneConfig cfg;
+  cfg.threads = 2;
+  cfg.batch = 16;
+  net::ServingPlane plane(cfg);
+  ASSERT_NE(plane.port(), 0);
+  EXPECT_STREQ(plane.backend(), "mmsg");
+
+  plane.publish_snapshot(test_snapshot());
+  EXPECT_EQ(plane.snapshot_version(), 1u);
+  plane.start();
+
+  net::UdpSocket client;
+  std::uint64_t answered = 0;
+  std::uint8_t buf[512];
+  for (std::uint64_t tag = 0; tag < 32; ++tag) {
+    const auto bytes = encode_request(tag);
+    ASSERT_TRUE(client.send_to(plane.port(), {bytes.data(), bytes.size()}));
+    const auto n = client.receive_into(buf, nullptr, 2000);
+    ASSERT_TRUE(n.has_value()) << "no reply for tag " << tag;
+    const auto reply = net::decode_client_reply(buf, *n);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->tag, tag);
+    EXPECT_EQ(reply->server_id, 42u);
+    ++answered;
+  }
+  plane.stop();
+  EXPECT_EQ(answered, 32u);
+  EXPECT_EQ(plane.queries_served(), 32u);
+}
+
+// Same round trip on the io_uring backend when the host supports it (the
+// -DMTDS_IO_URING=OFF CI leg and non-Linux hosts skip here).
+TEST(ServingPlane, AnswersQueriesOverIoUring) {
+  if (!net::ServingPlane::io_uring_supported()) {
+    GTEST_SKIP() << "io_uring unavailable (build-gated or probe failed)";
+  }
+  net::ServingPlaneConfig cfg;
+  cfg.threads = 1;
+  cfg.batch = 16;
+  cfg.use_io_uring = true;
+  net::ServingPlane plane(cfg);
+  ASSERT_STREQ(plane.backend(), "io_uring");
+  plane.publish_snapshot(test_snapshot());
+  plane.start();
+
+  net::UdpSocket client;
+  std::uint8_t buf[512];
+  for (std::uint64_t tag = 100; tag < 116; ++tag) {
+    const auto bytes = encode_request(tag);
+    ASSERT_TRUE(client.send_to(plane.port(), {bytes.data(), bytes.size()}));
+    const auto n = client.receive_into(buf, nullptr, 2000);
+    ASSERT_TRUE(n.has_value()) << "no io_uring reply for tag " << tag;
+    const auto reply = net::decode_client_reply(buf, *n);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->tag, tag);
+  }
+  plane.stop();
+  EXPECT_EQ(plane.queries_served(), 16u);
+}
+
+// Queries arriving before the first publication are dropped, not answered
+// from a zero snapshot.
+TEST(ServingPlane, DropsQueriesBeforeFirstSnapshot) {
+  net::ServingPlaneConfig cfg;
+  cfg.threads = 1;
+  net::ServingPlane plane(cfg);
+  plane.start();
+
+  net::UdpSocket client;
+  const auto bytes = encode_request(1);
+  ASSERT_TRUE(client.send_to(plane.port(), {bytes.data(), bytes.size()}));
+  std::uint8_t buf[512];
+  EXPECT_FALSE(client.receive_into(buf, nullptr, 200).has_value());
+
+  // After publication the same client gets served.
+  plane.publish_snapshot(test_snapshot());
+  ASSERT_TRUE(client.send_to(plane.port(), {bytes.data(), bytes.size()}));
+  EXPECT_TRUE(client.receive_into(buf, nullptr, 2000).has_value());
+  plane.stop();
+}
+
+// Full stack: UdpTimeServer with client_threads wires the engine's snapshot
+// publications into the plane; a client sees the server's actual clock.
+TEST(ServingPlane, ThroughUdpTimeServer) {
+  net::UdpServerConfig cfg;
+  cfg.id = 3;
+  cfg.poll_period = 0;  // respond-only: no peers needed
+  cfg.client_threads = 2;
+  net::UdpTimeServer server(cfg);
+  EXPECT_STREQ(server.client_backend(), "mmsg");
+  server.start();
+  ASSERT_NE(server.client_port(), 0);
+
+  net::UdpSocket client;
+  const auto bytes = encode_request(55);
+  std::uint8_t buf[512];
+  ASSERT_TRUE(
+      client.send_to(server.client_port(), {bytes.data(), bytes.size()}));
+  const auto n = client.receive_into(buf, nullptr, 2000);
+  ASSERT_TRUE(n.has_value());
+  const auto reply = net::decode_client_reply(buf, *n);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->tag, 55u);
+  EXPECT_EQ(reply->server_id, 3u);
+  // The served clock tracks the engine's: within the error bound plus a
+  // generous scheduling slop of the introspected value.
+  const double served = net::ns_to_seconds(reply->clock_ns);
+  const double engine_now = server.read_clock().seconds();
+  EXPECT_NEAR(served, engine_now, 0.5);
+  EXPECT_EQ(server.client_queries_served(), 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mtds

@@ -1,0 +1,30 @@
+// analyze-expect: callback-lock-discipline
+//
+// The serving-plane shape gone wrong: the published snapshot is a plain
+// mutex-guarded member, and the reader lambda escapes (stored, run later
+// on shard threads) without acquiring the mutex or carrying a
+// mtds:lock-held contract.  The seqlock_good twin shows the sanctioned
+// fix: publish through a Seqlock and drop the mutex entirely.
+
+#define GUARDED_BY(x)
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct ClockSnapshot {
+  double base;
+  double error;
+};
+
+struct ServingPlane {
+  void start_shard() {
+    shard_body_ = [this] { last_base_ = snapshot_.base; };
+  }
+
+  Mutex mu_;
+  ClockSnapshot snapshot_ GUARDED_BY(mu_);
+  double last_base_ = 0;
+  int shard_body_ = 0;  // stand-in for the stored shard thread body
+};

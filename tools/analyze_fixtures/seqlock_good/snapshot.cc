@@ -1,0 +1,42 @@
+// analyze-expect: clean
+//
+// The serving-plane shape done right: the snapshot crosses the sync/serve
+// boundary through a sequence-counted cell, so the member the escaping
+// lambda reads is not GUARDED_BY any mutex - the cell's own tag documents
+// the protocol.  callback-lock-discipline must stay quiet here: flagging
+// every escaping read of a lock-free cell would force bogus
+// mtds:lock-held tags onto code that owns no lock at all.
+
+#define GUARDED_BY(x)
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct ClockSnapshot {
+  double base;
+  double error;
+};
+
+template <class T>
+struct Seqlock {
+  bool read(T& out) const;
+  void publish(const T& value);
+};
+
+struct ServingPlane {
+  void start_shard() {
+    shard_body_ = [this] {
+      ClockSnapshot snap;
+      if (snapshot_.read(snap)) last_base_ = snap.base;
+    };
+  }
+
+  Mutex mu_;  // guards unrelated control-plane state, not the snapshot
+  int started_ GUARDED_BY(mu_) = 0;
+  // mtds:lock-free(seqlock publish/read: shard threads retry torn reads)
+  Seqlock<ClockSnapshot> snapshot_;
+  double last_base_ = 0;
+  int shard_body_ = 0;  // stand-in for the stored shard thread body
+};

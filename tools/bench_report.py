@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Runs the micro_core benchmark suite and tracks items/sec in BENCH_core.json.
+"""Runs the benchmark suites and tracks items/sec in BENCH_core.json.
 
 The repo keeps one committed perf baseline, BENCH_core.json at the repo
-root: for every google-benchmark in bench/micro_core.cc it records
+root: for every google-benchmark in bench/micro_core.cc and
+bench/bench_client_qps.cc (the serving-plane qps sweep) it records
 items/sec "before" (the previous tracked run, or an explicit baseline
 capture) and "after" (the run this script just performed), plus the
 speedup ratio.  The bench-items lint rule guarantees every benchmark
@@ -107,6 +108,12 @@ def run_suite(binary: Path, quick: bool, repetitions: int) -> dict[str, float]:
     return extract_items_per_sec(json.loads(proc.stdout))
 
 
+# Every google-benchmark binary the tracked file aggregates.  micro_core is
+# mandatory (the original suite); the serving-plane qps bench is optional so
+# builds with MTDS-net benches disabled keep working.
+SUITE_BINARIES = [("micro_core", True), ("bench_client_qps", False)]
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default=str(REPO / "build"),
@@ -140,12 +147,19 @@ def main(argv: list[str]) -> int:
         print(f"refreshed environment block in {out_path}")
         return 0
 
-    binary = Path(args.build_dir) / "bench" / "micro_core"
-    if not binary.exists():
-        print(f"bench binary not found: {binary} "
-              "(build with -DCMAKE_BUILD_TYPE=Release first)",
-              file=sys.stderr)
-        return 1
+    binaries: list[Path] = []
+    for name, required in SUITE_BINARIES:
+        binary = Path(args.build_dir) / "bench" / name
+        if binary.exists():
+            binaries.append(binary)
+        elif required:
+            print(f"bench binary not found: {binary} "
+                  "(build with -DCMAKE_BUILD_TYPE=Release first)",
+                  file=sys.stderr)
+            return 1
+        else:
+            print(f"skipping optional bench binary: {binary}",
+                  file=sys.stderr)
 
     before: dict[str, float] = {}
     if args.before:
@@ -153,9 +167,11 @@ def main(argv: list[str]) -> int:
     elif DEFAULT_OUT.exists():
         before = extract_items_per_sec(json.loads(DEFAULT_OUT.read_text()))
 
+    after: dict[str, float] = {}
     try:
-        after = run_suite(binary, args.quick,
-                          1 if args.quick else args.repetitions)
+        for binary in binaries:
+            after.update(run_suite(binary, args.quick,
+                                   1 if args.quick else args.repetitions))
     except (RuntimeError, json.JSONDecodeError) as err:
         print(f"bench run failed: {err}", file=sys.stderr)
         return 1

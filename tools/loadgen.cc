@@ -1,0 +1,165 @@
+// loadgen: closed-loop client-query load generator for the serving plane.
+//
+// Drives a running time server's client port (see examples/timeserverd.cpp
+// --client-threads) with N sender threads, each keeping a window of
+// ClientTimeRequest datagrams in flight over its own socket and batching
+// both directions with sendmmsg/recvmmsg.  Prints achieved queries/sec and
+// reply statistics - the operational twin of bench/bench_client_qps.cc,
+// which measures the same plane in-process.
+//
+// Usage:
+//   loadgen --port P [--threads N] [--seconds S] [--window W] [--batch B]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/udp_socket.h"
+#include "runtime/udp_runtime.h"
+
+namespace {
+
+struct Options {
+  std::uint16_t port = 0;
+  unsigned threads = 1;
+  double seconds = 2.0;  // lint-allow: bare-double (CLI duration)
+  std::size_t window = 64;  // requests in flight per thread
+  std::size_t batch = 32;   // datagrams per syscall
+};
+
+struct ThreadStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t decode_errors = 0;
+};
+
+void run_sender(const Options& opt, unsigned idx, ThreadStats& stats) {
+  using namespace mtds;
+  net::UdpSocket sock;
+  const sockaddr_in server = net::UdpSocket::loopback(opt.port);
+  net::RecvBatch recv(opt.batch, 512);
+  net::SendBatch send(opt.batch, 512);
+
+  const double deadline = runtime::host_seconds() + opt.seconds;
+  std::uint64_t next_tag = static_cast<std::uint64_t>(idx) << 48;
+  std::uint64_t in_flight = 0;
+
+  while (runtime::host_seconds() < deadline) {
+    // Top the window up, one batch per syscall.
+    while (in_flight < opt.window) {
+      send.clear();
+      while (send.size() < opt.batch && in_flight + send.size() < opt.window) {
+        net::ClientTimeRequest req;
+        req.tag = next_tag++;
+        req.client_send_ns =
+            net::seconds_to_ns(runtime::host_seconds());
+        std::uint8_t* slot = send.append(server, net::kClientRequestSize);
+        if (slot == nullptr) break;
+        const auto bytes = net::encode(req);
+        std::memcpy(slot, bytes.data(), bytes.size());
+      }
+      if (send.size() == 0) break;
+      const std::size_t sent = sock.send_batch(send);
+      stats.sent += sent;
+      in_flight += sent;
+      if (sent < send.size()) break;  // socket backpressure
+    }
+    // Reap replies (short poll keeps the loop responsive near the deadline).
+    const std::size_t got = sock.receive_batch(recv, 1);
+    for (std::size_t i = 0; i < got; ++i) {
+      const auto view = recv.payload(i);
+      if (mtds::net::decode_client_reply(view.data(), view.size())) {
+        ++stats.received;
+      } else {
+        ++stats.decode_errors;
+      }
+    }
+    if (got >= in_flight) {
+      in_flight = 0;
+    } else {
+      in_flight -= got;
+    }
+  }
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--threads N] [--seconds S] [--window W] "
+               "[--batch B]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Both "--port 9100" and "--port=9100" forms are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--seconds") {
+      opt.seconds = std::atof(next());
+    } else if (arg == "--window") {
+      opt.window = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--batch") {
+      opt.batch = static_cast<std::size_t>(std::atoi(next()));
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.port == 0 || opt.threads == 0 || opt.batch == 0 ||
+      opt.window == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<ThreadStats> stats(opt.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.threads);
+  const double t0 = mtds::runtime::host_seconds();
+  for (unsigned i = 0; i < opt.threads; ++i) {
+    threads.emplace_back(run_sender, std::cref(opt), i, std::ref(stats[i]));
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = mtds::runtime::host_seconds() - t0;
+
+  std::uint64_t sent = 0, received = 0, decode_errors = 0;
+  for (const auto& s : stats) {
+    sent += s.sent;
+    received += s.received;
+    decode_errors += s.decode_errors;
+  }
+  const double qps = elapsed > 0 ? static_cast<double>(received) / elapsed : 0;
+  std::printf(
+      "loadgen: threads=%u window=%zu batch=%zu elapsed=%.3fs\n"
+      "  sent=%llu received=%llu decode_errors=%llu\n"
+      "  replies/sec=%.0f\n",
+      opt.threads, opt.window, opt.batch, elapsed,
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(received),
+      static_cast<unsigned long long>(decode_errors), qps);
+  return received > 0 ? 0 : 1;
+}
