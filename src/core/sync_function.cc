@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/baselines.h"
+#include "core/byz_sync.h"
 #include "core/im_sync.h"
 #include "core/imft_sync.h"
 #include "core/mm_sync.h"
@@ -24,6 +25,7 @@ std::string_view to_string(SyncAlgorithm algo) noexcept {
     case SyncAlgorithm::kMM: return "MM";
     case SyncAlgorithm::kIM: return "IM";
     case SyncAlgorithm::kIMFT: return "IMFT";
+    case SyncAlgorithm::kBYZ: return "BYZ";
     case SyncAlgorithm::kMax: return "MAX";
     case SyncAlgorithm::kMedian: return "MEDIAN";
     case SyncAlgorithm::kMean: return "MEAN";
@@ -37,6 +39,7 @@ std::unique_ptr<SyncFunction> make_sync_function(SyncAlgorithm algo) {
     case SyncAlgorithm::kIM: return std::make_unique<IntersectionSync>();
     case SyncAlgorithm::kIMFT:
       return std::make_unique<FaultTolerantIntersectionSync>();
+    case SyncAlgorithm::kBYZ: return std::make_unique<ByzantineSync>();
     case SyncAlgorithm::kMax: return std::make_unique<MaxSync>();
     case SyncAlgorithm::kMedian: return std::make_unique<MedianSync>();
     case SyncAlgorithm::kMean: return std::make_unique<MeanSync>();

@@ -84,6 +84,7 @@ enum class SyncAlgorithm {
   kMM,      // minimization of maximum error (Section 3)
   kIM,      // intersection (Section 4)
   kIMFT,    // fault-tolerant intersection (Marzullo's algorithm, [Marzullo 83])
+  kBYZ,     // Byzantine trim-and-select (Hoch/Ben-Or/Dolev-shaped)
   kMax,     // Lamport 78 maximum-value baseline
   kMedian,  // Lamport 82 median baseline
   kMean     // mean-of-clocks baseline

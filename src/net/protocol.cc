@@ -104,6 +104,19 @@ ClientReplyBuffer encode(const ClientTimeReply& packet) {
   return buf;
 }
 
+GossipBuffer encode(const ReadingGossipPacket& packet) {
+  GossipBuffer buf{};
+  put_header(buf.data(), PacketType::kReadingGossip, packet.round,
+             /*client_send_ns=*/0);
+  put_u32(buf.data() + 24, packet.sender_id);
+  put_u32(buf.data() + 28, packet.source_id);
+  put_i64(buf.data() + 32, packet.clock_ns);
+  put_i64(buf.data() + 40, packet.error_ns);
+  put_i64(buf.data() + 48, packet.age_ns);
+  put_i64(buf.data() + 56, packet.rtt_ns);
+  return buf;
+}
+
 std::optional<TimeRequestPacket> decode_request(const std::uint8_t* data,
                                                 std::size_t size) {
   if (!check_header(data, size, kRequestSize, PacketType::kRequest)) {
@@ -152,6 +165,38 @@ std::optional<ClientTimeReply> decode_client_reply(const std::uint8_t* data,
   packet.server_id = get_u32(data + 24);
   packet.clock_ns = get_i64(data + 32);
   packet.error_ns = get_i64(data + 40);
+  return packet;
+}
+
+std::optional<ReadingGossipPacket> decode_gossip(const std::uint8_t* data,
+                                                 std::size_t size) {
+  if (!check_header(data, size, kGossipSize, PacketType::kReadingGossip)) {
+    return std::nullopt;
+  }
+  // The header's client_send_ns slot is unused by gossip; the encoder always
+  // writes zero, so a nonzero value is non-canonical.
+  if (get_i64(data + 16) != 0) return std::nullopt;
+  ReadingGossipPacket packet;
+  packet.round = get_u64(data + 8);
+  packet.sender_id = get_u32(data + 24);
+  packet.source_id = get_u32(data + 28);
+  packet.clock_ns = get_i64(data + 32);
+  packet.error_ns = get_i64(data + 40);
+  packet.age_ns = get_i64(data + 48);
+  packet.rtt_ns = get_i64(data + 56);
+  // Range checks: second-hand tuples are adversary-controllable, so the
+  // decoder bounds them instead of trusting the engine to.
+  if (packet.sender_id == 0xFFFFFFFFu) return std::nullopt;
+  if (packet.source_id == 0xFFFFFFFFu) return std::nullopt;
+  if (packet.error_ns < 0 || packet.error_ns > kMaxGossipFieldNs) {
+    return std::nullopt;
+  }
+  if (packet.age_ns < 0 || packet.age_ns > kMaxGossipFieldNs) {
+    return std::nullopt;
+  }
+  if (packet.rtt_ns < 0 || packet.rtt_ns > kMaxGossipFieldNs) {
+    return std::nullopt;
+  }
   return packet;
 }
 

@@ -79,8 +79,13 @@ class AdversaryStrategy {
 // service splinters into camps that quarantine each other.
 //
 // fault-bound: assumes victims never gossip readings about third parties
-// (true of rules MM-1/IM-1); defeated by IMFT quorum coverage whenever the
-// honest servers hold a majority (f < n/2).
+// (true of rules MM-1/IM-1, and of IMFT leaves whose only link is the
+// liar); defeated by IMFT quorum coverage whenever the honest servers
+// hold a co-located majority (f < n/2), and - since the cross-notes
+// plane landed - by `gossip on`: the per-victim stories reach every
+// victim as second-hand notes, the same-round contradiction convicts
+// (gossip_convictions / note_byzantine), and BYZ's trim survives the
+// hub outright (see scenarios/byzantine_gossip_byz_star.mtds).
 class TwoFaced final : public AdversaryStrategy {
  public:
   // Lies are `magnitude` seconds ahead for even-id destinations, behind for

@@ -63,6 +63,15 @@ Duration FaultInjector::max_one_way_delay() const {
   return inner_->max_one_way_delay() + (plan_.delay > 0 ? plan_.delay_hi : 0.0);
 }
 
+void FaultInjector::corrupt_state() {
+  // The nonce is drawn even with no hook installed, so arming the fault at
+  // different build layers never shifts the rest of the fault stream.
+  const std::uint64_t nonce = rng_.next_u64();
+  if (crashed_ || !corruptor_) return;
+  ++stats_.state_corruptions;
+  corruptor_(nonce);
+}
+
 void FaultInjector::partition_outbound(ServerId peer, bool blocked) {
   if (blocked) {
     blocked_outbound_.insert(peer);

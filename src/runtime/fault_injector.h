@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
@@ -84,6 +85,10 @@ struct FaultStats {
   std::uint64_t equivocations = 0;      // forged copies whose lie depends on
                                         // the destination
 
+  // Self-stabilization plane (not a copy class; the balance equation above
+  // is untouched): corrupt-state faults injected into the local engine.
+  std::uint64_t state_corruptions = 0;
+
   bool operator==(const FaultStats&) const = default;
 };
 
@@ -110,6 +115,16 @@ class FaultInjector final : public Transport {
   // in both directions is dropped (the endpoint neither sends nor hears).
   void set_crashed(bool crashed) noexcept { crashed_ = crashed; }
   bool crashed() const noexcept { return crashed_; }
+
+  // Corrupt-state fault: the injector cannot reach inside the engine, so
+  // the embedder installs a corruptor hook (the engine's corrupt_state).
+  // corrupt_state() draws a nonce from the injector's own fault stream and
+  // invokes the hook with it - same seed, same scramble, every run.
+  using StateCorruptor = std::function<void(std::uint64_t)>;
+  void set_state_corruptor(StateCorruptor corruptor) {
+    corruptor_ = std::move(corruptor);
+  }
+  void corrupt_state();
 
   // Asymmetric partitions: block one direction to/from a single peer.
   void partition_outbound(ServerId peer, bool blocked);
@@ -143,6 +158,7 @@ class FaultInjector final : public Transport {
   bool crashed_ = false;
   std::set<ServerId> blocked_outbound_;
   std::set<ServerId> blocked_inbound_;
+  StateCorruptor corruptor_;
   FaultStats stats_;
 };
 

@@ -95,6 +95,18 @@ void UdpRuntime::send(ServerId to, const ServiceMessage& msg) {
     socket_.send_to(addr->second, net::encode(req));
     return;
   }
+  if (msg.type == ServiceMessage::Type::kReadingGossip) {
+    net::ReadingGossipPacket gossip;
+    gossip.round = msg.tag;  // tag doubles as the gossip round number
+    gossip.sender_id = self_;
+    gossip.source_id = msg.source;
+    gossip.clock_ns = net::seconds_to_ns(msg.c.seconds());
+    gossip.error_ns = net::seconds_to_ns(msg.e.seconds());
+    gossip.age_ns = net::seconds_to_ns(msg.age.seconds());
+    gossip.rtt_ns = net::seconds_to_ns(msg.rtt.seconds());
+    socket_.send_to(addr->second, net::encode(gossip));
+    return;
+  }
   net::TimeResponsePacket resp;
   resp.tag = msg.tag;
   resp.server_id = self_;
@@ -227,6 +239,22 @@ void UdpRuntime::receive_loop() {
         msg.tag = resp->tag;
         msg.c = net::ns_to_seconds(resp->clock_ns);
         msg.e = net::ns_to_seconds(resp->error_ns);
+        handler_(host_seconds(), msg);
+      } else if (const auto gossip =
+                     net::decode_gossip(payload.data(), payload.size())) {
+        // Cross-notes attribute the *sender* by source address (same rule
+        // as responses: never trust a wire id for a configured peer).
+        const auto it = id_by_addr_.find(addr_key(batch.from(i)));
+        ServiceMessage msg;
+        msg.type = ServiceMessage::Type::kReadingGossip;
+        msg.from = it != id_by_addr_.end() ? it->second : gossip->sender_id;
+        msg.to = self_;
+        msg.source = gossip->source_id;
+        msg.tag = gossip->round;
+        msg.c = net::ns_to_seconds(gossip->clock_ns);
+        msg.e = net::ns_to_seconds(gossip->error_ns);
+        msg.age = net::ns_to_seconds(gossip->age_ns);
+        msg.rtt = net::ns_to_seconds(gossip->rtt_ns);
         handler_(host_seconds(), msg);
       }
     }

@@ -10,6 +10,7 @@ const char* to_string(PeerState state) noexcept {
     case PeerState::kSuspect: return "suspect";
     case PeerState::kDead: return "dead";
     case PeerState::kQuarantined: return "quarantined";
+    case PeerState::kProbation: return "probation";
   }
   return "?";
 }
@@ -25,6 +26,13 @@ void PeerHealth::transition(core::ServerId peer, Entry& entry, PeerState to) {
     entry.probe_interval = std::max(1u, policy_.backoff_start);
     entry.rounds_until_probe = 0;
   }
+  if (to == PeerState::kQuarantined) {
+    // Fresh conviction (or re-conviction from probation): the release
+    // countdown and any partial probation progress start over.
+    entry.quarantine_rounds = 0;
+    entry.probation_streak = 0;
+  }
+  if (to == PeerState::kProbation) entry.probation_streak = 0;
   if (hook_) hook_(peer, from, to);
 }
 
@@ -33,9 +41,16 @@ bool PeerHealth::should_poll(core::ServerId peer) {
   switch (entry.state) {
     case PeerState::kHealthy:
     case PeerState::kSuspect:
+    case PeerState::kProbation:
       return true;
     case PeerState::kQuarantined:
-      return false;
+      if (policy_.release_after == 0) return false;  // sticky quarantine
+      ++entry.quarantine_rounds;
+      if (entry.quarantine_rounds < policy_.release_after) return false;
+      // Served the sentence: release into probation and poll immediately.
+      // Readings stay discarded until the probation streak completes.
+      transition(peer, entry, PeerState::kProbation);
+      return true;
     case PeerState::kDead:
       break;
   }
@@ -70,6 +85,13 @@ void PeerHealth::note_reply(core::ServerId peer) {
 void PeerHealth::note_missed(core::ServerId peer) {
   Entry& entry = peers_[peer];
   if (entry.state == PeerState::kQuarantined) return;
+  if (entry.state == PeerState::kProbation) {
+    // A missed probation round breaks the consecutive-consistency chain but
+    // does not demote to suspect/dead: that path's note_reply heal would
+    // let an unresponsive peer launder its way past probation.
+    entry.probation_streak = 0;
+    return;
+  }
   ++entry.miss_streak;
   if (entry.miss_streak >= policy_.dead_after &&
       entry.state != PeerState::kDead) {
@@ -82,6 +104,12 @@ void PeerHealth::note_missed(core::ServerId peer) {
 
 void PeerHealth::note_inconsistent(core::ServerId peer) {
   Entry& entry = peers_[peer];
+  if (entry.state == PeerState::kProbation) {
+    // Inconsistency during probation is not a streak to accumulate - the
+    // peer is already a convict on supervised release.  Straight back.
+    transition(peer, entry, PeerState::kQuarantined);
+    return;
+  }
   ++entry.inconsistent_streak;
   if (policy_.quarantine_after > 0 &&
       entry.inconsistent_streak >= policy_.quarantine_after &&
@@ -99,6 +127,17 @@ void PeerHealth::note_byzantine(core::ServerId peer) {
   Entry& entry = peers_[peer];
   if (entry.state == PeerState::kQuarantined) return;
   transition(peer, entry, PeerState::kQuarantined);
+}
+
+void PeerHealth::note_probation_consistent(core::ServerId peer) {
+  Entry& entry = peers_[peer];
+  if (entry.state != PeerState::kProbation) return;
+  ++entry.probation_streak;
+  if (entry.probation_streak >= std::max(1u, policy_.probation_rounds)) {
+    entry.miss_streak = 0;
+    entry.inconsistent_streak = 0;
+    transition(peer, entry, PeerState::kHealthy);
+  }
 }
 
 PeerState PeerHealth::state(core::ServerId peer) const {

@@ -12,6 +12,10 @@
 //               readings keep contradicting ours has left our consistency
 //               group) - alive, but its readings are discarded and it is
 //               no longer polled
+//   probation   a quarantined peer working its way back: polled again, but
+//               its readings stay discarded until it has produced
+//               `probation_rounds` consecutive consistent replies - one
+//               good reading never rehabilitates a convicted equivocator
 //
 // Transitions are driven purely by reply/miss/consistency evidence the
 // engine already observes; the engine consults should_poll() when building
@@ -34,6 +38,7 @@ enum class PeerState : std::uint8_t {
   kSuspect = 1,
   kDead = 2,
   kQuarantined = 3,
+  kProbation = 4,
 };
 
 const char* to_string(PeerState state) noexcept;
@@ -47,6 +52,10 @@ struct PeerHealthPolicy {
   double jitter = 0.25;             // extra rounds ~ U[0, jitter * interval]
   std::uint32_t quarantine_after = 0;  // consecutive inconsistencies before
                                        // quarantine; 0 = never quarantine
+  std::uint32_t release_after = 0;     // quarantine rounds before probation;
+                                       // 0 = sticky quarantine, never released
+  std::uint32_t probation_rounds = 3;  // consecutive consistent probation
+                                       // rounds required to re-earn healthy
 };
 
 class PeerHealth {
@@ -61,11 +70,12 @@ class PeerHealth {
 
   void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
 
-  // Round planning: whether this round should send to `peer`.  Healthy and
-  // suspect peers are always polled; dead peers consume their backoff
-  // countdown and are probed only when it expires; quarantined peers are
-  // never polled.  Advances per-round probe state - call exactly once per
-  // peer per round.
+  // Round planning: whether this round should send to `peer`.  Healthy,
+  // suspect and probation peers are always polled; dead peers consume their
+  // backoff countdown and are probed only when it expires; quarantined
+  // peers are not polled, but with release_after > 0 each skipped round
+  // counts toward release into probation.  Advances per-round probe state -
+  // call exactly once per peer per round.
   bool should_poll(core::ServerId peer);
 
   // Evidence.  note_reply is any paired reply (liveness: dead/suspect ->
@@ -85,6 +95,14 @@ class PeerHealth {
   // with quarantine_after == 0 ("never quarantine") are still honored.
   void note_byzantine(core::ServerId peer);
 
+  // Probation evidence: the peer answered a probation-round poll with a
+  // reading consistent with everything we know.  After `probation_rounds`
+  // consecutive such rounds the peer re-earns kHealthy; any byzantine or
+  // inconsistent evidence in between re-quarantines it (the release
+  // countdown starts over).  No-op unless the peer is on probation -
+  // a single consistent reading never rehabilitates a quarantined peer.
+  void note_probation_consistent(core::ServerId peer);
+
   // Membership change: drop all state for `peer`.
   void forget(core::ServerId peer) { peers_.erase(peer); }
 
@@ -102,6 +120,9 @@ class PeerHealth {
     std::uint32_t inconsistent_streak = 0;
     std::uint32_t probe_interval = 0;     // current backoff interval (rounds)
     std::uint32_t rounds_until_probe = 0; // countdown to the next probe
+    std::uint32_t quarantine_rounds = 0;  // rounds spent quarantined
+    std::uint32_t probation_streak = 0;   // consecutive consistent probation
+                                          // rounds
   };
 
   void transition(core::ServerId peer, Entry& entry, PeerState to);

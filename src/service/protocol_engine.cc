@@ -61,6 +61,10 @@ ProtocolEngine::ProtocolEngine(ServerId id, std::unique_ptr<core::Clock> clock,
         [this](ServerId peer, PeerState from, PeerState to) {
           if (to == PeerState::kDead) ++counters_.peer_deaths;
           if (to == PeerState::kQuarantined) ++counters_.quarantines;
+          if (to == PeerState::kProbation) ++counters_.probations;
+          if (to == PeerState::kHealthy && from == PeerState::kProbation) {
+            ++counters_.rehabilitations;
+          }
           if (to == PeerState::kHealthy &&
               (from == PeerState::kSuspect || from == PeerState::kDead)) {
             ++counters_.peer_recoveries;
@@ -100,6 +104,8 @@ void ProtocolEngine::stop() {
   transport_->close();
   pending_.clear();
   reading_memory_.clear();  // a restart must not compare across incarnations
+  second_hand_.clear();     // ditto for gossiped notes
+  awaiting_recovery_ = false;
   round_open_ = false;
   if (degraded_) set_degraded(false);
   recovery_attempts_ = 0;
@@ -130,6 +136,19 @@ void ProtocolEngine::remove_neighbor(ServerId peer) {
       reading_memory_.erase(it);
       break;
     }
+  }
+  for (auto it = second_hand_.begin(); it != second_hand_.end(); ++it) {
+    if (it->source == peer) {
+      second_hand_.erase(it);
+      break;
+    }
+  }
+}
+
+void ProtocolEngine::set_gossip_peers(const std::vector<ServerId>& peers) {
+  gossip_peers_.clear();
+  for (ServerId peer : peers) {
+    if (peer != id_) gossip_peers_.push_back(peer);
   }
 }
 
@@ -167,6 +186,7 @@ void ProtocolEngine::begin_round() {
   if (round_open_) end_round();
 
   ++counters_.rounds;
+  if (awaiting_recovery_) ++counters_.recovery_rounds;
   round_open_ = true;
   round_replies_.clear();
   // A previous round's close timer may still be pending (overlapping
@@ -224,6 +244,11 @@ void ProtocolEngine::begin_round() {
     }
   }
 
+  // Cross-notes ride the round boundary: what we learned first-hand last
+  // round fans out before this round's replies land, so every receiver can
+  // cross-check this round's first-hand story against it.
+  if (!gossip_peers_.empty()) send_gossip(local);
+
   // Close the round once every reply had time to arrive: a full round trip
   // is at most twice the one-way bound.  Keep strictly inside tau so rounds
   // do not overlap.
@@ -246,6 +271,127 @@ void ProtocolEngine::begin_round() {
     }
   }
   schedule_next_poll(current_period_);
+}
+
+// mtds:no-alloc
+void ProtocolEngine::send_gossip(ClockTime local) {
+  // One message per (target, note): single notes keep ServiceMessage small
+  // enough that the simulator's delivery closures stay inside SmallFn's
+  // inline buffer (see util/small_fn.h).  A note is sent while its reading
+  // is fresh (within two poll periods); a self-note always goes out, which
+  // doubles as a second-hand sync channel - after a star's hub is
+  // quarantined, the leaves keep each other synchronized purely through
+  // these notes.
+  const Duration horizon = 2.0 * current_period_;
+  const Duration self_error = tracker_.error_at(local);
+  for (ServerId to : gossip_peers_) {
+    ServiceMessage note;
+    note.type = ServiceMessage::Type::kReadingGossip;
+    note.from = id_;
+    note.to = to;
+    note.tag = counters_.rounds;
+    note.source = id_;
+    note.c = local;
+    note.e = self_error;
+    note.age = Duration{0.0};
+    note.rtt = Duration{0.0};
+    transport_->send(to, note);
+    ++counters_.gossip_sent;
+    for (const PeerReadingMemory& mem : reading_memory_) {
+      if (mem.peer == to) continue;  // the target knows its own clock
+      const Duration age = local - mem.local;
+      if (age < Duration{0.0} || age > horizon) continue;
+      note.source = mem.peer;
+      note.c = mem.c;
+      note.e = mem.e;
+      note.age = age;
+      note.rtt = mem.rtt;
+      transport_->send(to, note);
+      ++counters_.gossip_sent;
+    }
+  }
+}
+
+// mtds:no-alloc
+void ProtocolEngine::handle_gossip(RealTime t, const ServiceMessage& msg) {
+  ++counters_.gossip_received;
+  if (msg.from == id_ || msg.source == id_) return;  // nothing to learn
+  if (msg.age < Duration{0.0} || msg.e < Duration{0.0} ||
+      msg.rtt < Duration{0.0}) {
+    return;  // out-of-range tuple (sim plane; the wire decoder rejects too)
+  }
+  if (health_ != nullptr) {
+    // Notes relayed by a convict (quarantined or still on probation) are
+    // exactly the claims we stopped trusting; drop them wholesale.
+    const PeerState via = health_->state(msg.from);
+    if (via == PeerState::kQuarantined || via == PeerState::kProbation) {
+      return;
+    }
+  }
+
+  const ClockTime local = clock_->read(t);
+  const Duration transit = transport_->max_one_way_delay();
+
+  // Cross-check: does the gossiper's note about `source` agree with what
+  // `source` told us first-hand?  Both samples are honest readings of the
+  // same clock, so their difference must match the time between the two
+  // collection instants - ours `a_i` ago, the gossiper's `a_g` ago (plus
+  // transit) - within the stated uncertainties.  A TwoFaced hub that tells
+  // each victim a different story cannot satisfy every victim pair at once:
+  // the per-victim stories differ by twice the magnitude while the budget
+  // only covers errors, drift and delays.
+  const Duration horizon = 4.0 * current_period_;
+  for (const PeerReadingMemory& mem : reading_memory_) {
+    if (mem.peer != msg.source) continue;
+    const Duration a_i = local - mem.local;
+    if (a_i < Duration{0.0} || a_i > horizon) break;  // stale first-hand
+    const Duration a_g = msg.age;
+    const Duration advance = msg.c - mem.c;
+    const Duration gap = abs(advance - (a_i - a_g));
+    const Duration budget = mem.e + msg.e +
+                            2.0 * spec_.claimed_delta * (a_i + a_g) + mem.rtt +
+                            msg.rtt + 2.0 * transit + kEquivocationSlack;
+    if (gap > budget) {
+      ++counters_.gossip_convictions;
+      const Duration excess = gap - budget;
+      const RealTime now = wall_->now();
+      if (observer_ != nullptr) {
+        observer_->on_gossip_conviction(now, id_, msg.source, msg.from,
+                                        excess);
+      }
+      util::logt(LogLevel::kInfo, now.seconds(),
+                 "S%u gossip-conviction S%u (via S%u): cross-note "
+                 "contradicts first-hand story by %.6g s",
+                 id_, msg.source, msg.from, excess.seconds());
+      if (health_ != nullptr) health_->note_byzantine(msg.source);
+    }
+    break;
+  }
+
+  // Remember the freshest second-hand reading per source: BYZ rounds merge
+  // these in for sources we have no first-hand reply from.  The gossiped
+  // uncertainty is aged by the drift budget over its age plus our transit
+  // bound, so a merged note is never tighter than the physics allows.
+  const ClockTime collected = local - msg.age;
+  SecondHandReading* slot = nullptr;
+  for (SecondHandReading& sh : second_hand_) {
+    if (sh.source == msg.source) {
+      slot = &sh;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    // mtds:alloc-ok(first note about a new source; the slot is keyed per source and reused for every later note)
+    second_hand_.push_back({});
+    slot = &second_hand_.back();
+    slot->source = msg.source;
+  } else if (collected <= slot->local) {
+    return;  // an older collection instant than what we already hold
+  }
+  slot->c = msg.c;
+  slot->e = msg.e + 2.0 * spec_.claimed_delta * msg.age + transit;
+  slot->local = collected;
+  slot->rtt = msg.rtt + transit;
 }
 
 // mtds:no-alloc
@@ -303,6 +449,45 @@ void ProtocolEngine::end_round() {
     filter_->best_all_into(clock_->read(now), spec_.claimed_delta,
                            filter_scratch_);
     round_input = filter_scratch_;
+  }
+  // BYZ merges gossiped second-hand readings for sources the round has no
+  // first-hand reply from - the step that lets a star's leaves trim the hub
+  // (and keep each other synchronized after quarantining it) even though
+  // the hub owns every first-hand link.  Runs before the empty check: a
+  // round with only second-hand input is still a sync round.
+  if (spec_.algo == SyncAlgorithm::kBYZ && !second_hand_.empty()) {
+    const ClockTime local = clock_->read(now);
+    const Duration horizon = 2.0 * current_period_;
+    merged_replies_.clear();
+    // mtds:alloc-ok(round scratch; clear() keeps capacity, so these pushes only allocate while the reply/source population is still growing)
+    merged_replies_.assign(round_input.begin(), round_input.end());
+    for (const SecondHandReading& sh : second_hand_) {
+      const Duration age = local - sh.local;
+      if (age < Duration{0.0} || age > horizon) continue;
+      if (health_ != nullptr) {
+        const PeerState state = health_->state(sh.source);
+        if (state == PeerState::kQuarantined ||
+            state == PeerState::kProbation) {
+          continue;  // untrusted source: its relayed claims are too
+        }
+      }
+      bool have_first_hand = false;
+      for (const TimeReading& r : round_input) {
+        if (r.from == sh.source) {
+          have_first_hand = true;
+          break;
+        }
+      }
+      if (have_first_hand) continue;
+      TimeReading reading;
+      reading.from = sh.source;
+      reading.c = sh.c;
+      reading.e = sh.e;
+      reading.rtt_own = sh.rtt;
+      reading.local_receive = sh.local;
+      merged_replies_.push_back(reading);  // mtds:alloc-ok(same retained-capacity scratch as the assign above)
+    }
+    round_input = merged_replies_;
   }
   if (round_input.empty()) {
     round_replies_.clear();
@@ -456,6 +641,15 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
         if (health_->state(msg.from) == PeerState::kQuarantined) return;
       }
 
+      if (health_ != nullptr &&
+          health_->state(msg.from) == PeerState::kProbation) {
+        // Supervised release: the reply passed the equivocation check, so
+        // it extends the probation streak - but the reading itself stays
+        // discarded until the peer has re-earned healthy.
+        health_->note_probation_consistent(msg.from);
+        return;
+      }
+
       if (rate_monitor_ != nullptr) rate_monitor_->observe(reading);
       if (pend.recovery) {
         // Third-server recovery (Section 3): reset unconditionally to the
@@ -471,6 +665,10 @@ void ProtocolEngine::handle(RealTime t, const ServiceMessage& msg) {
         return;
       }
       process_reading(reading);
+      return;
+    }
+    case ServiceMessage::Type::kReadingGossip: {
+      handle_gossip(t, msg);
       return;
     }
   }
@@ -493,7 +691,12 @@ bool ProtocolEngine::note_reading_impossible(const TimeReading& reading) {
     mem->peer = reading.from;
   } else {
     const Duration elapsed = reading.local_receive - mem->local;
-    if (elapsed >= 0) {
+    // Freshness guard: convict only against a recent previous reading.  A
+    // stale one (backoff probes of long-dead peers, or memory scrambled by
+    // a corrupt-state fault into the distant past/future) is not evidence -
+    // peers polled every round, which is every adversary, always qualify.
+    const Duration horizon = 4.0 * current_period_;
+    if (elapsed >= 0 && elapsed <= horizon) {
       // An honest peer whose bound is valid satisfies |C_p - t| <= E_p at
       // both readings (even across its own resets), and our elapsed measure
       // is off by at most the declared drift budget of both parties plus
@@ -579,6 +782,9 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
   for (PeerReadingMemory& mem : reading_memory_) {
     mem.local += jump;
   }
+  for (SecondHandReading& sh : second_hand_) {
+    sh.local += jump;
+  }
   broadcast_sent_local_ += jump;
   if (filter_ != nullptr) filter_->on_local_reset(jump);
   clock_->set(now, reset.clock);
@@ -600,6 +806,80 @@ void ProtocolEngine::apply_reset(const ClockReset& reset, bool is_recovery) {
              is_recovery ? " (recovery)" : "");
   // The serving plane must never answer from the pre-reset state longer
   // than one publication.
+  publish_snapshot(now);
+  // Self-stabilization accounting: the first reset that provably
+  // re-contains true time ends the corrupt-state recovery window.
+  if (awaiting_recovery_ && correct(now)) awaiting_recovery_ = false;
+}
+
+void ProtocolEngine::corrupt_state() { corrupt_state(rng_.next_u64()); }
+
+void ProtocolEngine::corrupt_state(std::uint64_t nonce) {
+  if (!running_) return;
+  // splitmix64 over the nonce: the scramble is a pure function of it, so a
+  // seeded FaultInjector reproduces the identical corruption every run -
+  // which is what lets the chaos soak assert seed => identical recovery
+  // ledgers and the determinism goldens pin the recovery trajectory.
+  const auto next = [&nonce]() noexcept {
+    nonce += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = nonce;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  // Symmetric draw in [-mag, mag].
+  const auto scramble = [&](double mag) {
+    return mag * (static_cast<double>(next() % 2001) - 1000.0) / 1000.0;
+  };
+  const RealTime now = wall_->now();
+  // The clock is thrown 1-30 s off - never less.  A macroscopic throw is
+  // part of the fault model: BYZ's carried error arm is only sound while
+  // the previous bound was (see core/byz_sync.cc), so the corruption must
+  // be large enough that the first post-corruption round's fresh bound
+  // wins the min() and re-anchors the tracker.  The tracker itself is
+  // reset to a confidently tiny bogus error - the nastiest corruption
+  // shape: wrong AND sure of itself.
+  const double throw_mag =
+      1.0 + 29.0 * static_cast<double>(next() % 2001) / 2000.0;
+  clock_->set(now, clock_->read(now) +
+                       core::Offset{next() % 2 == 0 ? throw_mag : -throw_mag});
+  const ClockTime corrupted = clock_->read(now);
+  tracker_.reset(corrupted,
+                 Duration{static_cast<double>(next() % 1000 + 1) * 1e-6});
+  // Peer memories are poisoned wholesale: claimed clocks, uncertainties
+  // and receipt stamps all garbage.  The stamps land far outside the
+  // conviction freshness window (at least 100 s off, against horizons of a
+  // few poll periods), so a scrambled memory cannot mass-convict honest
+  // peers on their next genuine reply - it simply ages out as stale.
+  const auto throw_stamp = [&]() {
+    return Duration{(next() % 2 == 0 ? 1.0 : -1.0) * (100.0 + scramble(400.0) + 400.0)};
+  };
+  for (PeerReadingMemory& mem : reading_memory_) {
+    mem.c += Duration{scramble(50.0)};
+    mem.e = Duration{static_cast<double>(next() % 1000) * 1e-4};
+    mem.local += throw_stamp();
+    mem.rtt = Duration{static_cast<double>(next() % 1000) * 1e-4};
+  }
+  for (SecondHandReading& sh : second_hand_) {
+    sh.c += Duration{scramble(50.0)};
+    sh.e = Duration{static_cast<double>(next() % 1000) * 1e-4};
+    sh.local += throw_stamp();
+    sh.rtt = Duration{static_cast<double>(next() % 1000) * 1e-4};
+  }
+  // In-flight requests lose their send stamps too: the replies still
+  // pairing this round will carry garbage round trips and correspondingly
+  // fat inherited errors, which is sound - wide, not wrong.
+  for (Pending& pend : pending_) {
+    pend.sent_local += Duration{scramble(50.0)};
+  }
+  ++counters_.state_corruptions;
+  awaiting_recovery_ = true;
+  if (observer_ != nullptr) observer_->on_state_corrupt(now, id_);
+  util::logt(LogLevel::kInfo, now.seconds(),
+             "S%u corrupt-state: clock/error/peer-memory scrambled", id_);
+  // The serving plane sees the corruption immediately - and the recovery
+  // (the next reset) immediately after; hiding it would just mean stale
+  // torn-looking answers instead of honest bad ones.
   publish_snapshot(now);
 }
 

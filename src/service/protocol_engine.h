@@ -63,6 +63,22 @@ struct ServerCounters {
                                           // excluded by coverage (the round's
                                           // quorum reset went ahead without
                                           // them)
+
+  // Gossip cross-notes plane (all zero unless gossip peers are set).
+  std::uint64_t gossip_sent = 0;         // cross-note messages sent
+  std::uint64_t gossip_received = 0;     // cross-note messages received
+  std::uint64_t gossip_convictions = 0;  // second-hand note contradicted the
+                                         // source's first-hand story to us
+                                         // (same-round equivocation caught)
+
+  // Probation plane (all zero unless health.release_after > 0).
+  std::uint64_t probations = 0;       // quarantine -> probation releases
+  std::uint64_t rehabilitations = 0;  // probation -> healthy completions
+
+  // Self-stabilization bookkeeping.
+  std::uint64_t state_corruptions = 0;  // corrupt-state faults absorbed
+  std::uint64_t recovery_rounds = 0;    // rounds from a corruption until the
+                                        // clock was provably re-contained
 };
 
 // Lifecycle notifications for embedders (the simulated shell adapts these
@@ -93,6 +109,14 @@ class EngineObserver {
   virtual void on_byzantine_suspect(core::RealTime, core::ServerId /*id*/,
                                     core::ServerId /*peer*/,
                                     core::Duration /*excess*/) {}
+  // Same-round equivocation caught through gossip: `via`'s cross-note about
+  // `source` is mutually impossible with what `source` told us first-hand.
+  virtual void on_gossip_conviction(core::RealTime, core::ServerId /*id*/,
+                                    core::ServerId /*source*/,
+                                    core::ServerId /*via*/,
+                                    core::Duration /*excess*/) {}
+  // A corrupt-state fault scrambled this server's volatile sync state.
+  virtual void on_state_corrupt(core::RealTime, core::ServerId /*id*/) {}
 };
 
 class ProtocolEngine {
@@ -169,10 +193,27 @@ class ProtocolEngine {
     snapshot_sink_ = sink;
   }
 
+  // Gossip cross-notes: every round, forward the fresh first-hand readings
+  // in the equivocation memory (plus a self-note) to each of `peers`.
+  // Receivers cross-check the notes against their own first-hand memory,
+  // which is what turns a per-victim equivocator's stories into a
+  // conviction.  Empty (the default) disables the plane entirely.
+  void set_gossip_peers(const std::vector<ServerId>& peers);
+
+  // Deterministic corrupt-state fault: scrambles the volatile sync state
+  // (clock, error tracker, peer reading memory, second-hand notes, pending
+  // timestamps) as a pure function of `nonce`.  The parameterless overload
+  // draws the nonce from the engine's own stream.  Recovery is accounted in
+  // counters().recovery_rounds until the clock is provably re-contained.
+  void corrupt_state();
+  void corrupt_state(std::uint64_t nonce);
+
  private:
   void schedule_next_poll(Duration own_clock_delay);
   void begin_round();
   void end_round();
+  void send_gossip(core::ClockTime local);
+  void handle_gossip(RealTime t, const ServiceMessage& msg);
   void process_reading(const core::TimeReading& reading);
   // Cross-round equivocation detector: compares `reading` against the same
   // peer's previous reading and returns true when the pair is mutually
@@ -240,6 +281,27 @@ class ProtocolEngine {
     Duration rtt{0.0};           // own-clock round trip of that reading
   };
   std::vector<PeerReadingMemory> reading_memory_;
+
+  // Gossip plane: targets for cross-notes (empty = gossip off), and the
+  // freshest second-hand reading heard about each source.  `local` is the
+  // note's collection instant mapped onto our clock axis (receipt minus the
+  // gossiped age), so the sync transform and the freshness window treat
+  // second-hand entries exactly like first-hand ones.  Flat and append-only
+  // like reading_memory_: one slot per source ever gossiped about.
+  std::vector<ServerId> gossip_peers_;
+  struct SecondHandReading {
+    ServerId source = core::kInvalidServer;
+    core::ClockTime c{0.0};
+    core::Duration e{0.0};       // gossiped bound aged by the transit budget
+    core::ClockTime local{0.0};  // collection instant on our clock axis
+    Duration rtt{0.0};           // gossiper's rtt plus our transit bound
+  };
+  std::vector<SecondHandReading> second_hand_;
+  core::Readings merged_replies_;  // BYZ round scratch: first + second hand
+
+  // corrupt-state recovery accounting: set by corrupt_state(), cleared by
+  // the first reset that provably re-contains true time.
+  bool awaiting_recovery_ = false;
 
   // Third-server recovery retry state: attempts this burst, rounds left of
   // backoff before the next attempt, and the peer the burst excludes.

@@ -51,6 +51,7 @@ core::SyncAlgorithm parse_algo(const std::string& s, std::size_t line) {
   if (s == "MM") return core::SyncAlgorithm::kMM;
   if (s == "IM") return core::SyncAlgorithm::kIM;
   if (s == "IMFT") return core::SyncAlgorithm::kIMFT;
+  if (s == "BYZ") return core::SyncAlgorithm::kBYZ;
   if (s == "MAX") return core::SyncAlgorithm::kMax;
   if (s == "MEDIAN") return core::SyncAlgorithm::kMedian;
   if (s == "MEAN") return core::SyncAlgorithm::kMean;
@@ -58,10 +59,12 @@ core::SyncAlgorithm parse_algo(const std::string& s, std::size_t line) {
   fail(line, "unknown algorithm: " + s);
 }
 
-// Parses "key=value ..." pairs into a ServerSpec.
+// Parses "key=value ..." pairs into a ServerSpec, starting from `base`
+// (which carries scenario-level defaults such as the `sync` algorithm).
 ServerSpec parse_server_spec(const std::vector<std::string>& tokens,
-                             std::size_t first, std::size_t line) {
-  ServerSpec spec;
+                             std::size_t first, std::size_t line,
+                             const ServerSpec& base) {
+  ServerSpec spec = base;
   for (std::size_t i = first; i < tokens.size(); ++i) {
     const auto eq = tokens[i].find('=');
     if (eq == std::string::npos) {
@@ -111,6 +114,18 @@ ServerSpec parse_server_spec(const std::vector<std::string>& tokens,
       if (n < 0) fail(line, "quarantine must be >= 0");
       spec.health.quarantine_after = static_cast<std::uint32_t>(n);
       if (spec.health.quarantine_after > 0) spec.health.enabled = true;
+    } else if (key == "release") {
+      // Rounds a quarantined peer serves before probation; 0 = sticky.
+      const double n = parse_double(value, line);
+      if (n < 0) fail(line, "release must be >= 0");
+      spec.health.release_after = static_cast<std::uint32_t>(n);
+    } else if (key == "probation") {
+      // Consecutive consistent probation rounds needed to rehabilitate.
+      const double n = parse_double(value, line);
+      if (n < 1) fail(line, "probation must be >= 1");
+      spec.health.probation_rounds = static_cast<std::uint32_t>(n);
+    } else if (key == "gossip") {
+      spec.gossip = value != "0" && value != "false";
     } else {
       fail(line, "unknown server attribute: " + key);
     }
@@ -139,6 +154,7 @@ Scenario parse_scenario(const std::string& text) {
   std::string raw;
   std::size_t line = 0;
   bool topology_set = false;
+  ServerSpec default_spec;  // scenario-level defaults (`sync <ALGO>`)
   while (std::getline(in, raw)) {
     ++line;
     const auto tokens = tokenize(raw);
@@ -191,8 +207,23 @@ Scenario parse_scenario(const std::string& text) {
       } else {
         fail(line, "unknown topology: " + tokens[1]);
       }
+    } else if (cmd == "sync") {
+      // Default algorithm for subsequent `server` / `join` lines (a spec's
+      // own algo= still wins).
+      if (tokens.size() != 2) fail(line, "usage: sync <ALGO>");
+      default_spec.algo = parse_algo(tokens[1], line);
+    } else if (cmd == "gossip") {
+      // Fleet-wide cross-notes switch (see ServiceConfig::gossip).
+      if (tokens.size() != 2) fail(line, "usage: gossip on|off");
+      if (tokens[1] == "on") {
+        cfg.gossip = true;
+      } else if (tokens[1] == "off") {
+        cfg.gossip = false;
+      } else {
+        fail(line, "usage: gossip on|off");
+      }
     } else if (cmd == "server") {
-      cfg.servers.push_back(parse_server_spec(tokens, 1, line));
+      cfg.servers.push_back(parse_server_spec(tokens, 1, line, default_spec));
     } else if (cmd == "fault") {
       if (tokens.size() < 4 || tokens.size() > 5) {
         fail(line, "usage: fault <server> stopped|racing|sticky <start> [param]");
@@ -282,7 +313,7 @@ Scenario parse_scenario(const std::string& text) {
         action.b = parse_server_id(tokens[4], line, 0);
       } else if (what == "join") {
         action.kind = ScenarioAction::Kind::kJoin;
-        action.spec = parse_server_spec(tokens, 3, line);
+        action.spec = parse_server_spec(tokens, 3, line, default_spec);
       } else if (what == "leave") {
         if (tokens.size() != 4) fail(line, "usage: at <t> leave <server>");
         action.kind = ScenarioAction::Kind::kLeave;
@@ -300,6 +331,12 @@ Scenario parse_scenario(const std::string& text) {
         }
         action.kind = what == "crash" ? ScenarioAction::Kind::kCrash
                                       : ScenarioAction::Kind::kRestart;
+        action.a = parse_server_id(tokens[3], line, 0);
+      } else if (what == "corrupt-state") {
+        if (tokens.size() != 4) {
+          fail(line, "usage: at <t> corrupt-state <server>");
+        }
+        action.kind = ScenarioAction::Kind::kCorruptState;
         action.a = parse_server_id(tokens[3], line, 0);
       } else {
         fail(line, "unknown action: " + what);
@@ -360,6 +397,9 @@ TimeService& ScenarioRunner::run(core::RealTime override_horizon) {
         break;
       case ScenarioAction::Kind::kRestart:
         service_->restart_server(action.a);
+        break;
+      case ScenarioAction::Kind::kCorruptState:
+        service_->corrupt_server_state(action.a);
         break;
     }
     ++next_action_;

@@ -23,11 +23,19 @@
 //   at 420 loss 0.2          # network-wide loss probability becomes 0.2
 //   at 450 crash 0           # server 0 crash-stops (peers are not told)
 //   at 500 restart 0         # ... and restarts with its old neighbours
+//   at 520 corrupt-state 0   # scramble server 0's volatile sync state
 //   run 600                  # horizon
 //
-// Server specs also accept health=1 (peer-health layer on) and
-// quarantine=N (consecutive inconsistencies before quarantine; implies
-// health=1).
+// `sync <ALGO>` sets the default algorithm for subsequent server/join
+// lines (a spec's own algo= still wins), and `gossip on` turns on
+// fleet-wide gossip cross-notes (an out-of-band channel - notes bypass the
+// polling topology).
+//
+// Server specs also accept health=1 (peer-health layer on), quarantine=N
+// (consecutive inconsistencies before quarantine; implies health=1),
+// release=N (quarantine rounds before probation; 0 = sticky, the default),
+// probation=N (consecutive consistent probation rounds to rehabilitate)
+// and gossip=1 (per-server cross-notes, additive to `gossip on`).
 //
 // Byzantine adversaries (runtime/adversary.h) attach to declared servers:
 //
@@ -52,7 +60,16 @@
 namespace mtds::service {
 
 struct ScenarioAction {
-  enum class Kind { kPartition, kHeal, kJoin, kLeave, kLoss, kCrash, kRestart };
+  enum class Kind {
+    kPartition,
+    kHeal,
+    kJoin,
+    kLeave,
+    kLoss,
+    kCrash,
+    kRestart,
+    kCorruptState
+  };
   core::RealTime at = 0.0;
   Kind kind = Kind::kPartition;
   core::ServerId a = 0, b = 0;  // partition/heal endpoints; `a` for

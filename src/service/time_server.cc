@@ -18,7 +18,12 @@ TimeServer::TimeServer(ServerId id, std::unique_ptr<core::Clock> clock,
                                          chaos_.get())
                                    : &runtime_.transport(),
                                &runtime_.timers(), &runtime_.wall()},
-              &observer_, rng) {}
+              &observer_, rng) {
+  if (chaos_ != nullptr) {
+    chaos_->set_state_corruptor(
+        [this](std::uint64_t nonce) { engine_.corrupt_state(nonce); });
+  }
+}
 
 void TimeServer::TraceObserver::on_join(core::RealTime t, core::ServerId id) {
   if (trace_ != nullptr) {
@@ -80,6 +85,25 @@ void TimeServer::TraceObserver::on_byzantine_suspect(core::RealTime t,
   if (trace_ != nullptr) {
     trace_->record({t, id, sim::TraceEventKind::kByzantineSuspect, peer,
                     excess.seconds()});
+  }
+}
+
+void TimeServer::TraceObserver::on_gossip_conviction(core::RealTime t,
+                                                     core::ServerId id,
+                                                     core::ServerId source,
+                                                     core::ServerId /*via*/,
+                                                     core::Duration excess) {
+  if (trace_ != nullptr) {
+    trace_->record({t, id, sim::TraceEventKind::kGossipConviction, source,
+                    excess.seconds()});
+  }
+}
+
+void TimeServer::TraceObserver::on_state_corrupt(core::RealTime t,
+                                                 core::ServerId id) {
+  if (trace_ != nullptr) {
+    trace_->record({t, id, sim::TraceEventKind::kStateCorrupt,
+                    core::kInvalidServer, 0.0});
   }
 }
 

@@ -88,6 +88,17 @@ class TimeServer {
     return chaos_.get();
   }
 
+  // Corrupt-state fault: routed through the chaos plane when one is armed
+  // (its ledger and nonce stream account the fault), straight into the
+  // engine otherwise.
+  void corrupt_state() {
+    if (chaos_ != nullptr) {
+      chaos_->corrupt_state();
+    } else {
+      engine_.corrupt_state();
+    }
+  }
+
   // Peer-health passthroughs (kHealthy / false when the layer is off).
   PeerState peer_state(ServerId peer) const { return engine_.peer_state(peer); }
   bool degraded() const noexcept { return engine_.degraded(); }
@@ -112,6 +123,10 @@ class TimeServer {
     void on_byzantine_suspect(core::RealTime t, core::ServerId id,
                               core::ServerId peer,
                               core::Duration excess) override;
+    void on_gossip_conviction(core::RealTime t, core::ServerId id,
+                              core::ServerId source, core::ServerId via,
+                              core::Duration excess) override;
+    void on_state_corrupt(core::RealTime t, core::ServerId id) override;
 
    private:
     sim::Trace* trace_;

@@ -134,6 +134,7 @@ void TimeService::build() {
       }
     }
   }
+  wire_gossip();
   if (config_.sample_interval > 0) {
     if (engine_ != nullptr) {
       // One sampler per shard, each recording its own servers into the
@@ -144,6 +145,22 @@ void TimeService::build() {
     } else {
       queue_.after(0.0, [this] { sample(); });
     }
+  }
+}
+
+void TimeService::wire_gossip() {
+  // Gossip cross-notes go to every other server regardless of the polling
+  // topology: they model an out-of-band channel (see config.h).  Recomputed
+  // in full after membership changes - set_gossip_peers replaces the list.
+  const auto n = static_cast<ServerId>(servers_.size());
+  for (ServerId i = 0; i < n; ++i) {
+    if (!(config_.gossip || config_.servers[i].gossip)) continue;
+    std::vector<ServerId> peers;
+    peers.reserve(n - 1);
+    for (ServerId j = 0; j < n; ++j) {
+      if (j != i) peers.push_back(j);
+    }
+    servers_[i]->engine().set_gossip_peers(peers);
   }
 }
 
@@ -204,6 +221,7 @@ ServerId TimeService::add_server(const ServerSpec& spec, bool announce) {
       servers_[peer]->add_neighbor(id);
     }
   }
+  wire_gossip();
   return id;
 }
 
@@ -222,6 +240,12 @@ void TimeService::crash_server(ServerId id) {
 void TimeService::restart_server(ServerId id) {
   if (id < servers_.size() && !servers_[id]->running()) {
     servers_[id]->start(adjacency_[id]);
+  }
+}
+
+void TimeService::corrupt_server_state(ServerId id) {
+  if (id < servers_.size() && servers_[id]->running()) {
+    servers_[id]->corrupt_state();
   }
 }
 

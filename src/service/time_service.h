@@ -67,6 +67,11 @@ class TimeService {
   void crash_server(ServerId id);
   void restart_server(ServerId id);
 
+  // Corrupt-state fault: scrambles server `id`'s volatile sync state (clock
+  // estimate, error tracker, peer memories).  Routed through the server's
+  // chaos plane when one is armed so the fault shows up in its ledger.
+  void corrupt_server_state(ServerId id);
+
   // Service-wide instantaneous observations at now().
   std::vector<core::Offset> offsets();  // C_i - t per running server
   std::vector<Duration> errors();       // E_i per running server
@@ -78,6 +83,7 @@ class TimeService {
 
  private:
   void build();
+  void wire_gossip();
   void sample();
   void sample_shard(std::uint32_t shard);
   std::unique_ptr<core::Clock> make_clock(const ServerSpec& spec);

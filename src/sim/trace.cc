@@ -16,6 +16,8 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kPeerState: return "peer-state";
     case TraceEventKind::kDegraded: return "degraded";
     case TraceEventKind::kByzantineSuspect: return "byzantine-suspect";
+    case TraceEventKind::kGossipConviction: return "gossip-conviction";
+    case TraceEventKind::kStateCorrupt: return "state-corrupt";
   }
   return "?";
 }

@@ -35,10 +35,15 @@ enum class TraceEventKind : std::uint8_t {
   kPeerState,      // peer-health transition (peer = subject, detail = new
                    // service::PeerState as a double)
   kDegraded,       // degraded mode toggled (detail = 1 enter, 0 exit)
-  kByzantineSuspect  // cross-round equivocation detected: peer's successive
-                     // readings are mutually impossible under the declared
-                     // drift bound (detail = excess seconds beyond the
-                     // drift/error/rtt budget)
+  kByzantineSuspect,  // cross-round equivocation detected: peer's successive
+                      // readings are mutually impossible under the declared
+                      // drift bound (detail = excess seconds beyond the
+                      // drift/error/rtt budget)
+  kGossipConviction,  // same-round equivocation caught via gossip: a
+                      // cross-note about `peer` contradicts its first-hand
+                      // story to this server (detail = excess seconds)
+  kStateCorrupt       // corrupt-state fault scrambled this server's volatile
+                      // sync state (clock, error, peer memories)
 };
 
 struct TraceEvent {

@@ -23,9 +23,11 @@ namespace mtds::util {
 
 class SmallFn {
  public:
-  // 64 bytes fits `[this, to, msg = ServiceMessage{...}]` with room to
-  // spare; raising it grows every slab slot, so measure before touching.
-  static constexpr std::size_t kInlineSize = 64;
+  // 96 bytes fits `[this, to, msg = ServiceMessage{...}]` now that the
+  // gossip fields widened ServiceMessage to 56 bytes (the delivery closure
+  // measures 80); raising it grows every slab slot, so measure before
+  // touching.
+  static constexpr std::size_t kInlineSize = 96;
 
   SmallFn() noexcept = default;
 
@@ -43,7 +45,7 @@ class SmallFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &inline_ops<Fn>;
     } else {
-      // mtds:alloc-ok(oversized-closure spill; engine callbacks fit the 64-byte buffer and take the constexpr inline branch - alloc_test would count this new if one grew)
+      // mtds:alloc-ok(oversized-closure spill; engine callbacks fit the 96-byte buffer and take the constexpr inline branch - alloc_test would count this new if one grew)
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &heap_ops<Fn>;
     }

@@ -10,7 +10,9 @@
 // adversarial runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -409,6 +411,138 @@ TEST(AdversaryScenario, CollusionTrioAcceptance) {
         EXPECT_EQ(mh, mm_hash) << "MM trace depends on thread count";
         EXPECT_EQ(ih, im_hash) << "IM trace depends on thread count";
         EXPECT_EQ(fh, ft_hash) << "IMFT trace depends on thread count";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The gossip trio: the same two-faced star hub three ways, plus
+// self-stabilization after a corrupt-state fault.
+//
+//  1. byzantine_gossip_imft_star: IMFT leaves, no gossip.  The star denies
+//     every leaf a quorum (one neighbour: the liar), so intersection must
+//     find common ground with the hub's confident lie every round - the
+//     camps are dragged ~36 ms apart with zero local evidence.
+//  2. byzantine_gossip_byz_star: same star, same liar, but the leaves run
+//     BYZ and gossip cross-notes.  Same-round equivocation is convicted
+//     from contradictory notes, the hub is quarantined at every leaf, and
+//     the leaves keep synchronizing through second-hand readings alone.
+//  3. byzantine_gossip_recover: a corrupt-state fault scrambles one BYZ
+//     server mid-run; it re-converges within K = 3 rounds (the
+//     core/byz_sync.h contract), is quarantined by its peers for the
+//     equivocation the corruption caused, then serves out probation and is
+//     rehabilitated - the full damage/repair cycle, deterministically.
+
+TEST(AdversaryScenario, GossipTrioAcceptance) {
+  struct Engine {
+    std::uint32_t shards, threads;
+  };
+  const Engine engines[] = {{0, 1}, {8, 1}, {8, 2}, {8, 4}};
+  std::uint64_t imft_hash = 0, byz_hash = 0, rec_hash = 0;
+
+  for (const auto& engine : engines) {
+    SCOPED_TRACE(testing::Message() << "shards=" << engine.shards
+                                    << " threads=" << engine.threads);
+
+    // IMFT star: every leaf ends far outside its claimed bound, split into
+    // camps by destination parity, and no detector anywhere has evidence.
+    auto imft = run_scenario("byzantine_gossip_imft_star.mtds", engine.shards,
+                             engine.threads);
+    const auto imft_report = service::build_report(imft->service());
+    for (ServerId i = 1; i <= 4; ++i) {
+      EXPECT_FALSE(imft_report.servers[i].correct) << "S" << i;
+      EXPECT_GT(std::abs(imft_report.servers[i].offset.seconds()), 0.015)
+          << "S" << i;
+    }
+    const double split = imft_report.servers[2].offset.seconds() -
+                         imft_report.servers[1].offset.seconds();
+    EXPECT_GT(split, 0.03);
+    EXPECT_FALSE(imft_report.consistency.ok());
+    std::uint64_t imft_convictions = 0, imft_quarantines = 0;
+    for (const auto& s : imft_report.servers) {
+      imft_convictions += s.counters.gossip_convictions;
+      imft_quarantines += s.counters.quarantines;
+    }
+    EXPECT_EQ(imft_convictions, 0u);
+    EXPECT_EQ(imft_quarantines, 0u);
+
+    // BYZ + gossip, identical star and liar: bounds hold, the camps never
+    // form, and every leaf convicts and quarantines the hub from the
+    // contradictory cross-notes.
+    auto byz = run_scenario("byzantine_gossip_byz_star.mtds", engine.shards,
+                            engine.threads);
+    const auto byz_report = service::build_report(byz->service());
+    EXPECT_TRUE(byz_report.correctness.ok());
+    EXPECT_TRUE(byz_report.consistency.ok());
+    double lo = 1e9, hi = -1e9;
+    for (ServerId i = 1; i <= 4; ++i) {
+      const auto& s = byz_report.servers[i];
+      EXPECT_TRUE(s.correct) << "S" << i;
+      EXPECT_GE(s.counters.gossip_convictions, 1u) << "S" << i;
+      EXPECT_GT(s.counters.gossip_sent, 0u) << "S" << i;
+      EXPECT_GT(s.counters.gossip_received, 0u) << "S" << i;
+      EXPECT_EQ(byz->service().server(i).peer_state(0),
+                service::PeerState::kQuarantined)
+          << "S" << i << " failed to quarantine the hub";
+      lo = std::min(lo, s.offset.seconds());
+      hi = std::max(hi, s.offset.seconds());
+    }
+    EXPECT_LT(hi - lo, 0.01) << "leaves drifted into camps";
+    // The hub never participates in gossip (no sync rounds), it only
+    // receives - its lies are confined to the first-hand channel the
+    // cross-notes audit.
+    EXPECT_EQ(byz_report.servers[0].counters.gossip_sent, 0u);
+    EXPECT_GT(byz->service().trace().count_events(
+                  sim::TraceEventKind::kGossipConviction),
+              0u);
+
+    // Corrupt-state recovery: the scramble is visible (trace event,
+    // counter), re-convergence takes at most K = 3 rounds, and the fleet
+    // walks the whole quarantine -> probation -> rehabilitation path on
+    // the corrupted server before the horizon.
+    auto rec = run_scenario("byzantine_gossip_recover.mtds", engine.shards,
+                            engine.threads);
+    const auto rec_report = service::build_report(rec->service());
+    const auto& corrupted = rec->service().server(2).counters();
+    EXPECT_EQ(corrupted.state_corruptions, 1u);
+    EXPECT_GE(corrupted.recovery_rounds, 1u);
+    EXPECT_LE(corrupted.recovery_rounds, 3u);
+    EXPECT_EQ(rec->service().trace().count_events(
+                  sim::TraceEventKind::kStateCorrupt),
+              1u);
+    std::uint64_t quarantines = 0, probations = 0, rehabilitations = 0;
+    for (ServerId i = 0; i < 5; ++i) {
+      const auto& s = rec_report.servers[i];
+      EXPECT_TRUE(s.correct) << "S" << i;
+      EXPECT_LT(std::abs(s.offset.seconds()), 0.005) << "S" << i;
+      EXPECT_LT(s.error.seconds(), 0.1) << "S" << i;
+      quarantines += s.counters.quarantines;
+      probations += s.counters.probations;
+      rehabilitations += s.counters.rehabilitations;
+      if (i != 2) {
+        EXPECT_EQ(rec->service().server(i).peer_state(2),
+                  service::PeerState::kHealthy)
+            << "S" << i << " did not rehabilitate S2";
+      }
+    }
+    EXPECT_GE(quarantines, 1u);
+    EXPECT_GE(probations, 1u);
+    EXPECT_GE(rehabilitations, 1u);
+
+    // Sharded runs must agree bit-for-bit across thread counts.
+    if (engine.shards != 0) {
+      const std::uint64_t ih = hash_trace(imft->service().trace());
+      const std::uint64_t bh = hash_trace(byz->service().trace());
+      const std::uint64_t rh = hash_trace(rec->service().trace());
+      if (imft_hash == 0) {
+        imft_hash = ih;
+        byz_hash = bh;
+        rec_hash = rh;
+      } else {
+        EXPECT_EQ(ih, imft_hash) << "IMFT-star trace depends on thread count";
+        EXPECT_EQ(bh, byz_hash) << "BYZ-star trace depends on thread count";
+        EXPECT_EQ(rh, rec_hash) << "recovery trace depends on thread count";
       }
     }
   }

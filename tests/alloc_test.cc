@@ -140,6 +140,21 @@ TEST(AllocTest, SampleFilterSteadyStateIsAllocationFree) {
   expect_steady_state_alloc_free(std::move(cfg), "IM/filter");
 }
 
+// BYZ with gossip cross-notes: the trim-f round path, the per-round gossip
+// fan-out (one ServiceMessage per fresh note, inline in SmallFn closures),
+// the cross-check against first-hand memory and the second-hand merge must
+// all run out of retained capacity once warm.  n = 5 keeps f = 1, so the
+// trim path is exercised, not short-circuited.
+TEST(AllocTest, ByzGossipSteadyStateIsAllocationFree) {
+  ServiceConfig cfg = config(core::SyncAlgorithm::kBYZ, 5);
+  cfg.gossip = true;
+  for (auto& s : cfg.servers) {
+    s.health.enabled = true;
+    s.health.quarantine_after = 3;
+  }
+  expect_steady_state_alloc_free(std::move(cfg), "BYZ/gossip");
+}
+
 // The serving plane's client reply path: seqlock publish + read, request
 // decode, snapshot extrapolation, reply encode into SendBatch storage.
 // Every step carries the mtds:no-alloc contract (tools/analyze.py proves

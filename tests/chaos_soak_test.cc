@@ -28,9 +28,10 @@ using core::ServerId;
 
 // --- SimRuntime ----------------------------------------------------------
 
-constexpr int kHonest = 5;       // ids 0..4
-constexpr ServerId kLiar = 5;    // NONE responder, 40 s off, tiny claimed E
-constexpr ServerId kCrashed = 6; // honest but crash-stopped at t=60
+constexpr int kHonest = 5;        // ids 0..4
+constexpr ServerId kLiar = 5;     // NONE responder, 40 s off, tiny claimed E
+constexpr ServerId kCrashed = 6;  // honest but crash-stopped at t=60
+constexpr ServerId kCorrupt = 1;  // honest, state-corrupted at t=120
 constexpr double kHorizon = 300.0;
 
 service::ServiceConfig soak_config() {
@@ -54,6 +55,11 @@ service::ServiceConfig soak_config() {
     s.chaos.seed = 0x50AC + static_cast<std::uint64_t>(i);
     cfg.servers.push_back(s);
   }
+  // The corrupt-state victim: after the scramble its own tiny bogus error
+  // makes every honest reply look inconsistent to MM, so re-containment
+  // must come through Section 3 third-server recovery, not rule MM-2.
+  cfg.servers[kCorrupt].recovery = service::RecoveryPolicy::kThirdServer;
+  cfg.servers[kCorrupt].recovery_pool = {0};
   // The liar: answers every poll 40 s off while claiming near-zero error -
   // never in any honest consistency group.
   cfg.servers[kLiar].algo = core::SyncAlgorithm::kNone;
@@ -73,6 +79,8 @@ service::ServiceConfig soak_config() {
 std::vector<runtime::FaultStats> run_soak(service::TimeService& service) {
   service.run_until(60.0);
   service.crash_server(kCrashed);
+  service.run_until(120.0);
+  service.corrupt_server_state(kCorrupt);
   service.run_until(kHorizon);
   std::vector<runtime::FaultStats> ledgers;
   for (std::size_t i = 0; i < service.size(); ++i) {
@@ -131,6 +139,15 @@ TEST(ChaosSoak, SimSurvivorsStayCorrectAndBounded) {
   }
   EXPECT_GT(deaths, 0u);
   EXPECT_GT(quarantines, 0u);
+
+  // The corrupt-state fault landed and was absorbed: the victim consulted
+  // its recovery pool and re-contained its clock (it is correct at the
+  // horizon per the loop above) within a bounded number of rounds.
+  const auto& corrupted = service.server(kCorrupt).counters();
+  EXPECT_EQ(corrupted.state_corruptions, 1u);
+  EXPECT_GE(corrupted.recoveries, 1u);
+  EXPECT_GE(corrupted.recovery_rounds, 1u);
+  EXPECT_LE(corrupted.recovery_rounds, 10u);
   // Dead peers are provably not polled at full rate: the backoff suppressed
   // far more round slots than it probed.
   EXPECT_GT(probes, 0u);
@@ -167,6 +184,18 @@ TEST(ChaosSoak, SimIdenticalSeedsReplayIdenticalLedgers) {
   service::TimeService a(soak_config());
   service::TimeService b(soak_config());
   EXPECT_EQ(run_soak(a), run_soak(b));
+  // Beyond the fault ledgers: the corrupt-state recovery trajectory is part
+  // of the replay contract - same seed, same round the scramble is detected,
+  // same number of rounds to re-containment.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ca = a.server(i).counters();
+    const auto& cb = b.server(i).counters();
+    EXPECT_EQ(ca.state_corruptions, cb.state_corruptions) << "S" << i;
+    EXPECT_EQ(ca.recovery_rounds, cb.recovery_rounds) << "S" << i;
+    EXPECT_EQ(ca.recoveries, cb.recoveries) << "S" << i;
+    EXPECT_EQ(ca.resets, cb.resets) << "S" << i;
+    EXPECT_EQ(ca.quarantines, cb.quarantines) << "S" << i;
+  }
 }
 
 // --- UdpRuntime ----------------------------------------------------------

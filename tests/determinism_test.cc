@@ -171,5 +171,37 @@ TEST(DeterminismGolden, ByzantineAdaptiveSharded) {
   check_sharded_golden("byzantine_adaptive.mtds", 8, 0x73da45987ca94569ull);
 }
 
+// The gossip trio extends the contract to cross-notes, gossip convictions
+// and the corrupt-state fault: the scramble is a pure function of a
+// FaultInjector nonce (and the probe/conviction/probation machinery draws
+// no randomness of its own), so quarantine, probation and recovery
+// trajectories replay bit-for-bit on both engines.
+TEST(DeterminismGolden, GossipIMFTStar) {
+  check_golden("byzantine_gossip_imft_star.mtds", 0x86a6fb5a322ba287ull);
+}
+
+TEST(DeterminismGolden, GossipByzStar) {
+  check_golden("byzantine_gossip_byz_star.mtds", 0xc69257a35337d6d1ull);
+}
+
+TEST(DeterminismGolden, GossipRecover) {
+  check_golden("byzantine_gossip_recover.mtds", 0x97ee309931e4cd16ull);
+}
+
+TEST(DeterminismGolden, GossipIMFTStarSharded) {
+  check_sharded_golden("byzantine_gossip_imft_star.mtds", 8,
+                       0x3176428ea10d4900ull);
+}
+
+TEST(DeterminismGolden, GossipByzStarSharded) {
+  check_sharded_golden("byzantine_gossip_byz_star.mtds", 8,
+                       0x0b83bb2dcb70ddcdull);
+}
+
+TEST(DeterminismGolden, GossipRecoverSharded) {
+  check_sharded_golden("byzantine_gossip_recover.mtds", 8,
+                       0xc2ab7250d876f49aull);
+}
+
 }  // namespace
 }  // namespace mtds::service

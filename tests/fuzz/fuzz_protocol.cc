@@ -60,6 +60,33 @@ void check_client_reply_roundtrip(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+// Gossip cross-notes: on top of the header checks, decode_gossip bounds
+// every adversary-controllable duration and id (see kMaxGossipFieldNs), so
+// an accepted packet is both canonical (re-encodes byte-identical, zero in
+// the unused client_send_ns slot) and in-range.  Its 64-byte frame is
+// unique among the packet sizes, so no other decoder may share a buffer
+// with it.
+void check_gossip_roundtrip(const std::uint8_t* data, std::size_t size) {
+  const auto pkt = mtds::net::decode_gossip(data, size);
+  if (!pkt) return;
+  if (mtds::net::decode_request(data, size) ||
+      mtds::net::decode_response(data, size) ||
+      mtds::net::decode_client_request(data, size) ||
+      mtds::net::decode_client_reply(data, size)) {
+    std::abort();  // one buffer accepted by gossip and another decoder
+  }
+  if (pkt->sender_id == 0xFFFFFFFFu || pkt->source_id == 0xFFFFFFFFu ||
+      pkt->error_ns < 0 || pkt->error_ns > mtds::net::kMaxGossipFieldNs ||
+      pkt->age_ns < 0 || pkt->age_ns > mtds::net::kMaxGossipFieldNs ||
+      pkt->rtt_ns < 0 || pkt->rtt_ns > mtds::net::kMaxGossipFieldNs) {
+    std::abort();  // decoder let an out-of-range second-hand tuple through
+  }
+  const auto wire = mtds::net::encode(*pkt);
+  if (size != wire.size() || std::memcmp(wire.data(), data, wire.size()) != 0) {
+    std::abort();  // decoder accepted a non-canonical gossip packet
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -68,5 +95,6 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   check_response_roundtrip(data, size);
   check_client_request_roundtrip(data, size);
   check_client_reply_roundtrip(data, size);
+  check_gossip_roundtrip(data, size);
   return 0;
 }

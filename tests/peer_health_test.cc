@@ -172,6 +172,143 @@ TEST(PeerHealth, ForgetDropsState) {
   EXPECT_EQ(health.state(7), PeerState::kHealthy);
 }
 
+// --- Probation release ----------------------------------------------------
+
+TEST(PeerHealth, QuarantineReleasesIntoProbationAfterSentence) {
+  sim::Rng rng{1};
+  PeerHealthPolicy p = policy(2, 4, 2, 8, 0.0, /*quarantine_after=*/1);
+  p.release_after = 3;
+  p.probation_rounds = 2;
+  PeerHealth health(p, &rng);
+  std::vector<std::pair<PeerState, PeerState>> transitions;
+  health.set_transition_hook(
+      [&](core::ServerId, PeerState from, PeerState to) {
+        transitions.emplace_back(from, to);
+      });
+
+  health.note_inconsistent(7);
+  ASSERT_EQ(health.state(7), PeerState::kQuarantined);
+
+  // Each skipped round counts toward release; the peer is not polled while
+  // the sentence runs, then is polled immediately on release.
+  EXPECT_FALSE(health.should_poll(7));
+  EXPECT_FALSE(health.should_poll(7));
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+  EXPECT_TRUE(health.should_poll(7));
+  EXPECT_EQ(health.state(7), PeerState::kProbation);
+  // Probation peers ARE polled every round (readings discarded elsewhere).
+  EXPECT_TRUE(health.should_poll(7));
+
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0],
+            std::make_pair(PeerState::kHealthy, PeerState::kQuarantined));
+  EXPECT_EQ(transitions[1],
+            std::make_pair(PeerState::kQuarantined, PeerState::kProbation));
+}
+
+TEST(PeerHealth, ProbationRehabilitatesOnlyAfterFullConsistentStreak) {
+  sim::Rng rng{1};
+  PeerHealthPolicy p = policy(2, 4, 2, 8, 0.0, /*quarantine_after=*/1);
+  p.release_after = 1;
+  p.probation_rounds = 3;
+  PeerHealth health(p, &rng);
+
+  health.note_inconsistent(7);
+  ASSERT_TRUE(health.should_poll(7));  // release_after = 1: out immediately
+  ASSERT_EQ(health.state(7), PeerState::kProbation);
+
+  // One or two consistent rounds are not enough.
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kProbation);
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kProbation);
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+
+  // Rehabilitation cleared the conviction streak: one fresh inconsistency
+  // does not immediately re-quarantine under quarantine_after = 1's worth
+  // of accumulated history (the streak restarted from zero, so this single
+  // call is what convicts - state machine, not memory of the old offense).
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);  // miss streak reset too
+}
+
+TEST(PeerHealth, MissedProbationRoundResetsStreakWithoutDemotion) {
+  sim::Rng rng{1};
+  PeerHealthPolicy p = policy(2, 4, 2, 8, 0.0, /*quarantine_after=*/1);
+  p.release_after = 1;
+  p.probation_rounds = 2;
+  PeerHealth health(p, &rng);
+
+  health.note_inconsistent(7);
+  ASSERT_TRUE(health.should_poll(7));
+  ASSERT_EQ(health.state(7), PeerState::kProbation);
+
+  // A miss breaks the chain but does not demote (no note_reply laundering
+  // path back to healthy) - the full streak is required again afterwards.
+  health.note_probation_consistent(7);
+  health.note_missed(7);
+  EXPECT_EQ(health.state(7), PeerState::kProbation);
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kProbation);
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+}
+
+TEST(PeerHealth, OffenseDuringProbationRestartsTheSentence) {
+  sim::Rng rng{1};
+  PeerHealthPolicy p = policy(2, 4, 2, 8, 0.0, /*quarantine_after=*/3);
+  p.release_after = 2;
+  p.probation_rounds = 2;
+  PeerHealth health(p, &rng);
+
+  health.note_byzantine(7);  // hard evidence: immediate quarantine
+  ASSERT_EQ(health.state(7), PeerState::kQuarantined);
+  EXPECT_FALSE(health.should_poll(7));
+  EXPECT_TRUE(health.should_poll(7));
+  ASSERT_EQ(health.state(7), PeerState::kProbation);
+
+  // A single inconsistency during probation goes straight back to
+  // quarantine - no quarantine_after streak for a convict on supervised
+  // release - and the release countdown starts over from zero.
+  health.note_probation_consistent(7);
+  health.note_inconsistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+  EXPECT_FALSE(health.should_poll(7));
+  EXPECT_TRUE(health.should_poll(7));
+  ASSERT_EQ(health.state(7), PeerState::kProbation);
+
+  // Same for byzantine evidence during probation; partial probation
+  // progress is discarded on re-conviction.
+  health.note_probation_consistent(7);
+  health.note_byzantine(7);
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+  EXPECT_FALSE(health.should_poll(7));
+  EXPECT_TRUE(health.should_poll(7));
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kProbation);  // streak restarted
+  health.note_probation_consistent(7);
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+}
+
+TEST(PeerHealth, ProbationConsistentIsNoOpOutsideProbation) {
+  sim::Rng rng{1};
+  // Sticky default: release_after = 0 never releases, and probation credit
+  // cannot be banked from any other state.
+  PeerHealth health(policy(2, 4, 2, 8, 0.0, /*quarantine_after=*/1), &rng);
+
+  health.note_probation_consistent(7);  // healthy: no-op
+  EXPECT_EQ(health.state(7), PeerState::kHealthy);
+
+  health.note_inconsistent(7);
+  ASSERT_EQ(health.state(7), PeerState::kQuarantined);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(health.should_poll(7));
+    health.note_probation_consistent(7);  // quarantined: no-op
+  }
+  EXPECT_EQ(health.state(7), PeerState::kQuarantined);
+}
+
 // --- Engine-level degraded mode ------------------------------------------
 
 TEST(PeerHealthEngine, DegradedModeEntersAndExitsWithReachability) {

@@ -167,6 +167,125 @@ TEST(ProtocolFuzz, ClientRoundTripPreservesAllFields) {
   EXPECT_EQ(back->error_ns, reply.error_ns);
 }
 
+// --- Gossip cross-notes ---------------------------------------------------
+
+ReadingGossipPacket gossip_packet() {
+  ReadingGossipPacket g;
+  g.round = 17;
+  g.sender_id = 2;
+  g.source_id = 5;
+  g.clock_ns = -42'000'000'000;  // clock readings may be anything
+  g.error_ns = 5'000'000;
+  g.age_ns = 1'500'000'000;
+  g.rtt_ns = 3'000'000;
+  return g;
+}
+
+TEST(ProtocolFuzz, GossipRandomGarbageNeverDecodes) {
+  sim::Rng rng(0x60551);
+  int accepted = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t size = rng.uniform_index(128);
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    if (decode_gossip(bytes.data(), bytes.size())) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(ProtocolFuzz, GossipTruncationsAndOversizeRejected) {
+  const auto buf = encode(gossip_packet());
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_FALSE(decode_gossip(buf.data(), len).has_value());
+  }
+  std::vector<std::uint8_t> big(buf.begin(), buf.end());
+  big.push_back(0);
+  EXPECT_FALSE(decode_gossip(big.data(), big.size()).has_value());
+}
+
+TEST(ProtocolFuzz, GossipCorruptHeadersAlwaysRejected) {
+  const auto buf = encode(gossip_packet());
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = buf;
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(decode_gossip(mutated.data(), mutated.size()).has_value())
+          << "pos=" << pos << " bit=" << bit;
+    }
+  }
+  // Gossip's 64-byte frame is its own; no other decoder may accept it.
+  EXPECT_TRUE(decode_gossip(buf.data(), buf.size()).has_value());
+  EXPECT_FALSE(decode_request(buf.data(), buf.size()).has_value());
+  EXPECT_FALSE(decode_response(buf.data(), buf.size()).has_value());
+  EXPECT_FALSE(decode_client_request(buf.data(), buf.size()).has_value());
+  EXPECT_FALSE(decode_client_reply(buf.data(), buf.size()).has_value());
+}
+
+TEST(ProtocolFuzz, GossipRoundTripPreservesAllFields) {
+  const ReadingGossipPacket g = gossip_packet();
+  const auto wire = encode(g);
+  const auto back = decode_gossip(wire.data(), wire.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->round, g.round);
+  EXPECT_EQ(back->sender_id, g.sender_id);
+  EXPECT_EQ(back->source_id, g.source_id);
+  EXPECT_EQ(back->clock_ns, g.clock_ns);
+  EXPECT_EQ(back->error_ns, g.error_ns);
+  EXPECT_EQ(back->age_ns, g.age_ns);
+  EXPECT_EQ(back->rtt_ns, g.rtt_ns);
+}
+
+TEST(ProtocolFuzz, GossipOutOfRangeTuplesRejected) {
+  // Second-hand tuples are adversary-controllable end to end, so decode -
+  // not the engine - rejects values the honest encoder would never emit.
+  // encode() itself does not validate, which is exactly what lets the test
+  // put hostile values on the wire.
+  const auto reject = [](ReadingGossipPacket g, const char* what) {
+    const auto wire = encode(g);
+    EXPECT_FALSE(decode_gossip(wire.data(), wire.size()).has_value()) << what;
+  };
+  ReadingGossipPacket g = gossip_packet();
+  g.error_ns = kMaxGossipFieldNs + 1;
+  reject(g, "hour+ error");
+  g = gossip_packet();
+  g.error_ns = -1;
+  reject(g, "negative error");
+  g = gossip_packet();
+  g.age_ns = kMaxGossipFieldNs + 1;
+  reject(g, "hour+ age");
+  g = gossip_packet();
+  g.age_ns = -1;
+  reject(g, "negative age");
+  g = gossip_packet();
+  g.rtt_ns = kMaxGossipFieldNs + 1;
+  reject(g, "hour+ rtt");
+  g = gossip_packet();
+  g.rtt_ns = -1;
+  reject(g, "negative rtt");
+  g = gossip_packet();
+  g.sender_id = 0xFFFFFFFFu;  // kInvalidServer on the wire
+  reject(g, "invalid sender id");
+  g = gossip_packet();
+  g.source_id = 0xFFFFFFFFu;
+  reject(g, "invalid source id");
+
+  // Nonzero bytes in the unused client_send_ns header slot are
+  // non-canonical (the encoder always writes zero there).
+  auto wire = encode(gossip_packet());
+  ASSERT_TRUE(decode_gossip(wire.data(), wire.size()).has_value());
+  wire[16] = 1;
+  EXPECT_FALSE(decode_gossip(wire.data(), wire.size()).has_value())
+      << "nonzero unused header slot";
+
+  // Boundary: exactly kMaxGossipFieldNs is still accepted.
+  g = gossip_packet();
+  g.error_ns = kMaxGossipFieldNs;
+  g.age_ns = kMaxGossipFieldNs;
+  g.rtt_ns = kMaxGossipFieldNs;
+  const auto max_wire = encode(g);
+  EXPECT_TRUE(decode_gossip(max_wire.data(), max_wire.size()).has_value());
+}
+
 TEST(ProtocolFuzz, OversizedBuffersRejected) {
   // NB: must encode once; begin()/end() from two separate encode() calls
   // would be iterators into two different temporaries.
